@@ -1,0 +1,51 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+relevant experiment (timed via pytest-benchmark), prints the rows/series
+the paper reports, and asserts the paper's qualitative *shape* (who wins,
+by roughly what factor, where crossovers fall).
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark an expensive experiment exactly once and return its
+    result (pytest-benchmark's auto-calibration would re-run heavy
+    workloads dozens of times)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run
+
+
+def print_table(title, rows, columns=None):
+    """Print a list of dict rows as an aligned text table."""
+    if not rows:
+        print(f"\n== {title} == (empty)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), max(len(_fmt(r.get(c))) for r in rows))
+        for c in columns
+    }
+    print(f"\n== {title} ==")
+    print("  ".join(str(c).ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,159 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* crossbar solver fidelity: ideal vs wire-parasitic accuracy/cost;
+* write-verify iterations vs programming error;
+* ADC resolution vs end-to-end VMM error (Section II-E trade-off, at the
+  system level rather than the component level);
+* ECC strength (data width) vs BER crossover.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.cim_core import CIMCore, CIMCoreParams
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.crossbar.solver import NodalCrossbarSolver
+from repro.devices.variability import (
+    DriftModel,
+    ReadNoiseModel,
+    VariabilityStack,
+    WriteVariationModel,
+)
+from repro.testing.ecc import EccAnalysis, HammingSecDed
+
+from conftest import print_table
+
+
+def test_ablation_solver_fidelity(run_once):
+    """IR-drop error grows with array size and wire resistance; the
+    circuit-accurate solver quantifies what the ideal model hides — the
+    physical basis of Table I's 'Low' CIM-A scalability."""
+
+    def experiment():
+        rows = []
+        for n in (8, 16, 32):
+            g = np.full((n, n), 5e-5)
+            v = np.full(n, 0.2)
+            for r_wire in (0.5, 2.0, 8.0):
+                solver = NodalCrossbarSolver(wire_resistance=r_wire)
+                start = time.perf_counter()
+                err = solver.relative_error(g, v)
+                elapsed = time.perf_counter() - start
+                rows.append(
+                    {
+                        "array": f"{n}x{n}",
+                        "wire_ohm": r_wire,
+                        "rms_rel_error": err,
+                        "solve_ms": elapsed * 1e3,
+                    }
+                )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("Ablation: crossbar solver fidelity (IR drop)", rows)
+    # Error monotone in both array size and wire resistance.
+    for r_wire in (0.5, 2.0, 8.0):
+        errs = [r["rms_rel_error"] for r in rows if r["wire_ohm"] == r_wire]
+        assert errs == sorted(errs)
+    for n in ("8x8", "16x16", "32x32"):
+        errs = [r["rms_rel_error"] for r in rows if r["array"] == n]
+        assert errs == sorted(errs)
+
+
+def test_ablation_write_verify(run_once):
+    """Closed-loop programming buys precision with extra pulses."""
+
+    def experiment():
+        stack = VariabilityStack(
+            write=WriteVariationModel(sigma=0.08),
+            read=ReadNoiseModel(sigma=0.0),
+            drift=DriftModel(nu=0.0),
+        )
+        targets = np.full((32, 32), 5e-5)
+        rows = []
+        for max_iterations in (1, 2, 5, 10):
+            array = CrossbarArray(
+                CrossbarConfig(rows=32, cols=32), variability=stack, rng=7
+            )
+            iterations = array.program_with_verify(
+                targets, tolerance=0.02, max_iterations=max_iterations
+            )
+            err = float(
+                np.mean(np.abs(array.conductances() - targets) / targets)
+            )
+            rows.append(
+                {
+                    "max_iterations": max_iterations,
+                    "iterations_used": iterations,
+                    "mean_rel_error": err,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("Ablation: write-verify iterations vs error", rows)
+    errs = [r["mean_rel_error"] for r in rows]
+    assert errs[-1] < errs[0] / 2
+
+
+def test_ablation_adc_resolution_system_level(run_once):
+    """End-to-end VMM error vs ADC bits (the II-E trade-off in situ)."""
+
+    def experiment():
+        gen = np.random.default_rng(8)
+        w = gen.uniform(-1, 1, (64, 32))
+        x = gen.uniform(0, 1, 64)
+        rows = []
+        for bits in (4, 6, 8, 10, 12):
+            core = CIMCore(
+                CIMCoreParams(rows=64, logical_cols=32, adc_bits=bits), rng=9
+            )
+            core.program_weights(w)
+            y = core.vmm(x, noisy=False)
+            err = float(np.max(np.abs(y - x @ w)))
+            adc_energy = core.adc.energy_per_conversion * core.array.cols
+            rows.append(
+                {
+                    "adc_bits": bits,
+                    "max_vmm_error": err,
+                    "adc_energy_per_vmm_pJ": adc_energy * 1e12,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("Ablation: ADC resolution, system-level", rows)
+    errors = [r["max_vmm_error"] for r in rows]
+    energies = [r["adc_energy_per_vmm_pJ"] for r in rows]
+    assert errors == sorted(errors, reverse=True)
+    assert energies == sorted(energies)
+
+
+def test_ablation_ecc_strength(run_once):
+    """Wider code words amortize check bits but widen the error cross
+    section; the word-failure crossover shifts accordingly."""
+
+    def experiment():
+        rows = []
+        for data_bits in (8, 16, 32, 64, 128):
+            code = HammingSecDed(data_bits)
+            analysis = EccAnalysis(code)
+            rows.append(
+                {
+                    "data_bits": data_bits,
+                    "codeword_bits": code.codeword_bits,
+                    "overhead": code.overhead,
+                    "wfp_at_1e-5": analysis.word_failure_probability(1e-5),
+                    "wfp_at_1e-3": analysis.word_failure_probability(1e-3),
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("Ablation: ECC data width", rows)
+    overheads = [r["overhead"] for r in rows]
+    failures = [r["wfp_at_1e-3"] for r in rows]
+    # Wider words: lower overhead, higher failure probability.
+    assert overheads == sorted(overheads, reverse=True)
+    assert failures == sorted(failures)

@@ -1,0 +1,71 @@
+"""Benchmarks for the Conclusions' quantitative threads.
+
+* point four — "the unavoidable requirement of different voltages for
+  read and write can lead to excessive power requirements ... different
+  voltage drivers ... extra burden on the physical resources": the
+  voltage-regulation model quantifies the tax;
+* chip-level dimensioning: how the ADC trade-off and the technology
+  choice move TOPS/W at accelerator scale.
+"""
+
+from repro.core.dimensioning import ChipSpec, adc_bits_sweep, technology_sweep
+from repro.periphery.voltage_regulation import (
+    ChargePump,
+    reram_voltage_domains,
+    voltage_domain_overhead,
+)
+
+from conftest import print_table
+
+
+def test_voltage_domain_tax(run_once):
+    def experiment():
+        rows = []
+        for write_v in (1.5, 2.0, 2.5, 3.0):
+            report = voltage_domain_overhead(
+                reram_voltage_domains(write_voltage=write_v)
+            )
+            rows.append(
+                {
+                    "write_voltage_V": write_v,
+                    "load_power_mW": report["load_power"] * 1e3,
+                    "supply_power_mW": report["supply_power"] * 1e3,
+                    "loss_fraction": report["loss_fraction"],
+                    "extra_domains": report["boosted_domains"],
+                    "regulation_area_mm2": report["regulation_area_mm2"],
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_table(
+        "Conclusion pt.4: read/write voltage-domain overhead", rows
+    )
+    losses = [r["loss_fraction"] for r in rows]
+    assert losses == sorted(losses)           # higher write V, bigger tax
+    assert all(r["extra_domains"] >= 2 for r in rows)
+    assert all(r["loss_fraction"] > 0.05 for r in rows)
+
+
+def test_chip_level_adc_tradeoff(run_once):
+    rows = run_once(lambda: [r.row() for r in adc_bits_sweep((4, 6, 8, 10))])
+    print_table("Chip dimensioning: ADC resolution sweep", rows)
+    efficiency = [r["TOPS_per_W"] for r in rows]
+    assert efficiency == sorted(efficiency, reverse=True)
+    # Throughput is resolution-independent; power is not.
+    assert len({r["peak_TOPS"] for r in rows}) == 1
+    powers = [r["power_W"] for r in rows]
+    assert powers[-1] > 3 * powers[0]
+
+
+def test_chip_level_technology_choice(run_once):
+    rows = run_once(lambda: [r.row() for r in technology_sweep()])
+    print_table("Chip dimensioning: memory technology sweep", rows)
+    by_tech = {r["technology"]: r for r in rows}
+    # Fig 5 at chip scale: power is ADC-dominated, so the technology
+    # barely moves TOPS/W (NVM keeps a slim zero-leakage edge) ...
+    assert by_tech["reram"]["TOPS_per_W"] >= by_tech["sram"]["TOPS_per_W"]
+    # ... while endurance-limited lifetime separates them by orders of
+    # magnitude under weight-update traffic.
+    assert by_tech["reram"]["lifetime_years"] < 1.0
+    assert by_tech["mram"]["lifetime_years"] > 1e6

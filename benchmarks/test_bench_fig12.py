@@ -1,0 +1,115 @@
+"""Fig 12 reproduction: Logic-In-Memory array cells.
+
+(a) the AND-array-like cell computing (N)OR of stored A and volatile B via
+the two-step word-line protocol; (b) the wired-AND NOR-array cell with its
+dynamic AND-OR-INVERT / XNOR modes; plus the in-array adder of [103].
+"""
+
+from repro.ferfet.arrays import (
+    AndTypeCell,
+    LogicInMemoryAdder,
+    NorArray,
+    OrTypeCell,
+)
+
+from conftest import print_table
+
+
+def test_fig12a_or_type_cell(run_once):
+    def experiment():
+        rows = []
+        for a in (0, 1):
+            cell = OrTypeCell()
+            cell.store(a)  # step 1: high set voltage on WL
+            for b in (0, 1):  # step 2: volatile B at smaller VDD
+                rows.append(
+                    {
+                        "stored_A": a,
+                        "volatile_B": b,
+                        "OR": cell.or_(b),
+                        "NOR (inverted sense)": cell.nor(b),
+                    }
+                )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("Fig 12(a): AND-array-like (N)OR cell", rows)
+    for row in rows:
+        assert row["OR"] == (row["stored_A"] | row["volatile_B"])
+        assert row["NOR (inverted sense)"] == 1 - row["OR"]
+
+
+def test_fig12b_nor_array_aoi_and_xnor(run_once):
+    def experiment():
+        array = NorArray(rows=2, cols=1)
+        aoi_rows = []
+        for a1 in (0, 1):
+            for a2 in (0, 1):
+                array.store([[a1], [a2]])
+                for b1 in (0, 1):
+                    for b2 in (0, 1):
+                        aoi_rows.append(
+                            {
+                                "A": (a1, a2),
+                                "B": (b1, b2),
+                                "AOI": array.aoi([b1, b2])[0],
+                                "expected": 1 - ((a1 & b1) | (a2 & b2)),
+                            }
+                        )
+        xnor_rows = [
+            {"a": a, "b": b, "XNOR": NorArray(2, 1).xnor_column(a, b)}
+            for a in (0, 1)
+            for b in (0, 1)
+        ]
+        return aoi_rows, xnor_rows
+
+    aoi_rows, xnor_rows = run_once(experiment)
+    print_table("Fig 12(b): dynamic XNOR", xnor_rows)
+    assert all(r["AOI"] == r["expected"] for r in aoi_rows)
+    assert [r["XNOR"] for r in xnor_rows] == [1, 0, 0, 1]
+
+
+def test_fig12_wired_and_select(benchmark):
+    """The middle gate acts as access transistor ([102])."""
+
+    def check():
+        cell = AndTypeCell()
+        cell.store(1)
+        return {
+            "selected_b1": int(cell.conducts(1, select=1)),
+            "deselected_b1": int(cell.conducts(1, select=0)),
+        }
+
+    row = benchmark(check)
+    print_table("Fig 12(b): wired-AND select gate", [row])
+    assert row["selected_b1"] == 1
+    assert row["deselected_b1"] == 0
+
+
+def test_fig12_in_array_adder(run_once):
+    """[103]: half/full adders operating in-array."""
+
+    def experiment():
+        adder = LogicInMemoryAdder()
+        rows = []
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    s, cout = adder.full_add(a, b, cin)
+                    rows.append(
+                        {
+                            "a": a,
+                            "b": b,
+                            "cin": cin,
+                            "sum": s,
+                            "cout": cout,
+                            "correct": (s + 2 * cout) == a + b + cin,
+                        }
+                    )
+        word = adder.add_words([1, 0, 1, 1], [1, 1, 0, 1])  # 13 + 11
+        return rows, word
+
+    rows, word = run_once(experiment)
+    print_table("[103] in-array full adder", rows)
+    assert all(r["correct"] for r in rows)
+    assert sum(bit << i for i, bit in enumerate(word)) == 24

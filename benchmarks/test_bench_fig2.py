@@ -1,0 +1,51 @@
+"""Fig 2 reproduction: computer-architecture classification.
+
+Classifies the architectures the paper names by where their result is
+produced (positions 1-4 of Fig 2) and checks the class structure.
+"""
+
+from repro.core.classification import (
+    ArchitectureClass,
+    ComputePosition,
+    classify,
+)
+
+from conftest import print_table
+
+#: Architectures discussed in the paper, with their Fig 2 position.
+KNOWN_SYSTEMS = [
+    ("ReRAM crossbar VMM (Fig 4)", ComputePosition.MEMORY_ARRAY),
+    ("MAGIC / IMPLY stateful logic", ComputePosition.MEMORY_ARRAY),
+    ("Scouting Logic [20]", ComputePosition.MEMORY_PERIPHERY),
+    ("Pinatubo [21]", ComputePosition.MEMORY_PERIPHERY),
+    ("ISAAC ADC-based tile [32]", ComputePosition.MEMORY_PERIPHERY),
+    ("HBM base-die logic", ComputePosition.MEMORY_SIP_LOGIC),
+    ("DIVA PIM co-processor [33]", ComputePosition.MEMORY_SIP_LOGIC),
+    ("CPU / GPU / TPU", ComputePosition.COMPUTATIONAL_CORE),
+]
+
+
+def test_fig2_classification(benchmark):
+    def classify_all():
+        return [
+            {
+                "system": name,
+                "fig2_position": position.value,
+                "class": classify(position).value,
+                "is_cim": classify(position).is_cim,
+            }
+            for name, position in KNOWN_SYSTEMS
+        ]
+
+    rows = benchmark(classify_all)
+    print_table("Fig 2: architecture classification", rows)
+
+    by_name = {r["system"]: r for r in rows}
+    assert by_name["ReRAM crossbar VMM (Fig 4)"]["class"] == "CIM-A"
+    assert by_name["Scouting Logic [20]"]["class"] == "CIM-P"
+    assert by_name["HBM base-die logic"]["class"] == "COM-N"
+    assert by_name["CPU / GPU / TPU"]["class"] == "COM-F"
+    # Result inside the memory core <=> CIM.
+    for row in rows:
+        inside_core = row["fig2_position"] in (1, 2)
+        assert row["is_cim"] == inside_core

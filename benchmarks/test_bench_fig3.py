@@ -1,0 +1,73 @@
+"""Fig 3 reproduction: the ReRAM / memristor device model.
+
+Fig 3 shows the two-serial-resistor equivalent circuit; the doped-region
+width moves under applied voltage, changing the resistance.  The benchmark
+sweeps the device and checks the memristor fingerprints: a pinched
+hysteresis loop whose area collapses with frequency, and resistance
+bounded by [R_on, R_off].
+"""
+
+import numpy as np
+
+from repro.devices.memristor import LinearIonDriftMemristor, MemristorParams
+
+from conftest import print_table
+
+
+def test_fig3_pinched_hysteresis(run_once):
+    device = LinearIonDriftMemristor(x0=0.1)
+    sweep = run_once(
+        device.sweep, 1.0, 10, 2, 2000
+    )
+    print_table(
+        "Fig 3: I-V sweep summary",
+        [
+            {
+                "metric": "pinched at origin",
+                "value": sweep.hysteresis_is_pinched(),
+            },
+            {"metric": "loop area (A*V)", "value": sweep.loop_area()},
+            {"metric": "min state", "value": float(sweep.state.min())},
+            {"metric": "max state", "value": float(sweep.state.max())},
+        ],
+        columns=["metric", "value"],
+    )
+    assert sweep.hysteresis_is_pinched()
+    assert sweep.loop_area() > 0
+    assert 0.0 <= sweep.state.min() <= sweep.state.max() <= 1.0
+
+
+def test_fig3_frequency_collapse(benchmark):
+    def loop_areas():
+        rows = []
+        for freq in (10, 100, 1000, 10_000):
+            device = LinearIonDriftMemristor(x0=0.1)
+            sweep = device.sweep(1.0, freq, points_per_cycle=1000)
+            rows.append({"frequency_Hz": freq, "loop_area": sweep.loop_area()})
+        return rows
+
+    rows = benchmark.pedantic(loop_areas, rounds=1, iterations=1)
+    print_table("Fig 3: hysteresis loop area vs frequency", rows)
+    areas = [r["loop_area"] for r in rows]
+    assert areas == sorted(areas, reverse=True)
+    assert areas[-1] < areas[0] / 100
+
+
+def test_fig3_two_resistor_model(benchmark):
+    params = MemristorParams()
+
+    def resistance_curve():
+        return [
+            {
+                "doped_fraction_x": x,
+                "resistance_ohm": LinearIonDriftMemristor(params, x0=x).resistance,
+            }
+            for x in np.linspace(0, 1, 6)
+        ]
+
+    rows = benchmark(resistance_curve)
+    print_table("Fig 3: R(x) = R_on x + R_off (1 - x)", rows)
+    assert rows[0]["resistance_ohm"] == params.r_off
+    assert rows[-1]["resistance_ohm"] == params.r_on
+    resistances = [r["resistance_ohm"] for r in rows]
+    assert resistances == sorted(resistances, reverse=True)

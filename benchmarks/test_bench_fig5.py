@@ -1,0 +1,52 @@
+"""Fig 5 reproduction: area and power share of CIM design blocks.
+
+The paper: "the ADC alone typically dominates CIM die area (>90%) and
+power consumption (>65%)".  The benchmark rebuilds the ISAAC-calibrated
+tile budget and re-derives the shares, plus the ADC-resolution trade-off
+sweep behind Section II-E.
+"""
+
+from repro.periphery.area_power import adc_resolution_sweep, isaac_tile_budget
+
+from conftest import print_table
+
+
+def test_fig5_component_shares(benchmark):
+    budget = benchmark(isaac_tile_budget)
+    rows = budget.table()
+    print_table("Fig 5: CIM tile area/power breakdown", rows)
+
+    share = budget.share("adc")
+    print_table(
+        "Fig 5 headline",
+        [
+            {"claim": "ADC area share > 90%", "measured": share["area"]},
+            {"claim": "ADC power share > 65%", "measured": share["power"]},
+        ],
+    )
+    assert share["area"] > 0.90
+    assert share["power"] > 0.65
+
+    # The ADC dominates every other block on both axes.
+    pf = budget.power_fractions()
+    af = budget.area_fractions()
+    for name in pf:
+        if name != "adc":
+            assert pf["adc"] > pf[name]
+            assert af["adc"] > af[name]
+
+
+def test_fig5_resolution_tradeoff(run_once):
+    rows = run_once(adc_resolution_sweep, (4, 5, 6, 7, 8, 9, 10))
+    print_table("Section II-E: ADC resolution sweep", rows)
+
+    errors = [r["rms_quantization_error"] for r in rows]
+    powers = [r["adc_power_mW"] for r in rows]
+    shares = [r["adc_area_share"] for r in rows]
+    # Quantization error falls, cost and dominance rise, with resolution.
+    assert errors == sorted(errors, reverse=True)
+    assert powers == sorted(powers)
+    assert shares == sorted(shares)
+    # Power roughly doubles per added bit (Walden scaling).
+    for lo, hi in zip(powers, powers[1:]):
+        assert 1.8 < hi / lo < 2.2

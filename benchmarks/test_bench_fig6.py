@@ -1,0 +1,120 @@
+"""Fig 6 reproduction: the fault taxonomy, with observable signatures.
+
+Fig 6 classifies ReRAM faults on hard/soft x static/dynamic axes.  The
+benchmark prints the matrix and then *demonstrates* each quadrant on the
+simulator: every mechanism produces its characteristic observable.
+"""
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.faults.endurance import EnduranceModel, EnduranceSimulator
+from repro.faults.injection import FaultInjector
+from repro.faults.models import (
+    Fault,
+    FaultClass,
+    FaultPersistence,
+    FaultType,
+    ReadDisturbProcess,
+    fault_taxonomy,
+)
+
+from conftest import print_table
+
+
+def _fresh(seed=0, n=16):
+    array = CrossbarArray(CrossbarConfig(rows=n, cols=n), rng=seed)
+    array.program(np.full((n, n), 3e-5))
+    return array
+
+
+def test_fig6_taxonomy_matrix(benchmark):
+    taxonomy = benchmark(fault_taxonomy)
+    rows = [
+        {
+            "quadrant": f"{fc.value}/{fp.value}",
+            "mechanisms": ", ".join(t.value for t in types),
+        }
+        for (fc, fp), types in sorted(
+            taxonomy.items(), key=lambda kv: (kv[0][0].value, kv[0][1].value)
+        )
+    ]
+    print_table("Fig 6: fault classification", rows)
+    assert taxonomy[(FaultClass.HARD, FaultPersistence.DYNAMIC)] == [
+        FaultType.ENDURANCE_WEAROUT
+    ]
+    assert (
+        FaultType.READ_DISTURB
+        in taxonomy[(FaultClass.SOFT, FaultPersistence.DYNAMIC)]
+    )
+
+
+def test_fig6_quadrant_signatures(run_once):
+    """Each quadrant's mechanism produces its characteristic observable."""
+
+    def demonstrate():
+        rows = []
+
+        # Static hard: SA0 pins conductance at g_min despite programming.
+        array = _fresh(1)
+        FaultInjector(array, rng=2).inject_fault(Fault(FaultType.STUCK_AT_0, 0, 0))
+        array.program(np.full((16, 16), 9e-5))
+        rows.append(
+            {
+                "quadrant": "static/hard (SA0)",
+                "observable": "conductance pinned at g_min after SET-all",
+                "holds": bool(
+                    array.conductances()[0, 0] == array.config.levels.g_min
+                ),
+            }
+        )
+
+        # Static soft: fabrication variation shifts but stays tunable.
+        array = _fresh(3)
+        g0 = array.conductances()[1, 1]
+        FaultInjector(array, rng=4).inject_fault(
+            Fault(FaultType.FABRICATION_VARIATION, 1, 1)
+        )
+        shifted = array.conductances()[1, 1] != g0
+        array.program(np.full((16, 16), 3e-5))
+        retunable = bool(np.isclose(array.conductances()[1, 1], 3e-5))
+        rows.append(
+            {
+                "quadrant": "static/soft (variation)",
+                "observable": "value shifted but cell remains tunable",
+                "holds": bool(shifted and retunable),
+            }
+        )
+
+        # Dynamic soft: read disturbance biases state toward LRS.
+        array = _fresh(5)
+        proc = ReadDisturbProcess(array, 0.3, 0.1, rng=6)
+        g_before = array.conductances().mean()
+        for _ in range(20):
+            proc.read()
+        rows.append(
+            {
+                "quadrant": "dynamic/soft (read disturb)",
+                "observable": "mean conductance rises with reads",
+                "holds": bool(array.conductances().mean() > g_before),
+            }
+        )
+
+        # Dynamic hard: endurance wear-out accumulates with cycling.
+        array = _fresh(7)
+        sim = EnduranceSimulator(
+            array, EnduranceModel(characteristic_life=500, shape=2.0), rng=8
+        )
+        sim.run_until(2000, 500)
+        rows.append(
+            {
+                "quadrant": "dynamic/hard (endurance)",
+                "observable": "stuck cells accumulate with write cycles",
+                "holds": bool(sim.dead_cell_count > 0),
+            }
+        )
+        return rows
+
+    rows = run_once(demonstrate)
+    print_table("Fig 6: per-quadrant behavioural signatures", rows)
+    assert all(r["holds"] for r in rows)

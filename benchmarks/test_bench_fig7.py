@@ -1,0 +1,109 @@
+"""Fig 7 reproduction: changepoint detection of a fault burst at cycle 600.
+
+"A changepoint is detected when faults are inserted in a ReRAM crossbar
+after cycle 600 [52]."  The benchmark runs the full [52] pipeline: monitor
+dynamic power, detect the changepoint, then estimate the faulty-cell
+percentage from power-profile statistics with the trained regression.
+"""
+
+import numpy as np
+
+from repro.testing.changepoint import (
+    CusumDetector,
+    FaultRateEstimator,
+    OnlinePowerTestbench,
+    PageHinkleyDetector,
+    power_shift_features,
+)
+
+from conftest import print_table
+
+
+def test_fig7_changepoint_at_600(run_once):
+    def experiment():
+        bench = OnlinePowerTestbench(
+            rows=64, cols=64, fault_rate=0.1, inject_at=600,
+            activity=0.8, rng=9,
+        )
+        trace = bench.run(1200)
+        cusum = bench.detect(trace, CusumDetector())
+        ph = PageHinkleyDetector().run(trace)
+        return trace, cusum, ph
+
+    trace, cusum_at, ph_at = run_once(experiment)
+    baseline = float(np.mean(trace[:600]))
+    post = float(np.mean(trace[600:]))
+    print_table(
+        "Fig 7: power trace with fault burst at cycle 600",
+        [
+            {"metric": "baseline mean power (W)", "value": baseline},
+            {"metric": "post-fault mean power (W)", "value": post},
+            {"metric": "relative power shift", "value": post / baseline - 1},
+            {"metric": "CUSUM detection cycle", "value": cusum_at},
+            {"metric": "Page-Hinkley detection cycle", "value": ph_at},
+        ],
+        columns=["metric", "value"],
+    )
+    # SA1-heavy burst raises power; both detectors fire shortly after 600.
+    assert post > baseline
+    assert cusum_at is not None and 600 <= cusum_at <= 650
+    assert ph_at is not None and 600 <= ph_at <= 680
+
+
+def test_fig7_no_faults_no_alarm(run_once):
+    def experiment():
+        bench = OnlinePowerTestbench(
+            rows=64, cols=64, fault_rate=0.0, inject_at=600,
+            activity=0.8, rng=10,
+        )
+        trace = bench.run(1200)
+        return bench.detect(trace, CusumDetector())
+
+    detection = run_once(experiment)
+    print_table(
+        "Fig 7 control: fault-free run",
+        [{"metric": "detection cycle", "value": detection}],
+        columns=["metric", "value"],
+    )
+    assert detection is None
+
+
+def test_fig7_fault_rate_estimator(run_once):
+    """[52] stage 2: regression from power statistics to fault rate, so
+    'the computationally expensive fault localization and error-recovery
+    steps are carried out only when a high fault rate is estimated'."""
+
+    def experiment():
+        estimator, r2 = FaultRateEstimator.train_on_simulations(
+            rows=48,
+            cols=48,
+            fault_rates=np.linspace(0.02, 0.3, 8),
+            samples_per_rate=4,
+            cycles=100,
+            rng=11,
+        )
+        rows = []
+        for true_rate in (0.05, 0.1, 0.2):
+            bench = OnlinePowerTestbench(
+                rows=48, cols=48, fault_rate=true_rate, inject_at=100,
+                rng=int(true_rate * 1000),
+            )
+            trace = bench.run(200)
+            features = power_shift_features(trace[:100], trace[100:])
+            rows.append(
+                {
+                    "true_fault_rate": true_rate,
+                    "estimated": estimator.predict(features),
+                }
+            )
+        return r2, rows
+
+    r2, rows = run_once(experiment)
+    print_table(
+        "Fig 7 / [52]: ML fault-rate estimation",
+        [{"training_R2": r2}] ,
+    )
+    print_table("Held-out estimates", rows)
+    assert r2 > 0.8
+    for row in rows:
+        assert abs(row["estimated"] - row["true_fault_rate"]) < 0.07

@@ -1,0 +1,135 @@
+"""Section IV-C reproduction: published mapping bounds.
+
+* [67]: an MIG maps with optimal delay = MIG levels + 1 when devices are
+  unconstrained — checked over random functions and the circuit suite;
+* [69]: a 3-wordline x 2-bitline crossbar building block suffices for any
+  ESOP, with delay linear in the cube count;
+* [68]-style sequential compilation trades delay for device count.
+"""
+
+import numpy as np
+
+from repro.eda.benchmarks import standard_suite
+from repro.eda.boolean import TruthTable
+from repro.eda.esop import esop_from_truth_table, minimize_esop
+from repro.eda.majority_mapping import map_mig_to_majority
+from repro.eda.mig import MIG, mig_from_aig, mig_from_truth_table
+
+from conftest import print_table
+
+
+def test_majority_delay_optimality(run_once):
+    """delay == levels + 1 on every suite circuit and random functions."""
+
+    def experiment():
+        rows = []
+        for name, aig in standard_suite().items():
+            mig = mig_from_aig(aig.cleanup())
+            mapping = map_mig_to_majority(mig)
+            rows.append(
+                {
+                    "circuit": name,
+                    "mig_levels": mig.levels(),
+                    "mapped_delay": mapping.delay,
+                    "optimal": mapping.delay == mig.levels() + 1,
+                }
+            )
+        gen = np.random.default_rng(0)
+        for i in range(5):
+            table = TruthTable(4, int(gen.integers(1, (1 << 16) - 1)))
+            mig = mig_from_truth_table(table)
+            mapping = map_mig_to_majority(mig)
+            rows.append(
+                {
+                    "circuit": f"random4_{i}",
+                    "mig_levels": mig.levels(),
+                    "mapped_delay": mapping.delay,
+                    "optimal": mapping.delay == mig.levels() + 1,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("[67] delay-optimal majority mapping (levels + 1)", rows)
+    assert all(r["optimal"] for r in rows)
+
+
+def test_esop_crossbar_lower_bound(run_once):
+    """[69]: 3x2 crossbar block suffices; delay = cubes + 1."""
+
+    def experiment():
+        gen = np.random.default_rng(1)
+        rows = []
+        for i in range(8):
+            table = TruthTable(4, int(gen.integers(1, 1 << 16)))
+            esop = minimize_esop(table)
+            block = esop.crossbar_building_block()
+            rows.append(
+                {
+                    "function": f"random4_{i}",
+                    "cubes": esop.n_cubes,
+                    "block_wordlines": block[0],
+                    "block_bitlines": block[1],
+                    "delay": esop.mapping_delay_estimate(),
+                    "correct": esop.to_truth_table() == table,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("[69] ESOP on the minimal 3x2 crossbar block", rows)
+    for row in rows:
+        assert (row["block_wordlines"], row["block_bitlines"]) == (3, 2)
+        assert row["delay"] == row["cubes"] + 1
+        assert row["correct"]
+
+
+def test_device_constrained_compilation_tradeoff(run_once):
+    """[68]-style compiler: fewer devices, more steps."""
+
+    def experiment():
+        mig = MIG(8)
+        acc = mig.input_lit(0)
+        for i in range(1, 8):
+            acc = mig.and_(acc, mig.input_lit(i))
+        mig.add_output(acc)
+        unconstrained = map_mig_to_majority(mig)
+        constrained = map_mig_to_majority(mig, max_devices=12)
+        return [
+            {
+                "mode": "delay-optimal [67]",
+                "delay": unconstrained.delay,
+                "devices": unconstrained.area,
+            },
+            {
+                "mode": "device-constrained [68]",
+                "delay": constrained.delay,
+                "devices": constrained.area,
+            },
+        ]
+
+    rows = run_once(experiment)
+    print_table("Majority mapping: delay vs device-count objectives", rows)
+    assert rows[1]["devices"] < rows[0]["devices"]
+    assert rows[1]["delay"] >= rows[0]["delay"]
+
+
+def test_fprm_minimization_gain(run_once):
+    """Polarity optimization shrinks the ESOP (area-delay lever)."""
+
+    def experiment():
+        gen = np.random.default_rng(2)
+        rows = []
+        for i in range(10):
+            table = TruthTable(4, int(gen.integers(1, 1 << 16)))
+            pprm = esop_from_truth_table(table).n_cubes
+            best = minimize_esop(table).n_cubes
+            rows.append(
+                {"function": f"random4_{i}", "pprm_cubes": pprm, "fprm_cubes": best}
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("FPRM polarity search vs PPRM", rows)
+    assert all(r["fprm_cubes"] <= r["pprm_cubes"] for r in rows)
+    assert any(r["fprm_cubes"] < r["pprm_cubes"] for r in rows)

@@ -1,0 +1,101 @@
+"""Section III-B reproduction: March C* vs sneak-path testing.
+
+Regenerates the manufacturing-test comparison: March C* achieves full
+single-fault coverage at 10N operations; the sneak-path method tests whole
+lines per measurement (far fewer measurements) but its test time still
+grows linearly with the array side — "remaining unacceptably high for
+on-line test".
+"""
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.faults.injection import FaultInjector
+from repro.testing.march import (
+    MarchTestRunner,
+    march_c_minus,
+    march_c_star,
+    random_fault_population,
+)
+from repro.testing.sneak_path_test import SneakPathTester
+
+from conftest import print_table
+
+
+def test_march_c_star_coverage(run_once):
+    runner = MarchTestRunner(march_c_star())
+
+    def coverage_experiment():
+        faults = random_fault_population(128, 120, rng=0)
+        return runner.coverage(128, faults)
+
+    coverage = run_once(coverage_experiment)
+    test = march_c_star()
+    print_table(
+        "March C* ([39])",
+        [
+            {"metric": "notation", "value": str(test)},
+            {"metric": "operations per cell", "value": test.operations_per_cell},
+            {"metric": "signature reads per cell", "value": test.reads_per_cell},
+            {"metric": "single-fault coverage", "value": coverage},
+        ],
+        columns=["metric", "value"],
+    )
+    assert coverage == 1.0
+    assert test.reads_per_cell == 6
+
+
+def test_march_test_time_scaling(benchmark):
+    def times():
+        test = march_c_star()
+        return [
+            {
+                "cells": n,
+                "march_c_star_us": test.test_time(n) * 1e6,
+                "march_c_minus_us": march_c_minus().test_time(n) * 1e6,
+            }
+            for n in (1024, 4096, 16384, 65536)
+        ]
+
+    rows = benchmark(times)
+    print_table("March test time vs memory size (sequential)", rows)
+    # Linear in N: quadrupling cells quadruples time.
+    assert rows[1]["march_c_star_us"] == 4 * rows[0]["march_c_star_us"]
+
+
+def test_sneak_path_vs_march(run_once):
+    def comparison():
+        rows = []
+        for n in (16, 32, 64):
+            array = CrossbarArray(CrossbarConfig(rows=n, cols=n), rng=n)
+            reference = np.full((n, n), 5e-5)
+            array.program(reference)
+            injector = FaultInjector(array, rng=n + 1)
+            injector.inject_exact_count(max(2, n // 8))
+            tester = SneakPathTester(array)
+            report = tester.run(reference)
+            rows.append(
+                {
+                    "array": f"{n}x{n}",
+                    "march_ops": march_c_star().operations_per_cell * n * n,
+                    "sneak_measurements": len(report.probes),
+                    "speedup": march_c_star().operations_per_cell
+                    * n
+                    * n
+                    / len(report.probes),
+                    "fault_detection_rate": report.detection_rate(
+                        injector.fault_map.cells()
+                    ),
+                }
+            )
+        return rows
+
+    rows = run_once(comparison)
+    print_table("Sneak-path group testing vs March C* ([46])", rows)
+    for row in rows:
+        assert row["fault_detection_rate"] == 1.0
+        assert row["speedup"] > 50
+
+    # The limitation: measurements still grow linearly with the side.
+    m = [r["sneak_measurements"] for r in rows]
+    assert m[1] / m[0] > 1.8 and m[2] / m[1] > 1.8

@@ -1,0 +1,51 @@
+"""Table I reproduction: CIM-A / CIM-P / COM-N / COM-F comparison.
+
+Regenerates the qualitative Table I with measured columns attached, and
+asserts the paper's orderings: CIM classes keep computation data inside
+the memory core, and available bandwidth orders
+CIM-A (Max) >= CIM-P (High-Max) > COM-N (High) > COM-F (Low).
+"""
+
+from repro.core.classification import ArchitectureClass, table_i_rows
+from repro.core.comparison import ArchitectureComparator, quantitative_table_i
+
+from conftest import print_table
+
+
+def test_table_i_quantitative(run_once):
+    rows = run_once(quantitative_table_i, 0)
+    print_table("Table I (ratings + measured workload columns)", rows)
+
+    by_arch = {r["architecture"]: r for r in rows}
+    assert set(by_arch) == {"CIM-A", "CIM-P", "COM-N", "COM-F"}
+
+    # Data movement: CIM classes move only I/O vectors.
+    assert (
+        by_arch["CIM-A"]["measured_data_moved_bytes"]
+        < by_arch["COM-N"]["measured_data_moved_bytes"]
+        < by_arch["COM-F"]["measured_data_moved_bytes"]
+    )
+
+    # Bandwidth ordering matches the rating column.
+    bw = {a: by_arch[a]["measured_bandwidth_GBps"] for a in by_arch}
+    assert bw["CIM-A"] >= bw["CIM-P"] > bw["COM-N"] > bw["COM-F"]
+
+
+def test_table_i_consistency_checks(run_once):
+    comparator = ArchitectureComparator(rng=0)
+    checks = run_once(comparator.ordering_consistent_with_table_i)
+    print_table(
+        "Table I ordering checks",
+        [{"check": k, "holds": v} for k, v in checks.items()],
+    )
+    assert all(checks.values())
+
+
+def test_table_i_verbatim_ratings(benchmark):
+    rows = benchmark(table_i_rows)
+    print_table("Table I (verbatim qualitative ratings)", rows)
+    by_arch = {r["architecture"]: r for r in rows}
+    assert by_arch["CIM-A"]["bandwidth"] == "Max"
+    assert by_arch["CIM-A"]["scalability"] == "Low"
+    assert by_arch["COM-F"]["scalability"] == "High"
+    assert by_arch["CIM-P"]["effort_periphery"] == "High"

@@ -1,0 +1,83 @@
+"""FeRFET circuits and the binary-neural-network application (Section V).
+
+1. regenerate the Fig 10(b) four-state transfer curves of the co-
+   integrated ferroelectric reconfigurable FET;
+2. program the Fig 11 cell as XOR, then as XNOR, and verify both;
+3. run the Fig 12 Logic-In-Memory cells and the in-array full adder;
+4. train a small BNN and deploy its first layer on the XNOR-popcount
+   engine — bit-exact digital computation in memory.
+
+Run:  python examples/ferfet_bnn.py
+"""
+
+import numpy as np
+
+from repro.apps.bnn import BinaryMLP, deploy_first_layer
+from repro.apps.datasets import binary_patterns
+from repro.devices.ferfet import FeRFET, FeRFETParams, FeRFETState
+from repro.ferfet.arrays import LogicInMemoryAdder, NorArray, OrTypeCell
+from repro.ferfet.cells import CellFunction, ProgrammableXorCell
+
+
+def main():
+    # 1. Fig 10(b): four non-volatile states.
+    params = FeRFETParams()
+    grid = np.linspace(-1.2, 1.2, 121)
+    curves = FeRFET.four_state_curves(params)
+    v = params.operating_voltage
+    idx = int(np.argmin(np.abs(grid - v)))
+    idx_neg = int(np.argmin(np.abs(grid + v)))
+    print("Fig 10(b): drain current at the read voltages")
+    for state in FeRFETState:
+        print(
+            f"  {state.value:<6} I(+Vop) = {curves[state][idx]:.3e} A   "
+            f"I(-Vop) = {curves[state][idx_neg]:.3e} A"
+        )
+    print(
+        f"  programming needs {params.program_voltage_ratio:.1f}x the "
+        "operating voltage"
+    )
+
+    # 2. Fig 11: the programmable XOR/XNOR cell.
+    cell = ProgrammableXorCell()
+    for function in (CellFunction.XOR, CellFunction.XNOR):
+        cell.program(function)
+        table = cell.truth_table()
+        bits = "".join(str(table[(a, b)]) for a in (0, 1) for b in (0, 1))
+        print(f"\nFig 11 cell programmed as {function.value}: tt = {bits} "
+              f"(verified: {cell.verify()})")
+
+    # 3. Fig 12: Logic-In-Memory.
+    or_cell = OrTypeCell()
+    or_cell.store(1)
+    print(f"\nFig 12(a) OR cell, stored A=1: OR(B=0) = {or_cell.or_(0)}, "
+          f"NOR(B=0) = {or_cell.nor(0)}")
+    array = NorArray(2, 1)
+    xnor_tt = [array.xnor_column(a, b) for a in (0, 1) for b in (0, 1)]
+    print(f"Fig 12(b) dynamic XNOR truth table: {xnor_tt}")
+
+    adder = LogicInMemoryAdder()
+    bits_a = [1, 0, 1, 1]  # 13
+    bits_b = [1, 1, 0, 1]  # 11
+    result = adder.add_words(bits_a, bits_b)
+    value = sum(b << i for i, b in enumerate(result))
+    print(f"[103] in-array adder: 13 + 11 = {value}")
+
+    # 4. BNN on the XNOR-popcount engine.
+    x, y = binary_patterns(
+        n_samples=240, n_features=24, n_classes=2, flip_probability=0.08, rng=0
+    )
+    model = BinaryMLP([24, 12, 2], rng=1)
+    model.train(x[:160], y[:160], epochs=25, rng=2)
+    print(f"\nBNN test accuracy: {model.accuracy(x[160:], y[160:]):.3f}")
+
+    layer = deploy_first_layer(model)
+    exact = all(layer.matches_reference(row) for row in x[160:180])
+    print(
+        f"first layer on {layer.engine.n_cells} FeRFET XNOR cells — "
+        f"bit-exact vs software: {exact}"
+    )
+
+
+if __name__ == "__main__":
+    main()

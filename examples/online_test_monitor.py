@@ -1,0 +1,68 @@
+"""Online fault detection by power monitoring — the Fig 7 scenario.
+
+Runs a crossbar workload for 1200 cycles, injects a stuck-at-fault burst
+after cycle 600, detects the changepoint in the dynamic-power trace
+(CUSUM and Page-Hinkley), estimates the faulty-cell percentage with the
+trained regression of [52], and only then pays for localization — the
+"pause-and-test avoidance" the method is about.
+
+Run:  python examples/online_test_monitor.py
+"""
+
+import numpy as np
+
+from repro.testing.changepoint import (
+    CusumDetector,
+    FaultRateEstimator,
+    OnlinePowerTestbench,
+    PageHinkleyDetector,
+    power_shift_features,
+)
+from repro.testing.online_voltage import VoltageComparisonTester
+
+
+def main():
+    # The Fig 7 scenario: faults inserted after cycle 600.
+    bench = OnlinePowerTestbench(
+        rows=64, cols=64, fault_rate=0.1, inject_at=600, activity=0.8, rng=9
+    )
+    trace = bench.run(1200)
+
+    baseline = trace[:600].mean()
+    post = trace[600:].mean()
+    print("Fig 7 power trace:")
+    print(f"  baseline mean power: {baseline * 1e3:.3f} mW")
+    print(f"  post-fault mean:     {post * 1e3:.3f} mW  "
+          f"({post / baseline - 1:+.1%})")
+
+    cusum_at = CusumDetector().run(trace)
+    ph_at = PageHinkleyDetector().run(trace)
+    print(f"  CUSUM changepoint:        cycle {cusum_at}")
+    print(f"  Page-Hinkley changepoint: cycle {ph_at}")
+
+    # Stage 2 of [52]: estimate the fault percentage from power stats.
+    print("\ntraining the fault-rate estimator on simulated bursts ...")
+    estimator, r2 = FaultRateEstimator.train_on_simulations(
+        rows=64, cols=64, cycles=100, rng=10
+    )
+    features = power_shift_features(trace[:600], trace[cusum_at:])
+    estimate = estimator.predict(features)
+    print(f"  training R^2:        {r2:.3f}")
+    print(f"  estimated fault rate: {estimate:.3f} (true: 0.1)")
+
+    # Only a high estimated rate triggers the expensive localization.
+    if estimate > 0.05:
+        print("\nestimated rate is high -> running localization:")
+        tester = VoltageComparisonTester(bench.array)
+        report = tester.detect("sa1")
+        true_cells = {
+            tuple(map(int, c))
+            for c in zip(*np.nonzero(bench.array.stuck_mask))
+        }
+        recall, precision = report.localization_precision(true_cells)
+        print(f"  localized {len(report.localized_cells)} cells "
+              f"(recall {recall:.2f}, precision {precision:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Exploring memory technologies and chip-level dimensioning.
+
+Section II-B: the CIM concept is technology-independent — the numbers are
+not.  This walkthrough:
+
+1. runs the same crossbar VMM on the ReRAM / PCM / MRAM / SRAM presets
+   and compares analog error, write cost and standby power;
+2. dimensions a 64-tile accelerator per technology and per ADC
+   resolution (TOPS, watts, TOPS/W);
+3. prices the multi-voltage-domain tax of the paper's Conclusions;
+4. compares the V/2 and V/3 write biasing schemes.
+
+Run:  python examples/technology_explorer.py
+"""
+
+import numpy as np
+
+from repro.core.dimensioning import adc_bits_sweep, technology_sweep
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.crossbar.write_schemes import scheme_comparison
+from repro.devices.technologies import available_technologies, technology_preset
+from repro.periphery.voltage_regulation import (
+    reram_voltage_domains,
+    voltage_domain_overhead,
+)
+
+
+def main():
+    gen = np.random.default_rng(0)
+
+    # 1. One VMM workload, four technologies.
+    print("technology   levels   vmm_rel_err   write_pJ   standby/Mcell")
+    for name in available_technologies():
+        profile = technology_preset(name)
+        array = CrossbarArray(
+            CrossbarConfig(rows=32, cols=32, levels=profile.levels),
+            variability=profile.variability(),
+            rng=1,
+        )
+        levels = profile.levels
+        targets = gen.uniform(levels.g_min, levels.g_max, (32, 32))
+        array.program(targets)
+        v = np.full(32, 0.2)
+        ideal = v @ targets
+        err = float(np.mean(np.abs(array.vmm(v, noisy=True) - ideal) / ideal))
+        print(
+            f"{name:<12} {levels.n_levels:>6}   {err:11.4f}   "
+            f"{profile.write_energy * 1e12:8.1f}   "
+            f"{profile.standby_power(1_000_000) * 1e3:9.3f} mW"
+        )
+
+    # 2. Chip dimensioning.  Tile power is ADC-dominated (Fig 5), so the
+    # technology barely moves TOPS/W — what differs is the endurance-
+    # limited lifetime under weight-update traffic.
+    print("\nchip dimensioning by technology (64 tiles, 8-bit ADCs):")
+    for report in technology_sweep():
+        row = report.row()
+        lifetime = (
+            f"{row['lifetime_years']:9.2f} yr"
+            if row["lifetime_years"] < 1e4
+            else "  unlimited"
+        )
+        print(
+            f"  {row['technology']:<7} {row['sustained_TOPS']:7.1f} TOPS  "
+            f"{row['power_W']:6.2f} W  {row['TOPS_per_W']:7.1f} TOPS/W  "
+            f"lifetime @1 rewrite/s: {lifetime}"
+        )
+
+    print("\nchip dimensioning by ADC resolution (ReRAM):")
+    for report in adc_bits_sweep():
+        row = report.row()
+        print(
+            f"  {row['adc_bits']:>2}-bit ADC  {row['power_W']:6.2f} W  "
+            f"{row['TOPS_per_W']:7.1f} TOPS/W"
+        )
+
+    # 3. The multi-voltage-domain tax (Conclusions, point 4).
+    print("\nread/write voltage-domain overhead:")
+    for write_v in (1.5, 2.0, 3.0):
+        report = voltage_domain_overhead(
+            reram_voltage_domains(write_voltage=write_v)
+        )
+        print(
+            f"  write at {write_v:.1f} V: {report['loss_fraction']:.0%} of "
+            f"supply power lost in conversion, "
+            f"{report['boosted_domains']} boosted domains, "
+            f"{report['regulation_area_mm2']:.2f} mm^2 regulation"
+        )
+
+    # 4. Write biasing schemes.
+    print("\nwrite scheme comparison (64x64 array, 1.8 V write):")
+    for scheme, data in scheme_comparison(64, 64, 1.8).items():
+        print(
+            f"  {scheme}: stresses {data['stressed_cells']:>4} cells at "
+            f"{data['half_select_voltage']:.2f} V, write energy "
+            f"{data['write_energy_J'] * 1e9:.2f} nJ, disturb-free up to "
+            f"{data['max_disturb_free_v']:.2f} V"
+        )
+
+
+if __name__ == "__main__":
+    main()

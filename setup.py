@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` / ``python setup.py develop`` on toolchains that
+lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""cimflow — a computation-in-memory modeling, testing and EDA library.
+
+A full-stack reproduction of *"Perspectives on Emerging
+Computation-in-Memory Paradigms"* (Rai et al., DATE 2021):
+
+* :mod:`repro.devices` — memristor/ReRAM/FeFET/RFET/FeRFET compact models
+* :mod:`repro.crossbar` — crossbar arrays, parasitic solvers, mappings
+* :mod:`repro.periphery` — DAC/ADC/sense-amp/driver models (Fig 5)
+* :mod:`repro.core` — CIM architecture classes, machines, Table I
+* :mod:`repro.faults` — the Fig 6 fault taxonomy and injection
+* :mod:`repro.testing` — March tests, sneak-path/online testing, ABFT,
+  ECC, power-changepoint detection (Fig 7)
+* :mod:`repro.eda` — synthesis (AIG/MIG/BDD/ESOP) + IMPLY/majority/MAGIC
+  technology mapping (Fig 8)
+* :mod:`repro.ferfet` — FeRFET Memory-In-Logic / Logic-In-Memory cells
+  (Figs 11-12) and the BNN XNOR engine
+* :mod:`repro.apps` — neuromorphic NN, BNN, sparse coding, threshold logic
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import CIMCore, CIMCoreParams
+
+    core = CIMCore(CIMCoreParams(rows=64, logical_cols=32), rng=0)
+    weights = np.random.default_rng(0).uniform(-1, 1, (64, 32))
+    core.program_weights(weights)
+    y = core.vmm(np.random.default_rng(1).uniform(0, 1, 64))
+"""
+
+__version__ = "1.0.0"
+
+from repro import apps, core, crossbar, devices, eda, faults, ferfet, periphery, testing, utils
+
+__all__ = [
+    "__version__",
+    "apps",
+    "core",
+    "crossbar",
+    "devices",
+    "eda",
+    "faults",
+    "ferfet",
+    "periphery",
+    "testing",
+    "utils",
+]

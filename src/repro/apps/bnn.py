@@ -1,0 +1,138 @@
+"""Binary neural networks on FeRFET XNOR-popcount hardware (Section V-D).
+
+A BNN with ±1 weights and activations reduces every dot product to
+XNOR + popcount [114].  :class:`BinaryMLP` trains real-valued shadow
+weights with the straight-through estimator and binarizes them;
+:class:`FeRFETBinaryLayer` executes one binarized layer on the
+:class:`~repro.ferfet.bnn_engine.XnorPopcountEngine` built from Fig 11
+cells, verifying the digital in-memory computation end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ferfet.bnn_engine import XnorPopcountEngine
+from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+def _binarize(value: np.ndarray) -> np.ndarray:
+    return np.where(np.asarray(value) >= 0, 1, -1).astype(int)
+
+
+class BinaryMLP:
+    """A binarized MLP trained with the straight-through estimator.
+
+    Shadow (real) weights accumulate gradients; forward passes use their
+    sign.  Hidden activations are sign(.), the final layer outputs integer
+    scores (popcount domain).
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], rng: RNGLike = None) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output layer sizes")
+        gen = ensure_rng(rng)
+        self.layer_sizes = list(layer_sizes)
+        self.shadow: List[np.ndarray] = [
+            gen.normal(0, 0.5, (fan_in, fan_out))
+            for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:])
+        ]
+
+    @property
+    def n_layers(self) -> int:
+        """Number of weight layers."""
+        return len(self.shadow)
+
+    def binary_weights(self) -> List[np.ndarray]:
+        """The deployed ±1 weight matrices."""
+        return [_binarize(w) for w in self.shadow]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Integer scores for ±1 inputs ``x`` (batch or single)."""
+        h = np.asarray(x, dtype=float)
+        for k, w in enumerate(self.shadow):
+            z = h @ _binarize(w)
+            h = np.where(z >= 0, 1.0, -1.0) if k < self.n_layers - 1 else z
+        return h
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Argmax labels."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    def train(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 30,
+        lr: float = 0.01,
+        rng: RNGLike = None,
+    ) -> List[float]:
+        """Straight-through-estimator SGD; returns per-epoch accuracy."""
+        check_positive("epochs", epochs)
+        check_positive("lr", lr)
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        gen = ensure_rng(rng)
+        n = x.shape[0]
+        history = []
+        for _ in range(epochs):
+            order = gen.permutation(n)
+            for idx in np.array_split(order, max(1, n // 32)):
+                self._step(x[idx], y[idx], lr)
+            history.append(self.accuracy(x, y))
+        return history
+
+    def _step(self, xb: np.ndarray, yb: np.ndarray, lr: float) -> None:
+        # Forward with caches (binary weights, STE through sign()).
+        acts = [xb]
+        h = xb
+        for k, w in enumerate(self.shadow):
+            z = h @ _binarize(w)
+            h = np.where(z >= 0, 1.0, -1.0) if k < self.n_layers - 1 else z
+            acts.append(h)
+        scores = acts[-1]
+        # Softmax cross-entropy on the integer scores.
+        scores = scores - scores.max(axis=1, keepdims=True)
+        probs = np.exp(scores)
+        probs /= probs.sum(axis=1, keepdims=True)
+        batch = xb.shape[0]
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(batch), yb] = 1.0
+        delta = (probs - onehot) / batch
+        for k in range(self.n_layers - 1, -1, -1):
+            grad = acts[k].T @ delta
+            if k > 0:
+                # STE: gradient passes through sign() unchanged (clipped).
+                delta = delta @ _binarize(self.shadow[k]).T.astype(float)
+                delta = np.clip(delta, -1.0, 1.0)
+            self.shadow[k] -= lr * grad
+            np.clip(self.shadow[k], -1.0, 1.0, out=self.shadow[k])
+
+
+class FeRFETBinaryLayer:
+    """One binarized layer executed on the FeRFET XNOR-popcount engine."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        self.engine = XnorPopcountEngine(_binarize(weights))
+
+    def forward(self, x: Sequence[int], activate: bool = True) -> np.ndarray:
+        """Layer output for a ±1 vector (hardware path)."""
+        return self.engine.forward(x) if activate else self.engine.dot(x)
+
+    def matches_reference(self, x: Sequence[int]) -> bool:
+        """Hardware-vs-software equality for one input."""
+        return bool(
+            np.array_equal(self.engine.dot(x), self.engine.reference_dot(x))
+        )
+
+
+def deploy_first_layer(model: BinaryMLP) -> FeRFETBinaryLayer:
+    """Deploy the first (largest fan-in) layer to FeRFET hardware."""
+    return FeRFETBinaryLayer(model.binary_weights()[0])

@@ -1,0 +1,121 @@
+"""Threshold logic on CIM (Section II-D3).
+
+"A threshold gate ... takes n inputs and generates single output y.  A
+threshold logic has a threshold theta and each input x_i is associated
+with a weight w_i.  Since weighted sum operation is the core operation
+involved in threshold logic, it can be easily accelerated using CIM."
+
+:class:`ThresholdGate` is the mathematical gate; :class:`CrossbarThresholdGate`
+evaluates the weighted sum on a CIM core and compares against theta with
+the sense amplifier — the CIM acceleration the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cim_core import CIMCore, CIMCoreParams
+from repro.utils.rng import RNGLike
+
+
+@dataclass
+class ThresholdGate:
+    """A linear threshold gate ``y = [sum_i w_i x_i >= theta]``."""
+
+    weights: np.ndarray
+    theta: float
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=float)
+        if self.weights.ndim != 1:
+            raise ValueError(
+                f"weights must be a vector, got shape {self.weights.shape}"
+            )
+
+    @property
+    def n_inputs(self) -> int:
+        """Fan-in of the gate."""
+        return self.weights.shape[0]
+
+    def evaluate(self, x: Sequence[int]) -> int:
+        """Gate output for binary inputs ``x``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != self.weights.shape:
+            raise ValueError(
+                f"x must have shape {self.weights.shape}, got {x.shape}"
+            )
+        return int(float(self.weights @ x) >= self.theta - 1e-12)
+
+    # ----------------------------------------------------- classic gates
+    @classmethod
+    def and_gate(cls, n: int) -> "ThresholdGate":
+        """n-input AND: all weights 1, theta = n."""
+        return cls(np.ones(n), float(n))
+
+    @classmethod
+    def or_gate(cls, n: int) -> "ThresholdGate":
+        """n-input OR: all weights 1, theta = 1."""
+        return cls(np.ones(n), 1.0)
+
+    @classmethod
+    def majority_gate(cls, n: int) -> "ThresholdGate":
+        """n-input majority (n odd): theta = ceil(n/2)."""
+        if n % 2 == 0:
+            raise ValueError(f"majority gate needs odd fan-in, got {n}")
+        return cls(np.ones(n), float(n // 2 + 1))
+
+    @classmethod
+    def at_least_k(cls, n: int, k: int) -> "ThresholdGate":
+        """1 iff at least ``k`` of ``n`` inputs are 1."""
+        if not 1 <= k <= n:
+            raise ValueError(f"k must be in [1, {n}], got {k}")
+        return cls(np.ones(n), float(k))
+
+
+class CrossbarThresholdGate:
+    """A threshold gate evaluated as one crossbar MAC + comparator.
+
+    The weight vector is one crossbar column (differential pair for
+    signs); evaluation applies the binary input on the wordlines, reads
+    the column current and compares against the theta-equivalent current.
+    """
+
+    def __init__(self, gate: ThresholdGate, rng: RNGLike = None) -> None:
+        self.gate = gate
+        w_scale = float(max(np.abs(gate.weights).max(), 1e-12))
+        self._w_scale = w_scale
+        self.core = CIMCore(
+            CIMCoreParams(rows=gate.n_inputs, logical_cols=1, adc_bits=10),
+            rng=rng,
+        )
+        self.core.program_weights(
+            (gate.weights / w_scale).reshape(-1, 1)
+        )
+
+    def evaluate(self, x: Sequence[int], noisy: bool = False) -> int:
+        """Gate output computed in-memory."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.gate.n_inputs,):
+            raise ValueError(
+                f"x must have shape ({self.gate.n_inputs},), got {x.shape}"
+            )
+        if np.any((x != 0) & (x != 1)):
+            raise ValueError("threshold-gate inputs must be binary")
+        weighted_sum = float(self.core.vmm(x, noisy=noisy)[0]) * self._w_scale
+        return int(weighted_sum >= self.gate.theta - 0.25)
+
+    def agrees_with_reference(self, exhaustive_limit: int = 12) -> bool:
+        """Exhaustively (or sampled) compare against the software gate."""
+        n = self.gate.n_inputs
+        if n <= exhaustive_limit:
+            vectors = range(1 << n)
+        else:
+            vectors = list(range(1 << exhaustive_limit))
+        for v in vectors:
+            x = [(v >> i) & 1 for i in range(n)]
+            if self.evaluate(x) != self.gate.evaluate(x):
+                return False
+        return True

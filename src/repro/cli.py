@@ -1,0 +1,214 @@
+"""Command-line interface: run the paper reproductions from a shell.
+
+Usage::
+
+    python -m repro.cli table1          # Table I with measured columns
+    python -m repro.cli fig5            # CIM tile area/power breakdown
+    python -m repro.cli yield           # accuracy-vs-yield sweep ([38])
+    python -m repro.cli fig7            # power-changepoint scenario ([52])
+    python -m repro.cli eda adder4      # EDA flow comparison on a circuit
+    python -m repro.cli chip            # accelerator dimensioning sweeps
+
+(or ``cimflow <command>`` once the package is installed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+
+def _print_table(title: str, rows: List[Dict], columns=None) -> None:
+    if not rows:
+        print(f"\n== {title} == (empty)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value):
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.001:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    widths = {
+        c: max(len(str(c)), max(len(fmt(r.get(c))) for r in rows))
+        for c in columns
+    }
+    print(f"\n== {title} ==")
+    print("  ".join(str(c).ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(fmt(row.get(c)).ljust(widths[c]) for c in columns))
+
+
+def cmd_table1(args) -> int:
+    from repro.core.comparison import quantitative_table_i
+
+    _print_table(
+        "Table I: architecture comparison (ratings + measurements)",
+        quantitative_table_i(rng=args.seed),
+    )
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    from repro.periphery.area_power import (
+        adc_resolution_sweep,
+        isaac_tile_budget,
+    )
+
+    budget = isaac_tile_budget(adc_bits=args.adc_bits)
+    _print_table("Fig 5: CIM tile breakdown", budget.table())
+    share = budget.share("adc")
+    print(
+        f"\nADC share: {share['area']:.1%} of area, "
+        f"{share['power']:.1%} of power "
+        "(paper: >90% / >65%)"
+    )
+    _print_table("ADC resolution sweep", adc_resolution_sweep())
+    return 0
+
+
+def cmd_yield(args) -> int:
+    from repro.apps.nn import accuracy_vs_yield
+
+    rows = accuracy_vs_yield(rng=args.seed)
+    _print_table("Accuracy vs yield under SA0 faults ([38])", rows)
+    at80 = next(r for r in rows if r["yield"] == 0.8)
+    print(
+        f"\ndrop at 80% yield: {at80['drop']:.0%} "
+        "(paper quotes ~35% on ImageNet)"
+    )
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    from repro.testing.changepoint import (
+        CusumDetector,
+        OnlinePowerTestbench,
+        PageHinkleyDetector,
+    )
+
+    bench = OnlinePowerTestbench(
+        rows=64,
+        cols=64,
+        fault_rate=args.fault_rate,
+        inject_at=args.inject_at,
+        activity=0.8,
+        rng=args.seed,
+    )
+    trace = bench.run(2 * args.inject_at)
+    cusum = CusumDetector().run(trace)
+    ph = PageHinkleyDetector().run(trace)
+    _print_table(
+        "Fig 7: online changepoint detection ([52])",
+        [
+            {"metric": "fault injection cycle", "value": args.inject_at},
+            {"metric": "injected fault rate", "value": args.fault_rate},
+            {"metric": "CUSUM detection cycle", "value": cusum},
+            {"metric": "Page-Hinkley detection cycle", "value": ph},
+        ],
+        columns=["metric", "value"],
+    )
+    return 0
+
+
+def cmd_eda(args) -> int:
+    from repro.eda.benchmarks import standard_suite
+    from repro.eda.flow import EdaFlow
+
+    suite = standard_suite()
+    if args.circuit not in suite:
+        print(
+            f"unknown circuit {args.circuit!r}; available: "
+            f"{', '.join(sorted(suite))}",
+            file=sys.stderr,
+        )
+        return 2
+    results = EdaFlow().run(suite[args.circuit])
+    rows = [
+        {
+            "family": family,
+            "delay": r.delay,
+            "devices": r.area,
+            "adp": r.area_delay_product,
+            "verified": r.verified,
+        }
+        for family, r in results.items()
+    ]
+    _print_table(f"EDA flow comparison on {args.circuit}", rows)
+    return 0
+
+
+def cmd_chip(args) -> int:
+    from repro.core.dimensioning import adc_bits_sweep, technology_sweep
+
+    _print_table(
+        "Chip dimensioning: ADC resolution",
+        [r.row() for r in adc_bits_sweep()],
+    )
+    _print_table(
+        "Chip dimensioning: memory technology",
+        [r.row() for r in technology_sweep()],
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cimflow",
+        description=(
+            "Reproductions of 'Perspectives on Emerging Computation-in-"
+            "Memory Paradigms' (DATE 2021)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="experiment RNG seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I with measured columns")
+
+    fig5 = sub.add_parser("fig5", help="CIM tile area/power breakdown")
+    fig5.add_argument("--adc-bits", type=int, default=8)
+
+    sub.add_parser("yield", help="accuracy-vs-yield sweep ([38])")
+
+    fig7 = sub.add_parser("fig7", help="power changepoint scenario ([52])")
+    fig7.add_argument("--fault-rate", type=float, default=0.1)
+    fig7.add_argument("--inject-at", type=int, default=600)
+
+    eda = sub.add_parser("eda", help="EDA flow comparison")
+    eda.add_argument(
+        "circuit",
+        nargs="?",
+        default="adder4",
+        help="circuit from the standard suite (default adder4)",
+    )
+
+    sub.add_parser("chip", help="accelerator dimensioning sweeps")
+    return parser
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "fig5": cmd_fig5,
+    "yield": cmd_yield,
+    "fig7": cmd_fig7,
+    "eda": cmd_eda,
+    "chip": cmd_chip,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.cli`` / the ``cimflow`` script."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

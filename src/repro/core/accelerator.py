@@ -1,0 +1,137 @@
+"""Multi-tile CIM accelerator.
+
+Large weight matrices do not fit one crossbar, and Table I rates CIM-A
+scalability *Low* for good reasons (IR drop, ADC cost).  The accelerator
+answers with tiling: the matrix is split into ``rows x cols`` blocks, each
+block lives on one :class:`~repro.core.cim_core.CIMCore`, partial sums
+along the row dimension are accumulated digitally, and column blocks are
+concatenated.  This is the standard ISAAC/PRIME organization and the
+substrate :mod:`repro.apps.nn` runs DNN layers on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cim_core import CIMCore, CIMCoreParams
+from repro.core.metrics import CostAccumulator, OperationCost
+from repro.devices.variability import VariabilityStack
+from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
+
+
+@dataclass
+class AcceleratorParams:
+    """Tiling configuration."""
+
+    tile_rows: int = 64
+    tile_cols: int = 32
+    adc_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.tile_rows < 1 or self.tile_cols < 1:
+            raise ValueError("tile dimensions must be >= 1")
+        if self.adc_bits < 1:
+            raise ValueError(f"adc_bits must be >= 1, got {self.adc_bits}")
+
+
+class CIMAccelerator:
+    """A grid of CIM cores executing arbitrary-size VMMs."""
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        params: Optional[AcceleratorParams] = None,
+        variability: Optional[VariabilityStack] = None,
+        rng: RNGLike = None,
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        if np.max(np.abs(weights)) > 1.0 + 1e-9:
+            raise ValueError("weights must be pre-scaled to [-1, 1]")
+        self.params = params or AcceleratorParams()
+        self.weights = weights
+        p = self.params
+        rows, cols = weights.shape
+        self.n_row_blocks = (rows + p.tile_rows - 1) // p.tile_rows
+        self.n_col_blocks = (cols + p.tile_cols - 1) // p.tile_cols
+        rngs = spawn_rngs(rng, self.n_row_blocks * self.n_col_blocks)
+
+        self.tiles: List[List[CIMCore]] = []
+        for bi in range(self.n_row_blocks):
+            tile_row: List[CIMCore] = []
+            for bj in range(self.n_col_blocks):
+                core = CIMCore(
+                    CIMCoreParams(
+                        rows=p.tile_rows,
+                        logical_cols=p.tile_cols,
+                        adc_bits=p.adc_bits,
+                    ),
+                    variability=variability,
+                    rng=rngs[bi * self.n_col_blocks + bj],
+                )
+                block = np.zeros((p.tile_rows, p.tile_cols))
+                r0, c0 = bi * p.tile_rows, bj * p.tile_cols
+                r1 = min(r0 + p.tile_rows, rows)
+                c1 = min(c0 + p.tile_cols, cols)
+                block[: r1 - r0, : c1 - c0] = weights[r0:r1, c0:c1]
+                core.program_weights(block)
+                tile_row.append(core)
+            self.tiles.append(tile_row)
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of CIM cores in the grid."""
+        return self.n_row_blocks * self.n_col_blocks
+
+    def vmm(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
+        """``y ~ x @ W`` over the tile grid with digital accumulation."""
+        x = np.asarray(x, dtype=float)
+        rows, cols = self.weights.shape
+        if x.shape != (rows,):
+            raise ValueError(f"x must have shape ({rows},), got {x.shape}")
+        if np.any((x < 0) | (x > 1)):
+            raise ValueError("inputs must be in [0, 1]")
+        p = self.params
+        y = np.zeros(self.n_col_blocks * p.tile_cols)
+        for bi in range(self.n_row_blocks):
+            r0 = bi * p.tile_rows
+            r1 = min(r0 + p.tile_rows, rows)
+            x_block = np.zeros(p.tile_rows)
+            x_block[: r1 - r0] = x[r0:r1]
+            for bj in range(self.n_col_blocks):
+                c0 = bj * p.tile_cols
+                partial = self.tiles[bi][bj].vmm(x_block, noisy=noisy)
+                y[c0 : c0 + p.tile_cols] += partial
+        return y[:cols]
+
+    def total_costs(self) -> CostAccumulator:
+        """Aggregate cost accounting across all tiles."""
+        acc = CostAccumulator()
+        for tile_row in self.tiles:
+            for core in tile_row:
+                for category, cost in core.costs.by_category.items():
+                    acc.add(category, cost)
+        return acc
+
+    def inject_yield_faults(self, cell_yield: float, rng: RNGLike = None) -> float:
+        """Inject stuck-at-0 faults on every tile for ``cell_yield``;
+        returns the realized overall fault rate.  This is the hook the
+        accuracy-vs-yield benchmark drives."""
+        from repro.faults.injection import FaultInjector
+
+        rngs = spawn_rngs(rng, self.n_tiles)
+        total_cells = 0
+        total_faults = 0
+        k = 0
+        for tile_row in self.tiles:
+            for core in tile_row:
+                injector = FaultInjector(core.array, rng=rngs[k])
+                fault_map = injector.inject_for_yield(cell_yield)
+                total_faults += len(fault_map.cells())
+                total_cells += core.array.rows * core.array.cols
+                k += 1
+        return total_faults / total_cells

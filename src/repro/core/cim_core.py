@@ -1,0 +1,265 @@
+"""The CIM core of Fig 4(b): crossbar array + periphery.
+
+Executes the paper's two in-memory computation styles:
+
+* **CIM-A** (compute in the array): full analog VMM — DACs drive the
+  wordlines, every column performs a MAC in O(1), ADCs digitize the
+  column currents (:meth:`CIMCore.vmm`);
+* **CIM-P** (compute in the periphery): Scouting-Logic-style bulk bitwise
+  OR/AND/XOR — several rows are activated simultaneously and a customized
+  sense amplifier thresholds the summed bitline current
+  (:meth:`CIMCore.scouting_or` etc.).
+
+Every operation charges a :class:`~repro.core.metrics.CostAccumulator`
+with component-model energy/latency, so machine-level comparisons (Fig 1,
+Table I) fall out of the same code path that computes the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import CostAccumulator, OperationCost
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.crossbar.mapping import DifferentialPairMapping, InputEncoder
+from repro.devices.reram import ConductanceLevels
+from repro.devices.variability import VariabilityStack
+from repro.periphery.adc import ADC, ADCConfig
+from repro.periphery.dac import DAC, DACConfig
+from repro.periphery.drivers import DriverConfig, RowDecoder, WordlineDriver
+from repro.periphery.sense_amp import SenseAmpConfig, SenseAmplifier
+from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class CIMCoreParams:
+    """Configuration of one CIM core."""
+
+    rows: int = 64
+    logical_cols: int = 32          # logical output columns (pre-mapping)
+    adc_bits: int = 8
+    v_read: float = 0.2
+    levels: ConductanceLevels = field(default_factory=ConductanceLevels)
+    array_settle_time: float = 1e-9     # s per analog evaluation
+    transimpedance: float = 1e3         # ohm, current-to-voltage for the ADC
+    wire_resistance: float = 0.0        # ohm/segment; > 0 enables the
+                                        # circuit-accurate IR-drop solver
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.logical_cols < 1:
+            raise ValueError("rows and logical_cols must be >= 1")
+        check_positive("v_read", self.v_read)
+        check_positive("array_settle_time", self.array_settle_time)
+        check_positive("transimpedance", self.transimpedance)
+        if self.wire_resistance < 0:
+            raise ValueError("wire_resistance must be >= 0")
+
+
+class CIMCore:
+    """One crossbar tile with full periphery and cost accounting."""
+
+    def __init__(
+        self,
+        params: Optional[CIMCoreParams] = None,
+        variability: Optional[VariabilityStack] = None,
+        rng: RNGLike = None,
+    ) -> None:
+        self.params = params or CIMCoreParams()
+        gen = ensure_rng(rng)
+        p = self.params
+
+        self.mapping = DifferentialPairMapping(levels=p.levels, w_max=1.0)
+        physical_cols = p.logical_cols * self.mapping.columns_per_weight
+        self.array = CrossbarArray(
+            CrossbarConfig(
+                rows=p.rows,
+                cols=physical_cols,
+                levels=p.levels,
+                read_voltage=p.v_read,
+            ),
+            variability=variability or VariabilityStack.ideal(),
+            rng=gen,
+        )
+        self.encoder = InputEncoder(v_read=p.v_read)
+        self.dac = DAC(DACConfig(bits=1, v_max=p.v_read))
+        # ADC full scale sized for the worst-case column current.
+        i_max = p.rows * p.v_read * p.levels.g_max
+        self.adc = ADC(
+            ADCConfig(bits=p.adc_bits, v_min=0.0, v_max=i_max * p.transimpedance)
+        )
+        self.decoder = RowDecoder(p.rows)
+        self.driver = WordlineDriver(p.rows)
+        self.sense_amp = SenseAmplifier(SenseAmpConfig(), rng=gen)
+        self.costs = CostAccumulator()
+        self._programmed = False
+        self._ir_solver = None
+        if p.wire_resistance > 0:
+            from repro.crossbar.solver import NodalCrossbarSolver
+
+            self._ir_solver = NodalCrossbarSolver(
+                wire_resistance=p.wire_resistance
+            )
+
+    # -------------------------------------------------------------- weights
+    def program_weights(self, weights: np.ndarray, verify: bool = True) -> None:
+        """Map signed weights in ``[-1, 1]`` onto the array (differential
+        pairs) and program, optionally with write-verify."""
+        weights = np.asarray(weights, dtype=float)
+        p = self.params
+        if weights.shape != (p.rows, p.logical_cols):
+            raise ValueError(
+                f"weights must have shape ({p.rows}, {p.logical_cols}), "
+                f"got {weights.shape}"
+            )
+        targets = self.mapping.map(weights)
+        if verify:
+            iterations = self.array.program_with_verify(targets)
+        else:
+            self.array.program(targets)
+            iterations = 1
+        # SET-pulse energy estimate: CV^2-style per-cell write.
+        write_energy = 10e-12 * targets.size * iterations
+        self.costs.add(
+            "programming",
+            OperationCost(energy=write_energy, latency=100e-9 * iterations),
+        )
+        self._programmed = True
+
+    # ------------------------------------------------------------ CIM-A VMM
+    def vmm(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
+        """Full analog VMM with digitization: ``y ~ x @ W`` (Fig 4).
+
+        ``x`` entries must lie in ``[0, 1]``.  The pipeline is
+        DAC -> crossbar -> transimpedance -> ADC -> differential decode.
+        """
+        if not self._programmed:
+            raise RuntimeError("program_weights must be called before vmm")
+        x = np.asarray(x, dtype=float)
+        p = self.params
+        if x.shape != (p.rows,):
+            raise ValueError(f"x must have shape ({p.rows},), got {x.shape}")
+
+        voltages = self.driver.drive_analog(self.encoder.amplitude(x))
+        if self._ir_solver is not None:
+            g = (
+                self.array.read_conductances()
+                if noisy
+                else self.array.conductances()
+            )
+            currents = self._ir_solver.solve(g, voltages).column_currents
+        else:
+            currents = self.array.vmm(voltages, noisy=noisy)
+        # Digitize each physical column.
+        volts = currents * p.transimpedance
+        codes = self.adc.quantize_array(volts)
+        digitized = self.adc.reconstruct(codes) / p.transimpedance
+        y = self.mapping.decode(digitized, voltages, v_scale=p.v_read)
+
+        n_cols = self.array.cols
+        self.costs.add(
+            "dac",
+            OperationCost(
+                energy=self.dac.energy_per_conversion * p.rows,
+                latency=self.dac.latency,
+            ),
+        )
+        self.costs.add(
+            "array",
+            OperationCost(
+                energy=self.array.dynamic_read_power(voltages)
+                * p.array_settle_time,
+                latency=p.array_settle_time,
+            ),
+        )
+        self.costs.add(
+            "adc",
+            OperationCost(
+                energy=self.adc.energy_per_conversion * n_cols,
+                latency=self.adc.latency,
+            ),
+        )
+        return y
+
+    def vmm_reference(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Ideal digital reference for accuracy comparisons."""
+        return np.asarray(x, dtype=float) @ np.asarray(weights, dtype=float)
+
+    # --------------------------------------------------------- CIM-P logic
+    def _stored_bits(self, row: int) -> np.ndarray:
+        """Interpret each physical column's cell on ``row`` as a bit
+        (above/below the conductance midpoint)."""
+        levels = self.params.levels
+        midpoint = 0.5 * (levels.g_min + levels.g_max)
+        return (self.array.conductances()[row] >= midpoint).astype(int)
+
+    def write_bit_row(self, row: int, bits: np.ndarray) -> None:
+        """Store a bit vector on one wordline (LRS = 1, HRS = 0)."""
+        bits = np.asarray(bits)
+        if bits.shape != (self.array.cols,):
+            raise ValueError(
+                f"bits must have shape ({self.array.cols},), got {bits.shape}"
+            )
+        levels = self.params.levels
+        g = self.array.healthy_conductances()
+        g[row] = np.where(bits > 0, levels.g_max, levels.g_min)
+        self.array.program(g)
+        self._programmed = True
+
+    def _scouting(self, rows: Sequence[int], op: str) -> np.ndarray:
+        p = self.params
+        mask = self.decoder.decode_many(list(rows))
+        voltages = self.driver.drive(mask, p.v_read)
+        currents = self.array.vmm(voltages)
+        i_lrs = p.v_read * p.levels.g_max
+        out = np.zeros(self.array.cols, dtype=int)
+        for j in range(self.array.cols):
+            if op == "or":
+                out[j] = int(self.sense_amp.compare(currents[j], i_lrs / 2))
+            elif op == "and":
+                out[j] = int(
+                    self.sense_amp.compare(
+                        currents[j], (len(rows) - 0.5) * i_lrs
+                    )
+                )
+            else:  # xor (2-operand)
+                above = self.sense_amp.compare(currents[j], 0.5 * i_lrs)
+                below = not self.sense_amp.compare(currents[j], 1.5 * i_lrs)
+                out[j] = int(above and below)
+        self.costs.add(
+            "sense_amp",
+            OperationCost(
+                energy=self.sense_amp.config.energy_per_sense * self.array.cols,
+                latency=self.sense_amp.config.latency,
+            ),
+        )
+        self.costs.add(
+            "array",
+            OperationCost(
+                energy=self.array.dynamic_read_power(voltages)
+                * p.array_settle_time,
+                latency=p.array_settle_time,
+            ),
+        )
+        return out
+
+    def scouting_or(self, rows: Sequence[int]) -> np.ndarray:
+        """Bulk bitwise OR of the bit vectors stored on ``rows`` (CIM-P)."""
+        if len(rows) < 2:
+            raise ValueError("scouting OR needs at least two rows")
+        return self._scouting(rows, "or")
+
+    def scouting_and(self, rows: Sequence[int]) -> np.ndarray:
+        """Bulk bitwise AND of the bit vectors stored on ``rows`` (CIM-P)."""
+        if len(rows) < 2:
+            raise ValueError("scouting AND needs at least two rows")
+        return self._scouting(rows, "and")
+
+    def scouting_xor(self, rows: Sequence[int]) -> np.ndarray:
+        """Bitwise XOR of exactly two stored rows (CIM-P)."""
+        if len(rows) != 2:
+            raise ValueError("scouting XOR takes exactly two rows")
+        return self._scouting(rows, "xor")

@@ -1,0 +1,174 @@
+"""Architecture classification (Fig 2) and the qualitative Table I.
+
+Fig 2 classifies computer architectures by *where the result is produced*:
+
+1. inside the memory **array**              -> CIM-A
+2. inside the memory **periphery**          -> CIM-P
+3. outside the core but inside the memory SiP (HBM-style logic) -> COM-N
+4. in a conventional computational core     -> COM-F
+
+Table I then rates the four classes on eight criteria.  The table is
+encoded verbatim so the Table I benchmark can print it, and
+:mod:`repro.core.comparison` re-derives the orderable columns from the
+machine models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class ComputePosition(enum.Enum):
+    """Where the computation result is produced (the numbers of Fig 2)."""
+
+    MEMORY_ARRAY = 1
+    MEMORY_PERIPHERY = 2
+    MEMORY_SIP_LOGIC = 3
+    COMPUTATIONAL_CORE = 4
+
+
+class ArchitectureClass(enum.Enum):
+    """The four classes of Fig 2 / Table I."""
+
+    CIM_A = "CIM-A"
+    CIM_P = "CIM-P"
+    COM_N = "COM-N"
+    COM_F = "COM-F"
+
+    @property
+    def is_cim(self) -> bool:
+        """True for the computation-in-memory classes."""
+        return self in (ArchitectureClass.CIM_A, ArchitectureClass.CIM_P)
+
+
+def classify(position: ComputePosition) -> ArchitectureClass:
+    """Map a compute position (Fig 2 label) to its architecture class."""
+    mapping = {
+        ComputePosition.MEMORY_ARRAY: ArchitectureClass.CIM_A,
+        ComputePosition.MEMORY_PERIPHERY: ArchitectureClass.CIM_P,
+        ComputePosition.MEMORY_SIP_LOGIC: ArchitectureClass.COM_N,
+        ComputePosition.COMPUTATIONAL_CORE: ArchitectureClass.COM_F,
+    }
+    return mapping[position]
+
+
+class Rating(enum.Enum):
+    """Ordinal rating vocabulary used by Table I."""
+
+    NO = "No"
+    YES = "Yes"
+    NOT_REQUIRED = "NR"
+    LOW = "Low"
+    LOW_MEDIUM = "Low/medium"
+    MEDIUM = "Medium"
+    HIGH = "High"
+    HIGH_MAX = "High-Max"
+    MAX = "Max"
+    HIGH_LATENCY = "High latency"
+    HIGH_COST = "High cost"
+    LOW_COST = "Low cost"
+
+    @property
+    def ordinal(self) -> int:
+        """Coarse ordering for comparisons (No/NR/Low=0 .. Max=4)."""
+        order = {
+            Rating.NO: 0,
+            Rating.NOT_REQUIRED: 0,
+            Rating.LOW: 0,
+            Rating.LOW_COST: 0,
+            Rating.LOW_MEDIUM: 1,
+            Rating.MEDIUM: 2,
+            Rating.YES: 2,
+            Rating.HIGH: 3,
+            Rating.HIGH_COST: 3,
+            Rating.HIGH_LATENCY: 3,
+            Rating.HIGH_MAX: 3,
+            Rating.MAX: 4,
+        }
+        return order[self]
+
+
+@dataclass(frozen=True)
+class ArchitectureAttributes:
+    """One row of Table I."""
+
+    architecture: ArchitectureClass
+    data_movement_outside_core: Rating
+    data_alignment_required: Rating
+    complex_function_support: Rating
+    available_bandwidth: Rating
+    design_effort_cells_array: Rating
+    design_effort_periphery: Rating
+    design_effort_controller: Rating
+    scalability: Rating
+
+
+#: Table I of the paper, encoded verbatim (from [16]).
+TABLE_I: Dict[ArchitectureClass, ArchitectureAttributes] = {
+    ArchitectureClass.CIM_A: ArchitectureAttributes(
+        architecture=ArchitectureClass.CIM_A,
+        data_movement_outside_core=Rating.NO,
+        data_alignment_required=Rating.YES,
+        complex_function_support=Rating.HIGH_LATENCY,
+        available_bandwidth=Rating.MAX,
+        design_effort_cells_array=Rating.HIGH,
+        design_effort_periphery=Rating.LOW_MEDIUM,
+        design_effort_controller=Rating.HIGH,
+        scalability=Rating.LOW,
+    ),
+    ArchitectureClass.CIM_P: ArchitectureAttributes(
+        architecture=ArchitectureClass.CIM_P,
+        data_movement_outside_core=Rating.NO,
+        data_alignment_required=Rating.YES,
+        complex_function_support=Rating.HIGH_COST,
+        available_bandwidth=Rating.HIGH_MAX,
+        design_effort_cells_array=Rating.LOW_MEDIUM,
+        design_effort_periphery=Rating.HIGH,
+        design_effort_controller=Rating.MEDIUM,
+        scalability=Rating.MEDIUM,
+    ),
+    ArchitectureClass.COM_N: ArchitectureAttributes(
+        architecture=ArchitectureClass.COM_N,
+        data_movement_outside_core=Rating.YES,
+        data_alignment_required=Rating.NOT_REQUIRED,
+        complex_function_support=Rating.LOW_COST,
+        available_bandwidth=Rating.HIGH,
+        design_effort_cells_array=Rating.LOW,
+        design_effort_periphery=Rating.LOW,
+        design_effort_controller=Rating.LOW,
+        scalability=Rating.MEDIUM,
+    ),
+    ArchitectureClass.COM_F: ArchitectureAttributes(
+        architecture=ArchitectureClass.COM_F,
+        data_movement_outside_core=Rating.YES,
+        data_alignment_required=Rating.NOT_REQUIRED,
+        complex_function_support=Rating.LOW_COST,
+        available_bandwidth=Rating.LOW,
+        design_effort_cells_array=Rating.LOW,
+        design_effort_periphery=Rating.LOW,
+        design_effort_controller=Rating.LOW,
+        scalability=Rating.HIGH,
+    ),
+}
+
+
+def table_i_rows() -> List[Dict[str, str]]:
+    """Table I as printable dict rows (one per architecture class)."""
+    rows = []
+    for arch, attrs in TABLE_I.items():
+        rows.append(
+            {
+                "architecture": arch.value,
+                "data_movement_outside_core": attrs.data_movement_outside_core.value,
+                "data_alignment": attrs.data_alignment_required.value,
+                "complex_function": attrs.complex_function_support.value,
+                "bandwidth": attrs.available_bandwidth.value,
+                "effort_cells_array": attrs.design_effort_cells_array.value,
+                "effort_periphery": attrs.design_effort_periphery.value,
+                "effort_controller": attrs.design_effort_controller.value,
+                "scalability": attrs.scalability.value,
+            }
+        )
+    return rows

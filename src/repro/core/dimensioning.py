@@ -1,0 +1,209 @@
+"""Chip-level dimensioning: throughput, power and efficiency of a CIM
+accelerator built from the library's component models.
+
+Ties the stack together analytically, ISAAC-style: a chip is N tiles,
+each a crossbar plus the Fig 5 periphery budget, behind the voltage-
+regulation overhead of the Conclusions.  The model answers the questions
+an architect sweeps: how do ADC resolution and memory technology move
+TOPS, watts and TOPS/W?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.devices.technologies import TechnologyProfile, technology_preset
+from repro.periphery.adc import ADC, ADCConfig
+from repro.periphery.area_power import TileBudget, isaac_tile_budget
+from repro.periphery.voltage_regulation import (
+    ChargePump,
+    reram_voltage_domains,
+    voltage_domain_overhead,
+)
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ChipSpec:
+    """A CIM accelerator configuration."""
+
+    n_tiles: int = 64
+    crossbar_rows: int = 128
+    crossbars_per_tile: int = 8
+    adc_bits: int = 8
+    adcs_per_tile: int = 8
+    technology: str = "reram"
+    vmm_latency: float = 100e-9        # s per full-array analog VMM
+    utilization: float = 0.8           # fraction of tiles busy
+    weight_update_rate: float = 1.0    # full-array rewrites per second
+
+    def __post_init__(self) -> None:
+        for name in ("n_tiles", "crossbar_rows", "crossbars_per_tile",
+                     "adcs_per_tile"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.adc_bits < 1:
+            raise ValueError("adc_bits must be >= 1")
+        check_positive("vmm_latency", self.vmm_latency)
+        if not 0 < self.utilization <= 1:
+            raise ValueError(
+                f"utilization must be in (0, 1], got {self.utilization}"
+            )
+        if self.weight_update_rate < 0:
+            raise ValueError("weight_update_rate must be >= 0")
+
+    @property
+    def profile(self) -> TechnologyProfile:
+        """The memory-technology preset."""
+        return technology_preset(self.technology)
+
+    def tile_budget(self) -> TileBudget:
+        """The tile's Fig 5 component budget at this ADC resolution."""
+        return isaac_tile_budget(
+            adc_bits=self.adc_bits,
+            n_adcs=self.adcs_per_tile,
+            n_crossbars=self.crossbars_per_tile,
+            crossbar_rows=self.crossbar_rows,
+        )
+
+
+@dataclass
+class ChipReport:
+    """Dimensioning results for one :class:`ChipSpec`."""
+
+    spec: ChipSpec
+    peak_tops: float
+    sustained_tops: float
+    compute_power_w: float
+    regulation_power_w: float
+    standby_power_w: float
+    update_power_w: float
+    endurance_lifetime_s: float
+    area_mm2: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Compute + regulation + standby + weight-update power."""
+        return (
+            self.compute_power_w
+            + self.regulation_power_w
+            + self.standby_power_w
+            + self.update_power_w
+        )
+
+    @property
+    def tops_per_watt(self) -> float:
+        """The headline efficiency metric."""
+        return self.sustained_tops / self.total_power_w
+
+    def row(self) -> Dict[str, float]:
+        """Printable summary."""
+        return {
+            "technology": self.spec.technology,
+            "adc_bits": self.spec.adc_bits,
+            "peak_TOPS": self.peak_tops,
+            "sustained_TOPS": self.sustained_tops,
+            "power_W": self.total_power_w,
+            "TOPS_per_W": self.tops_per_watt,
+            "area_mm2": self.area_mm2,
+            "lifetime_years": self.endurance_lifetime_s / 3.15e7,
+        }
+
+
+def dimension_chip(spec: ChipSpec) -> ChipReport:
+    """Derive chip-level metrics from the component models."""
+    ops_per_vmm = 2 * spec.crossbar_rows * spec.crossbar_rows  # MAC = 2 ops
+    vmm_per_s = 1.0 / spec.vmm_latency
+    arrays = spec.n_tiles * spec.crossbars_per_tile
+    peak = arrays * ops_per_vmm * vmm_per_s / 1e12
+    sustained = peak * spec.utilization
+
+    budget = spec.tile_budget()
+    compute_power = spec.n_tiles * budget.total_power * spec.utilization
+
+    # Voltage-domain tax: write traffic scales with utilization; reuse the
+    # ReRAM domain set with the technology's write voltage class.
+    domains = reram_voltage_domains(
+        write_duty=0.05 * spec.utilization,
+        read_duty=0.95 * spec.utilization,
+        read_current=spec.n_tiles * 0.5e-3,
+        write_current=spec.n_tiles * 1e-3,
+    )
+    regulation = voltage_domain_overhead(domains, ChargePump())
+    regulation_power = regulation["conversion_loss"]
+
+    cells = arrays * spec.crossbar_rows * spec.crossbar_rows
+    standby = spec.profile.standby_power(cells)
+
+    # Weight-update traffic: full-array rewrites at the configured rate
+    # cost write energy and consume the technology's endurance budget —
+    # at 1 rewrite/s a 1e7-cycle ReRAM array wears out in about 4 months,
+    # while MRAM/SRAM are effectively immortal.
+    update_power = (
+        cells * spec.profile.write_energy * spec.weight_update_rate
+    )
+    if spec.weight_update_rate > 0:
+        lifetime = spec.profile.endurance / spec.weight_update_rate
+    else:
+        lifetime = float("inf")
+
+    area = spec.n_tiles * budget.total_area + regulation["regulation_area_mm2"]
+    return ChipReport(
+        spec=spec,
+        peak_tops=peak,
+        sustained_tops=sustained,
+        compute_power_w=compute_power,
+        regulation_power_w=regulation_power,
+        standby_power_w=standby,
+        update_power_w=update_power,
+        endurance_lifetime_s=lifetime,
+        area_mm2=area,
+    )
+
+
+def adc_bits_sweep(
+    bits_values: Sequence[int] = (4, 6, 8, 10),
+    base: Optional[ChipSpec] = None,
+) -> List[ChipReport]:
+    """Dimension the same chip across ADC resolutions — the system-level
+    face of the Section II-E trade-off."""
+    base = base or ChipSpec()
+    reports = []
+    for bits in bits_values:
+        spec = ChipSpec(
+            n_tiles=base.n_tiles,
+            crossbar_rows=base.crossbar_rows,
+            crossbars_per_tile=base.crossbars_per_tile,
+            adc_bits=bits,
+            adcs_per_tile=base.adcs_per_tile,
+            technology=base.technology,
+            vmm_latency=base.vmm_latency,
+            utilization=base.utilization,
+            weight_update_rate=base.weight_update_rate,
+        )
+        reports.append(dimension_chip(spec))
+    return reports
+
+
+def technology_sweep(
+    technologies: Sequence[str] = ("reram", "pcm", "mram", "sram"),
+    base: Optional[ChipSpec] = None,
+) -> List[ChipReport]:
+    """Dimension the same chip across memory technologies."""
+    base = base or ChipSpec()
+    reports = []
+    for technology in technologies:
+        spec = ChipSpec(
+            n_tiles=base.n_tiles,
+            crossbar_rows=base.crossbar_rows,
+            crossbars_per_tile=base.crossbars_per_tile,
+            adc_bits=base.adc_bits,
+            adcs_per_tile=base.adcs_per_tile,
+            technology=technology,
+            vmm_latency=base.vmm_latency,
+            utilization=base.utilization,
+            weight_update_rate=base.weight_update_rate,
+        )
+        reports.append(dimension_chip(spec))
+    return reports

@@ -1,0 +1,69 @@
+"""Energy/latency/data-movement accounting for the machine models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass
+class OperationCost:
+    """Cost of one primitive operation."""
+
+    energy: float = 0.0        # J
+    latency: float = 0.0       # s
+    data_moved: float = 0.0    # bytes crossing the memory boundary
+
+    def __post_init__(self) -> None:
+        check_non_negative("energy", self.energy)
+        check_non_negative("latency", self.latency)
+        check_non_negative("data_moved", self.data_moved)
+
+    def __add__(self, other: "OperationCost") -> "OperationCost":
+        return OperationCost(
+            energy=self.energy + other.energy,
+            latency=self.latency + other.latency,
+            data_moved=self.data_moved + other.data_moved,
+        )
+
+    def scaled(self, factor: float) -> "OperationCost":
+        """Cost of ``factor`` repetitions."""
+        check_non_negative("factor", factor)
+        return OperationCost(
+            energy=self.energy * factor,
+            latency=self.latency * factor,
+            data_moved=self.data_moved * factor,
+        )
+
+
+@dataclass
+class CostAccumulator:
+    """Running totals with a per-category breakdown."""
+
+    total: OperationCost = field(default_factory=OperationCost)
+    by_category: Dict[str, OperationCost] = field(default_factory=dict)
+
+    def add(self, category: str, cost: OperationCost) -> None:
+        """Accumulate ``cost`` under ``category``."""
+        self.total = self.total + cost
+        if category in self.by_category:
+            self.by_category[category] = self.by_category[category] + cost
+        else:
+            self.by_category[category] = cost
+
+    def energy_fraction(self, category: str) -> float:
+        """Share of total energy attributed to ``category``."""
+        if self.total.energy == 0:
+            return 0.0
+        return self.by_category.get(category, OperationCost()).energy / self.total.energy
+
+    def movement_fraction(self, category: str) -> float:
+        """Share of total data movement attributed to ``category``."""
+        if self.total.data_moved == 0:
+            return 0.0
+        return (
+            self.by_category.get(category, OperationCost()).data_moved
+            / self.total.data_moved
+        )

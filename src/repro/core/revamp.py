@@ -1,0 +1,308 @@
+"""ReVAMP: a ReRAM-based VLIW architecture for in-memory computing [35].
+
+Section II-C names ReVAMP as an early CIM prototype "to exploit
+parallelism using majority logic".  This module is an architectural
+simulator for a faithful simplification of it:
+
+* a **data memory** of ReRAM devices whose state update is the native
+  majority primitive ``NS = M3(S, V_wl, NOT V_bl)`` (Section IV-A);
+* a **data-input register (DIR)** filled by ``READ`` instructions;
+* ``APPLY`` instructions that drive one shared wordline operand and
+  per-column bitline operands, updating every selected device in parallel
+  (the VLIW aspect);
+* operands sourced from constants, the DIR, or primary inputs, with
+  optional complement (the crossbar's bitline inverters).
+
+:func:`compile_mig_to_revamp` lowers a Majority-Inverter Graph to a
+ReVAMP program using the reset+or write idiom:
+
+* ``M3(S, 0, 0) = 0``  — unconditional reset (wl=0, bl=1);
+* ``M3(0, 1, v) = v``  — unconditional write of ``v``   (wl=1, bl=NOT v);
+
+so loading a value costs two applies and each majority node costs one
+``READ`` plus three ``APPLY`` steps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eda.aig import lit_complemented, lit_node
+from repro.eda.mig import MIG
+
+
+class OperandKind(enum.Enum):
+    """Where an instruction operand's bit comes from."""
+
+    CONST = "const"
+    DIR = "dir"      # data-input register (last READ row)
+    PI = "pi"        # primary input pins
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One instruction operand: a source, an index, and a complement."""
+
+    kind: OperandKind
+    index: int = 0
+    negate: bool = False
+
+    @classmethod
+    def const(cls, value: int) -> "Operand":
+        if value not in (0, 1):
+            raise ValueError(f"constant operand must be 0/1, got {value}")
+        return cls(OperandKind.CONST, value)
+
+    @classmethod
+    def dir(cls, index: int, negate: bool = False) -> "Operand":
+        return cls(OperandKind.DIR, index, negate)
+
+    @classmethod
+    def pi(cls, index: int, negate: bool = False) -> "Operand":
+        return cls(OperandKind.PI, index, negate)
+
+
+@dataclass(frozen=True)
+class ReadInstr:
+    """Load a data-memory row into the DIR."""
+
+    row: int
+
+
+@dataclass(frozen=True)
+class ApplyInstr:
+    """Majority update on selected columns of one row.
+
+    Every selected device updates as ``S <- M3(S, wl, NOT bl_col)``; the
+    wordline operand is shared, bitline operands are per column (VLIW).
+    """
+
+    row: int
+    wl: Operand
+    ops: Tuple[Tuple[int, Operand], ...]   # (column, bitline operand)
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("APPLY needs at least one column operation")
+        columns = [c for c, _ in self.ops]
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate columns in APPLY: {columns}")
+
+
+@dataclass
+class ReVAMPProgram:
+    """An instruction sequence plus I/O metadata."""
+
+    n_inputs: int
+    instructions: List[object] = field(default_factory=list)
+    output_columns: List[Tuple[int, bool]] = field(default_factory=list)
+    columns_used: int = 0
+
+    @property
+    def instruction_count(self) -> int:
+        """Program length (the delay metric)."""
+        return len(self.instructions)
+
+    @property
+    def read_count(self) -> int:
+        """Number of READ instructions."""
+        return sum(1 for i in self.instructions if isinstance(i, ReadInstr))
+
+    @property
+    def apply_count(self) -> int:
+        """Number of APPLY instructions."""
+        return sum(1 for i in self.instructions if isinstance(i, ApplyInstr))
+
+
+class ReVAMPMachine:
+    """Executes ReVAMP programs over a boolean device-state memory."""
+
+    def __init__(self, rows: int = 1, cols: int = 64) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"memory must be at least 1x1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._memory = [[0] * cols for _ in range(rows)]
+        self._dir = [0] * cols
+
+    def memory_state(self) -> List[List[int]]:
+        """Copy of the device states."""
+        return [row[:] for row in self._memory]
+
+    def _operand_value(self, operand: Operand, inputs: Sequence[int]) -> int:
+        if operand.kind is OperandKind.CONST:
+            value = operand.index
+        elif operand.kind is OperandKind.DIR:
+            if not 0 <= operand.index < self.cols:
+                raise ValueError(f"DIR index {operand.index} out of range")
+            value = self._dir[operand.index]
+        else:
+            if not 0 <= operand.index < len(inputs):
+                raise ValueError(f"PI index {operand.index} out of range")
+            value = inputs[operand.index]
+        return 1 - value if operand.negate else value
+
+    def execute(
+        self,
+        program: ReVAMPProgram,
+        inputs: Sequence[int],
+    ) -> List[int]:
+        """Run ``program``; returns the bits at its output columns."""
+        if len(inputs) != program.n_inputs:
+            raise ValueError(
+                f"expected {program.n_inputs} inputs, got {len(inputs)}"
+            )
+        for value in inputs:
+            if value not in (0, 1):
+                raise ValueError(f"inputs must be 0/1, got {value}")
+        if program.columns_used > self.cols:
+            raise ValueError(
+                f"program needs {program.columns_used} columns, memory has "
+                f"{self.cols}"
+            )
+        self._memory = [[0] * self.cols for _ in range(self.rows)]
+        self._dir = [0] * self.cols
+
+        for instr in program.instructions:
+            if isinstance(instr, ReadInstr):
+                self._check_row(instr.row)
+                self._dir = self._memory[instr.row][:]
+            elif isinstance(instr, ApplyInstr):
+                self._check_row(instr.row)
+                wl = self._operand_value(instr.wl, inputs)
+                # All column updates within one APPLY are simultaneous.
+                updates = []
+                for col, bl_operand in instr.ops:
+                    if not 0 <= col < self.cols:
+                        raise ValueError(f"column {col} out of range")
+                    bl = self._operand_value(bl_operand, inputs)
+                    s = self._memory[instr.row][col]
+                    updates.append((col, 1 if s + wl + (1 - bl) >= 2 else 0))
+                for col, value in updates:
+                    self._memory[instr.row][col] = value
+            else:
+                raise TypeError(f"unknown instruction {instr!r}")
+
+        outputs = []
+        for col, negate in program.output_columns:
+            bit = self._memory[0][col]
+            outputs.append(1 - bit if negate else bit)
+        return outputs
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range")
+
+
+def compile_mig_to_revamp(mig: MIG) -> ReVAMPProgram:
+    """Lower an MIG to a single-row ReVAMP program.
+
+    Layout: primary inputs occupy columns ``0..n-1``; each majority node
+    gets the next free column.  Per node: refresh the DIR, reset the
+    target, write the resident fanin, then one majority pulse with the
+    other two fanins on wordline/bitline.
+    """
+    program = ReVAMPProgram(n_inputs=mig.n_inputs)
+    column_of: Dict[int, int] = {}
+    next_col = 0
+
+    # Load primary inputs: reset columns, then write v via M3(0, 1, v).
+    input_cols = []
+    for i in range(mig.n_inputs):
+        column_of[1 + i] = next_col
+        input_cols.append(next_col)
+        next_col += 1
+    if input_cols:
+        program.instructions.append(
+            ApplyInstr(
+                row=0,
+                wl=Operand.const(0),
+                ops=tuple((c, Operand.const(1)) for c in input_cols),
+            )
+        )
+        program.instructions.append(
+            ApplyInstr(
+                row=0,
+                wl=Operand.const(1),
+                ops=tuple(
+                    (column_of[1 + i], Operand.pi(i, negate=True))
+                    for i in range(mig.n_inputs)
+                ),
+            )
+        )
+
+    def operand_for(literal: int, after_read: bool) -> Operand:
+        node = lit_node(literal)
+        negate = lit_complemented(literal)
+        if node == 0:
+            return Operand.const(1 if negate else 0)
+        return Operand.dir(column_of[node], negate=negate)
+
+    for idx, (fa, fb, fc) in enumerate(mig.majs):
+        node = mig.first_maj_node + idx
+        target = next_col
+        column_of[node] = target
+        next_col += 1
+        # Refresh the DIR with the current row (fanin values live there).
+        program.instructions.append(ReadInstr(row=0))
+        # Reset the target device: M3(S, 0, 0) = 0.
+        program.instructions.append(
+            ApplyInstr(
+                row=0,
+                wl=Operand.const(0),
+                ops=((target, Operand.const(1)),),
+            )
+        )
+        # Write the resident operand: M3(0, 1, v) = v.
+        resident = operand_for(fa, after_read=True)
+        program.instructions.append(
+            ApplyInstr(
+                row=0,
+                wl=Operand.const(1),
+                ops=(
+                    (
+                        target,
+                        Operand(
+                            resident.kind, resident.index, not resident.negate
+                        ),
+                    ),
+                ),
+            )
+        )
+        # The majority pulse: NS = M3(resident, fb, NOT(NOT fc)).
+        wl = operand_for(fb, after_read=True)
+        bl_src = operand_for(fc, after_read=True)
+        bl = Operand(bl_src.kind, bl_src.index, not bl_src.negate)
+        program.instructions.append(
+            ApplyInstr(row=0, wl=wl, ops=((target, bl),))
+        )
+
+    for literal in mig.outputs:
+        node = lit_node(literal)
+        if node == 0:
+            # Constant output: synthesize into a fresh column.
+            target = next_col
+            next_col += 1
+            program.instructions.append(
+                ApplyInstr(
+                    row=0, wl=Operand.const(0), ops=((target, Operand.const(1)),)
+                )
+            )
+            if lit_complemented(literal):
+                program.instructions.append(
+                    ApplyInstr(
+                        row=0,
+                        wl=Operand.const(1),
+                        ops=((target, Operand.const(0)),),
+                    )
+                )
+            program.output_columns.append((target, False))
+        else:
+            program.output_columns.append(
+                (column_of[node], lit_complemented(literal))
+            )
+
+    program.columns_used = next_col
+    return program

@@ -1,0 +1,40 @@
+"""Crossbar-array substrate.
+
+The crossbar is where the paper's headline operation happens: applying a
+voltage vector to the wordlines of a memristive array yields per-bitline
+currents ``I_j = sum_i V_i * G_ij`` — ``n`` MAC operations in O(1) time
+(Fig 4).  This subpackage provides:
+
+* :mod:`repro.crossbar.array` — the stateful crossbar with programming,
+  variability, fault overlays and ideal VMM;
+* :mod:`repro.crossbar.solver` — circuit-accurate nodal solvers modelling
+  wire parasitics (IR drop) and sneak-path currents;
+* :mod:`repro.crossbar.mapping` — signed-weight-to-conductance mapping
+  schemes (differential pair, offset column, bit slicing) and input
+  encodings.
+"""
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.crossbar.solver import (
+    NodalCrossbarSolver,
+    SolverResult,
+    sneak_path_read_current,
+)
+from repro.crossbar.mapping import (
+    DifferentialPairMapping,
+    OffsetColumnMapping,
+    BitSlicedMapping,
+    InputEncoder,
+)
+
+__all__ = [
+    "CrossbarArray",
+    "CrossbarConfig",
+    "NodalCrossbarSolver",
+    "SolverResult",
+    "sneak_path_read_current",
+    "DifferentialPairMapping",
+    "OffsetColumnMapping",
+    "BitSlicedMapping",
+    "InputEncoder",
+]

@@ -1,0 +1,261 @@
+"""Circuit-accurate crossbar solvers: IR drop and sneak paths.
+
+The ideal VMM of :class:`~repro.crossbar.array.CrossbarArray` assumes
+perfect wires and fully clamped lines.  Real arrays suffer from two
+parasitic effects the paper leans on:
+
+* **wire resistance (IR drop)** — finite wordline/bitline segment
+  resistance attenuates the voltage reaching far cells, degrading MAC
+  accuracy as arrays grow (one reason CIM-A scalability is rated *Low* in
+  Table I);
+* **sneak paths** — unselected cells form parallel current paths through a
+  selected cell's row and column.  Section III-B turns this bug into a
+  feature: the sneak-path test method of [46] reads *groups* of cells at
+  once through exactly these paths.
+
+Both are computed here by sparse nodal analysis (Kirchhoff current law at
+every row/column node, solved with SciPy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.sparse import lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass
+class SolverResult:
+    """Output of a nodal crossbar solve."""
+
+    column_currents: np.ndarray      # A, current into each bitline sense node
+    row_node_voltages: np.ndarray    # V, (rows, cols) wordline node voltages
+    col_node_voltages: np.ndarray    # V, (rows, cols) bitline node voltages
+
+    @property
+    def worst_case_drop(self) -> float:
+        """Largest wordline voltage droop relative to the driven value."""
+        driven = self.row_node_voltages[:, 0]
+        drops = driven[:, None] - self.row_node_voltages
+        return float(np.max(np.abs(drops)))
+
+
+class NodalCrossbarSolver:
+    """Sparse nodal-analysis solver for a crossbar with wire parasitics.
+
+    Topology: wordline ``i`` is driven at its left end through a driver of
+    resistance ``driver_resistance``; bitline ``j`` is sensed at its bottom
+    end by a virtual-ground transimpedance stage (node voltage 0).  Cell
+    ``(i, j)`` connects wordline node ``(i, j)`` to bitline node ``(i, j)``;
+    adjacent nodes along a line are joined by ``wire_resistance``.
+
+    With ``wire_resistance == 0`` and ``driver_resistance == 0`` the result
+    reduces exactly to the ideal ``I = V . G``.
+    """
+
+    def __init__(
+        self,
+        wire_resistance: float = 1.0,
+        driver_resistance: float = 0.0,
+    ) -> None:
+        check_non_negative("wire_resistance", wire_resistance)
+        check_non_negative("driver_resistance", driver_resistance)
+        self.wire_resistance = wire_resistance
+        self.driver_resistance = driver_resistance
+
+    def solve(self, conductances: np.ndarray, voltages: np.ndarray) -> SolverResult:
+        """Solve the crossbar for input ``voltages`` on the wordlines.
+
+        Parameters
+        ----------
+        conductances:
+            ``(rows, cols)`` cell conductance matrix in siemens.
+        voltages:
+            ``(rows,)`` driven wordline voltages.
+        """
+        g = np.asarray(conductances, dtype=float)
+        v = np.asarray(voltages, dtype=float)
+        if g.ndim != 2:
+            raise ValueError(f"conductances must be 2-D, got shape {g.shape}")
+        rows, cols = g.shape
+        if v.shape != (rows,):
+            raise ValueError(
+                f"voltages must have shape ({rows},), got {v.shape}"
+            )
+        if np.any(g < 0):
+            raise ValueError("conductances must be non-negative")
+
+        if self.wire_resistance == 0 and self.driver_resistance == 0:
+            # Ideal wires: all wordline nodes sit at the driven voltage and
+            # all bitline nodes at virtual ground.
+            currents = v @ g
+            row_v = np.tile(v[:, None], (1, cols))
+            col_v = np.zeros_like(g)
+            return SolverResult(currents, row_v, col_v)
+
+        g_wire = 1.0 / max(self.wire_resistance, 1e-12)
+        g_drv = (
+            1.0 / self.driver_resistance if self.driver_resistance > 0 else None
+        )
+
+        n = rows * cols
+        total = 2 * n  # wordline nodes then bitline nodes
+
+        def r_idx(i: int, j: int) -> int:
+            return i * cols + j
+
+        def c_idx(i: int, j: int) -> int:
+            return n + i * cols + j
+
+        a = lil_matrix((total, total))
+        b = np.zeros(total)
+
+        for i in range(rows):
+            for j in range(cols):
+                ri, ci = r_idx(i, j), c_idx(i, j)
+                gc = g[i, j]
+                # Cell between wordline node and bitline node.
+                a[ri, ri] += gc
+                a[ri, ci] -= gc
+                a[ci, ci] += gc
+                a[ci, ri] -= gc
+                # Wordline segments (horizontal neighbours).
+                if j + 1 < cols:
+                    rj = r_idx(i, j + 1)
+                    a[ri, ri] += g_wire
+                    a[ri, rj] -= g_wire
+                    a[rj, rj] += g_wire
+                    a[rj, ri] -= g_wire
+                # Bitline segments (vertical neighbours).
+                if i + 1 < rows:
+                    cj = c_idx(i + 1, j)
+                    a[ci, ci] += g_wire
+                    a[ci, cj] -= g_wire
+                    a[cj, cj] += g_wire
+                    a[cj, ci] -= g_wire
+
+        # Wordline drivers at the left end of each row.
+        for i in range(rows):
+            ri = r_idx(i, 0)
+            if g_drv is None:
+                # Ideal source: pin the node with a very stiff conductance.
+                stiff = 1e9
+                a[ri, ri] += stiff
+                b[ri] += stiff * v[i]
+            else:
+                a[ri, ri] += g_drv
+                b[ri] += g_drv * v[i]
+
+        # Virtual-ground sense at the bottom of each column.
+        stiff = 1e9
+        for j in range(cols):
+            cj = c_idx(rows - 1, j)
+            a[cj, cj] += stiff
+            # b += 0 (virtual ground)
+
+        solution = spsolve(a.tocsr(), b)
+        row_v = solution[:n].reshape(rows, cols)
+        col_v = solution[n:].reshape(rows, cols)
+
+        # Column current = sum of currents flowing into each bitline.
+        cell_currents = (row_v - col_v) * g
+        column_currents = cell_currents.sum(axis=0)
+        return SolverResult(column_currents, row_v, col_v)
+
+    def relative_error(
+        self, conductances: np.ndarray, voltages: np.ndarray
+    ) -> float:
+        """RMS relative deviation of the parasitic solve from the ideal VMM.
+
+        This is the quantity swept by the IR-drop ablation benchmark.
+        """
+        ideal = np.asarray(voltages, dtype=float) @ np.asarray(
+            conductances, dtype=float
+        )
+        actual = self.solve(conductances, voltages).column_currents
+        scale = np.maximum(np.abs(ideal), 1e-30)
+        return float(np.sqrt(np.mean(((actual - ideal) / scale) ** 2)))
+
+
+def sneak_path_read_current(
+    conductances: np.ndarray,
+    row: int,
+    col: int,
+    v_read: float = 0.2,
+    scheme: str = "floating",
+) -> Tuple[float, float]:
+    """Read cell ``(row, col)`` and report (measured, ideal) currents.
+
+    ``scheme`` selects the biasing of unselected lines:
+
+    * ``"floating"`` — unselected wordlines/bitlines are left floating, so
+      sneak paths through neighbouring cells contribute to the measured
+      current.  This is the regime the sneak-path *test* method of [46]
+      exploits: the measurement carries information about a whole
+      neighbourhood of cells.
+    * ``"v/2"`` — unselected lines clamped to ``v_read / 2``, the classic
+      half-select write/read scheme that suppresses (most) sneak current.
+
+    Ideal wires are assumed (each line is a single node); wire parasitics
+    are the business of :class:`NodalCrossbarSolver`.
+    """
+    g = np.asarray(conductances, dtype=float)
+    if g.ndim != 2:
+        raise ValueError(f"conductances must be 2-D, got shape {g.shape}")
+    rows, cols = g.shape
+    if not (0 <= row < rows and 0 <= col < cols):
+        raise IndexError(f"cell ({row}, {col}) outside array {rows}x{cols}")
+    check_positive("v_read", v_read)
+    if scheme not in ("floating", "v/2"):
+        raise ValueError(f"unknown biasing scheme {scheme!r}")
+
+    ideal = v_read * g[row, col]
+
+    # Node ordering: wordlines 0..rows-1, then bitlines rows..rows+cols-1.
+    total = rows + cols
+    fixed = np.full(total, np.nan)
+    fixed[row] = v_read
+    fixed[rows + col] = 0.0
+    if scheme == "v/2":
+        for i in range(rows):
+            if i != row:
+                fixed[i] = v_read / 2
+        for j in range(cols):
+            if j != col:
+                fixed[rows + j] = v_read / 2
+
+    free = [k for k in range(total) if np.isnan(fixed[k])]
+    index_of = {k: idx for idx, k in enumerate(free)}
+
+    if free:
+        a = lil_matrix((len(free), len(free)))
+        b = np.zeros(len(free))
+        for i in range(rows):
+            for j in range(cols):
+                gc = g[i, j]
+                ni, nj = i, rows + j
+                for this, other in ((ni, nj), (nj, ni)):
+                    if this in index_of:
+                        ti = index_of[this]
+                        a[ti, ti] += gc
+                        if other in index_of:
+                            a[ti, index_of[other]] -= gc
+                        else:
+                            b[ti] += gc * fixed[other]
+        solution = spsolve(a.tocsr(), b)
+        node_v = fixed.copy()
+        for k, idx in index_of.items():
+            node_v[k] = solution[idx]
+    else:
+        node_v = fixed
+
+    # Current into the selected (grounded) bitline from all wordlines.
+    measured = float(
+        sum(g[i, col] * (node_v[i] - node_v[rows + col]) for i in range(rows))
+    )
+    return measured, float(ideal)

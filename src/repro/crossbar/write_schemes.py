@@ -1,0 +1,179 @@
+"""Crossbar write biasing schemes and half-select disturbance analysis.
+
+Writing one cell of a crossbar exposes *unselected* cells to partial
+voltages — the physical origin of the write-disturbance fault class in
+Fig 6.  The two classic biasing schemes trade stress amplitude against
+stressed population:
+
+* **V/2 scheme** — selected wordline at ``V``, selected bitline at 0,
+  all other lines at ``V/2``: cells sharing the selected row or column
+  see ``V/2``; all remaining cells see 0.
+* **V/3 scheme** — unselected wordlines at ``V/3``, unselected bitlines
+  at ``2V/3``: half-selected cells see ``V/3`` and so do all the
+  unselected cells (with opposite sign).
+
+Combined with a thresholded device model (VTEAM), the analysis yields the
+maximum disturb-free write voltage per scheme and the expected disturb
+rates when the margin is violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.devices.memristor import VTEAMParams
+from repro.utils.validation import check_positive
+
+SCHEMES = ("v/2", "v/3")
+
+
+@dataclass(frozen=True)
+class StressProfile:
+    """Voltages seen by each cell population during one write."""
+
+    scheme: str
+    write_voltage: float
+    selected: float              # the written cell
+    half_selected: float         # cells sharing the selected row/column
+    unselected: float            # everything else
+
+    def populations(self, rows: int, cols: int) -> Dict[str, int]:
+        """Cell counts per stress class for a ``rows x cols`` array."""
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        half = (rows - 1) + (cols - 1)
+        return {
+            "selected": 1,
+            "half_selected": half,
+            "unselected": rows * cols - 1 - half,
+        }
+
+
+def stress_profile(write_voltage: float, scheme: str = "v/2") -> StressProfile:
+    """Per-population stress voltages for one write under ``scheme``."""
+    check_positive("write_voltage", write_voltage)
+    if scheme == "v/2":
+        return StressProfile(
+            scheme=scheme,
+            write_voltage=write_voltage,
+            selected=write_voltage,
+            half_selected=write_voltage / 2,
+            unselected=0.0,
+        )
+    if scheme == "v/3":
+        return StressProfile(
+            scheme=scheme,
+            write_voltage=write_voltage,
+            selected=write_voltage,
+            half_selected=write_voltage / 3,
+            unselected=write_voltage / 3,
+        )
+    raise ValueError(f"unknown write scheme {scheme!r}; use one of {SCHEMES}")
+
+
+def max_disturb_free_voltage(
+    params: Optional[VTEAMParams] = None,
+    scheme: str = "v/2",
+    margin: float = 0.9,
+) -> float:
+    """Largest write voltage whose half-select stress stays below the
+    device threshold (times a safety ``margin``).
+
+    With VTEAM thresholds ``v_off = |v_on| = Vt``: the V/2 scheme allows
+    writes up to ``2 Vt margin``, the V/3 scheme up to ``3 Vt margin`` —
+    the fundamental reason V/3 tolerates higher write voltages at the
+    price of stressing (mildly) every cell in the array.
+    """
+    params = params or VTEAMParams()
+    if not 0 < margin <= 1:
+        raise ValueError(f"margin must be in (0, 1], got {margin}")
+    threshold = min(params.v_off, abs(params.v_on))
+    divider = 2.0 if scheme == "v/2" else 3.0
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown write scheme {scheme!r}; use one of {SCHEMES}")
+    return divider * threshold * margin
+
+
+def disturb_rate_per_write(
+    write_voltage: float,
+    scheme: str = "v/2",
+    params: Optional[VTEAMParams] = None,
+    pulse_width: float = 50e-9,
+    full_switch_fraction: float = 0.1,
+) -> Dict[str, float]:
+    """Fractional state motion of each cell population during one write.
+
+    Uses the VTEAM rate equation at the stress voltage for ``pulse_width``
+    seconds; ``full_switch_fraction`` is the state change treated as a
+    disturbance event.  Returns per-population state motion plus a
+    ``disturb_free`` flag.
+    """
+    params = params or VTEAMParams()
+    check_positive("pulse_width", pulse_width)
+    check_positive("full_switch_fraction", full_switch_fraction)
+    profile = stress_profile(write_voltage, scheme)
+
+    def motion(voltage: float) -> float:
+        # Stress magnitudes: polarity decides SET vs RESET disturbance,
+        # the exceedance over the (symmetric-magnitude) threshold decides
+        # whether any motion happens at all.
+        magnitude = abs(voltage)
+        threshold = min(params.v_off, abs(params.v_on))
+        if magnitude < threshold:
+            return 0.0
+        rate = abs(params.k_off) * (magnitude / threshold - 1.0) ** params.alpha_off
+        return rate * pulse_width
+
+    half = motion(profile.half_selected)
+    unsel = motion(profile.unselected)
+    # The disturb budget: how many neighbour writes a cell survives
+    # before its accumulated state motion counts as a disturbance.
+    writes_to_disturb = (
+        full_switch_fraction / half if half > 0 else float("inf")
+    )
+    return {
+        "scheme": scheme,
+        "write_voltage": write_voltage,
+        "half_selected_motion": half,
+        "unselected_motion": unsel,
+        "writes_to_disturb": writes_to_disturb,
+        "disturb_free": half == 0.0 and unsel == 0.0,
+    }
+
+
+def scheme_comparison(
+    rows: int,
+    cols: int,
+    write_voltage: float,
+    params: Optional[VTEAMParams] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Side-by-side stress/energy comparison of V/2 and V/3 for one write.
+
+    Energy model: each biased line pair dissipates ``v^2 * g_avg * t``
+    across its stressed cells; V/3 buys margin at the cost of charging
+    every line in the array.
+    """
+    params = params or VTEAMParams()
+    g_avg = 2.0 / (params.r_on + params.r_off)
+    pulse = 50e-9
+    out: Dict[str, Dict[str, float]] = {}
+    for scheme in SCHEMES:
+        profile = stress_profile(write_voltage, scheme)
+        pops = profile.populations(rows, cols)
+        energy = (
+            profile.selected**2 * pops["selected"]
+            + profile.half_selected**2 * pops["half_selected"]
+            + profile.unselected**2 * pops["unselected"]
+        ) * g_avg * pulse
+        out[scheme] = {
+            "half_selected_cells": pops["half_selected"],
+            "stressed_cells": pops["half_selected"]
+            + (pops["unselected"] if profile.unselected > 0 else 0),
+            "half_select_voltage": profile.half_selected,
+            "write_energy_J": energy,
+            "max_disturb_free_v": max_disturb_free_voltage(params, scheme),
+        }
+    return out

@@ -1,0 +1,68 @@
+"""Device-level compact models.
+
+This subpackage provides behavioural models for every device technology the
+paper discusses:
+
+* :mod:`repro.devices.memristor` — the HP linear-drift memristor (Fig 3)
+  with optional Biolek window, the physical substrate of ReRAM.
+* :mod:`repro.devices.reram` — a multilevel ReRAM cell with quantized
+  conductance levels, noise margins and guard bands, forming, endurance.
+* :mod:`repro.devices.variability` — stochastic models for write variation,
+  read noise and conductance drift.
+* :mod:`repro.devices.fefet` — ferroelectric FET with polarization-dependent
+  threshold voltage.
+* :mod:`repro.devices.rfet` — reconfigurable FET with runtime p/n polarity.
+* :mod:`repro.devices.ferfet` — the co-integrated ferroelectric
+  reconfigurable FET of Section V with four non-volatile states (Fig 10).
+"""
+
+from repro.devices.memristor import (
+    LinearIonDriftMemristor,
+    MemristorParams,
+    VTEAMMemristor,
+    VTEAMParams,
+    biolek_window,
+)
+from repro.devices.reram import ReRAMCell, ReRAMCellParams, ConductanceLevels
+from repro.devices.variability import (
+    WriteVariationModel,
+    ReadNoiseModel,
+    DriftModel,
+    VariabilityStack,
+)
+from repro.devices.fefet import FeFET, FeFETParams, PolarizationState
+from repro.devices.rfet import RFET, RFETParams, Polarity
+from repro.devices.ferfet import FeRFET, FeRFETParams, FeRFETState
+from repro.devices.technologies import (
+    TechnologyProfile,
+    available_technologies,
+    technology_preset,
+)
+
+__all__ = [
+    "LinearIonDriftMemristor",
+    "MemristorParams",
+    "VTEAMMemristor",
+    "VTEAMParams",
+    "biolek_window",
+    "ReRAMCell",
+    "ReRAMCellParams",
+    "ConductanceLevels",
+    "WriteVariationModel",
+    "ReadNoiseModel",
+    "DriftModel",
+    "VariabilityStack",
+    "FeFET",
+    "FeFETParams",
+    "PolarizationState",
+    "RFET",
+    "RFETParams",
+    "Polarity",
+    "FeRFET",
+    "FeRFETParams",
+    "FeRFETState",
+    "Polarity",
+    "TechnologyProfile",
+    "available_technologies",
+    "technology_preset",
+]

@@ -1,0 +1,227 @@
+"""Ferroelectric FET (FeFET) compact model.
+
+Section V / Fig 9 of the paper: a doped HfO2 layer in the gate stack of a
+MOSFET adds a *remanent polarization* that superimposes on the external
+gate potential.  The stored polarization orientation shifts the threshold
+voltage, giving a non-volatile low-Vth (LRS) or high-Vth (HRS) state.
+
+The model here is behavioural but captures the properties the paper's
+circuits rely on:
+
+* polarization switches only when the gate pulse exceeds the coercive
+  voltage — and the paper notes that "the voltage for programming has to be
+  two to three times larger than the typical operation voltage";
+* partial polarization is possible (short/weak pulses), enabling the
+  analog synapse behaviour cited in [109]-[112];
+* the drain current follows a smooth square-law with subthreshold
+  (softplus) turn-on so that LRS/HRS are separated by orders of magnitude
+  at read voltages.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class PolarizationState(enum.Enum):
+    """Discrete classification of the remanent polarization."""
+
+    UP = "up"          # P > 0.5  -> low threshold voltage (LRS)
+    DOWN = "down"      # P < -0.5 -> high threshold voltage (HRS)
+    INTERMEDIATE = "intermediate"
+
+
+@dataclass
+class FeFETParams:
+    """Compact-model parameters for an HfO2 FeFET.
+
+    ``coercive_voltage`` defaults to 2.5x ``operating_voltage``, encoding
+    the paper's observation about program vs. read voltage levels.
+    """
+
+    vth_mid: float = 0.6          # V, threshold with zero net polarization
+    vth_window: float = 1.0       # V, total Vth shift between P=+1 and P=-1
+    transconductance: float = 2e-4  # A/V^2, square-law gain factor
+    subthreshold_slope: float = 0.1  # V, softplus smoothing (SS-like)
+    operating_voltage: float = 0.8   # V, nominal logic VDD
+    coercive_voltage: float = 2.0    # V, minimum |Vg| that moves polarization
+    switching_time: float = 100e-9   # s, polarization time constant
+
+    def __post_init__(self) -> None:
+        check_positive("vth_window", self.vth_window)
+        check_positive("transconductance", self.transconductance)
+        check_positive("subthreshold_slope", self.subthreshold_slope)
+        check_positive("operating_voltage", self.operating_voltage)
+        check_positive("coercive_voltage", self.coercive_voltage)
+        check_positive("switching_time", self.switching_time)
+        if self.coercive_voltage <= self.operating_voltage:
+            raise ValueError(
+                "coercive_voltage must exceed operating_voltage; otherwise "
+                "normal logic operation would disturb the stored state"
+            )
+
+    @property
+    def program_voltage_ratio(self) -> float:
+        """Ratio of program (coercive) to operating voltage — 2 to 3 in
+        the paper's description."""
+        return self.coercive_voltage / self.operating_voltage
+
+
+@dataclass
+class PVHysteresis:
+    """A polarization-voltage loop trace (the Fig 9 diagonal)."""
+
+    voltage: np.ndarray
+    polarization: np.ndarray
+
+    def remanent_polarization(self) -> float:
+        """Mean |P| at the zero crossings of the drive voltage after the
+        first saturation — the stored-state magnitude."""
+        crossings = np.nonzero(np.diff(np.sign(self.voltage)))[0]
+        late = [i for i in crossings if i > len(self.voltage) // 4]
+        if not late:
+            return 0.0
+        return float(np.mean(np.abs(self.polarization[late])))
+
+    def is_hysteretic(self) -> bool:
+        """Whether the up and down branches differ (loop area > 0)."""
+        v, p = self.voltage, self.polarization
+        area = 0.5 * abs(float(np.sum(v * np.roll(p, -1) - p * np.roll(v, -1))))
+        return area > 1e-3
+
+
+def _softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softplus used for smooth transistor turn-on."""
+    x = np.asarray(x, dtype=float)
+    return np.where(x > 30, x, np.log1p(np.exp(np.minimum(x, 30))))
+
+
+class FeFET:
+    """An n-type FeFET with polarization-programmable threshold voltage.
+
+    Polarization ``P`` lives in ``[-1, +1]``: ``+1`` fully up (low Vth,
+    LRS), ``-1`` fully down (high Vth, HRS).
+    """
+
+    def __init__(self, params: Optional[FeFETParams] = None, polarization: float = -1.0) -> None:
+        self.params = params or FeFETParams()
+        if not -1.0 <= polarization <= 1.0:
+            raise ValueError(
+                f"polarization must be in [-1, 1], got {polarization}"
+            )
+        self._p = float(polarization)
+
+    @property
+    def polarization(self) -> float:
+        """Remanent polarization in ``[-1, +1]``."""
+        return self._p
+
+    @property
+    def polarization_state(self) -> PolarizationState:
+        """Coarse classification of the stored state."""
+        if self._p > 0.5:
+            return PolarizationState.UP
+        if self._p < -0.5:
+            return PolarizationState.DOWN
+        return PolarizationState.INTERMEDIATE
+
+    @property
+    def threshold_voltage(self) -> float:
+        """Effective threshold: polarization up lowers Vth (LRS)."""
+        return self.params.vth_mid - 0.5 * self.params.vth_window * self._p
+
+    def program_pulse(self, voltage: float, duration: Optional[float] = None) -> None:
+        """Apply a gate program pulse.
+
+        Pulses below the coercive voltage leave the state untouched (this
+        is what makes read operations non-destructive).  Above it, the
+        polarization relaxes exponentially toward ``sign(voltage)`` with
+        the switching time constant; a pulse of three time constants is
+        effectively a full switch.
+        """
+        if abs(voltage) < self.params.coercive_voltage:
+            return
+        if duration is None:
+            duration = 5 * self.params.switching_time
+        check_positive("duration", duration)
+        target = 1.0 if voltage > 0 else -1.0
+        alpha = 1.0 - math.exp(-duration / self.params.switching_time)
+        self._p = self._p + alpha * (target - self._p)
+
+    def set_lrs(self) -> None:
+        """Fully program polarization up (low Vth / LRS)."""
+        self.program_pulse(+self.params.coercive_voltage * 1.2)
+
+    def set_hrs(self) -> None:
+        """Fully program polarization down (high Vth / HRS)."""
+        self.program_pulse(-self.params.coercive_voltage * 1.2)
+
+    def drain_current(self, v_gate: float, v_drain: float = None) -> float:
+        """Drain current at gate voltage ``v_gate`` (saturation square law
+        with softplus subthreshold turn-on)."""
+        p = self.params
+        if v_drain is None:
+            v_drain = p.operating_voltage
+        overdrive = _softplus(
+            (v_gate - self.threshold_voltage) / p.subthreshold_slope
+        ) * p.subthreshold_slope
+        return float(
+            p.transconductance * overdrive**2 * np.tanh(max(v_drain, 0.0))
+        )
+
+    def is_conducting(self, v_gate: float, threshold_current: float = 1e-7) -> bool:
+        """Switch-level view: does the device conduct at ``v_gate``?"""
+        return self.drain_current(v_gate) > threshold_current
+
+    def polarization_hysteresis(
+        self,
+        amplitude: Optional[float] = None,
+        points_per_branch: int = 50,
+        pulse_time_fraction: float = 0.5,
+    ) -> "PVHysteresis":
+        """Trace the P-V loop of the ferroelectric gate stack (Fig 9).
+
+        Sweeps the gate voltage ``0 -> +A -> -A -> +A`` applying one
+        partial-switching pulse per step, recording the remanent
+        polarization.  The loop exhibits the two ferroelectric
+        fingerprints: *remanence* (P != 0 at V = 0 after saturation) and
+        *coercivity* (the polarization sign flips near +/- Vc).
+        """
+        if amplitude is None:
+            amplitude = 1.5 * self.params.coercive_voltage
+        check_positive("amplitude", amplitude)
+        if points_per_branch < 4:
+            raise ValueError(
+                f"points_per_branch must be >= 4, got {points_per_branch}"
+            )
+        check_positive("pulse_time_fraction", pulse_time_fraction)
+        up = np.linspace(0, amplitude, points_per_branch)
+        down = np.linspace(amplitude, -amplitude, 2 * points_per_branch)
+        back = np.linspace(-amplitude, amplitude, 2 * points_per_branch)
+        sweep = np.concatenate([up, down[1:], back[1:]])
+        duration = pulse_time_fraction * self.params.switching_time
+        polarization = np.empty_like(sweep)
+        for i, v in enumerate(sweep):
+            self.program_pulse(float(v), duration=duration)
+            polarization[i] = self._p
+        return PVHysteresis(voltage=sweep, polarization=polarization)
+
+    def on_off_ratio(self) -> float:
+        """Current ratio between LRS and HRS at the nominal read voltage."""
+        v_read = self.params.operating_voltage
+        saved = self._p
+        try:
+            self._p = 1.0
+            i_on = self.drain_current(v_read)
+            self._p = -1.0
+            i_off = self.drain_current(v_read)
+        finally:
+            self._p = saved
+        return i_on / max(i_off, 1e-30)

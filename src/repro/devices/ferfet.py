@@ -1,0 +1,235 @@
+"""Ferroelectric Reconfigurable FET (FeRFET) — the Section V device.
+
+Co-integrating a ferroelectric HfO2 layer into *both* gates of an RFET
+(Fig 9/10) makes the reconfiguration non-volatile and adds a stored
+resistance state:
+
+* the **program (P) gate** ferroelectric stores the conduction polarity —
+  the device stays n-type or p-type after the voltage is withdrawn;
+* the **control (C) gate** ferroelectric stores a threshold-voltage shift —
+  a low-Vth (LRS) or high-Vth (HRS) state.
+
+Together this yields the **four individual operation states** of Fig 10(b):
+``{n-type, p-type} x {LRS, HRS}``.  As the paper notes, "the voltage for
+programming has to be two to three times larger than the typical operation
+voltage" — both ferroelectric layers only switch above their coercive
+voltage, so normal logic swings cannot disturb the stored state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.devices.fefet import FeFET, FeFETParams, _softplus
+from repro.devices.rfet import Polarity
+from repro.utils.validation import check_positive
+
+
+class FeRFETState(enum.Enum):
+    """The four non-volatile operation states of Fig 10(b)."""
+
+    N_LRS = "n-lrs"
+    N_HRS = "n-hrs"
+    P_LRS = "p-lrs"
+    P_HRS = "p-hrs"
+
+    @property
+    def polarity(self) -> Polarity:
+        """Conduction type component of the state."""
+        return Polarity.N_TYPE if self.value.startswith("n") else Polarity.P_TYPE
+
+    @property
+    def low_resistive(self) -> bool:
+        """Whether the control-gate ferroelectric stores the LRS."""
+        return self.value.endswith("lrs")
+
+
+@dataclass
+class FeRFETParams:
+    """Compact-model parameters for a dual-gate FeRFET (24 nm class, [94])."""
+
+    vth_n_lrs: float = 0.3      # V, n-branch threshold with FE assisting
+                                #    (negative = depletion mode: the LRS
+                                #    device conducts even at 0 V gate, as
+                                #    the Fig 12(a) OR-type cell requires)
+    vth_n_hrs: float = 0.8      # V, n-branch threshold with FE opposing
+    transconductance: float = 1.5e-4  # A/V^2
+    subthreshold_slope: float = 0.1   # V
+    operating_voltage: float = 0.8    # V, logic VDD
+    coercive_voltage: float = 2.0     # V, both FE layers
+    off_current: float = 1e-12        # A, leakage floor
+
+    def __post_init__(self) -> None:
+        check_positive("vth_n_hrs", self.vth_n_hrs)
+        if self.vth_n_hrs <= self.vth_n_lrs:
+            raise ValueError(
+                "vth_n_hrs must exceed vth_n_lrs (HRS means higher threshold)"
+            )
+        check_positive("transconductance", self.transconductance)
+        check_positive("subthreshold_slope", self.subthreshold_slope)
+        check_positive("operating_voltage", self.operating_voltage)
+        check_positive("coercive_voltage", self.coercive_voltage)
+        check_positive("off_current", self.off_current)
+        ratio = self.coercive_voltage / self.operating_voltage
+        if not 1.5 <= ratio <= 4.0:
+            raise ValueError(
+                "coercive/operating voltage ratio should be roughly 2-3x "
+                f"(paper, Section V-A); got {ratio:.2f}"
+            )
+
+    @property
+    def program_voltage_ratio(self) -> float:
+        """Programming-to-operating voltage ratio (2-3x per the paper)."""
+        return self.coercive_voltage / self.operating_voltage
+
+
+class FeRFET:
+    """A dual-gate FeRFET with four non-volatile states.
+
+    The symmetric design mirrors the n-branch thresholds onto the p-branch
+    (``vth_p = -vth_n``), as in the TCAD model of [94] the paper's Fig 10
+    simulation is based on.
+    """
+
+    def __init__(
+        self,
+        params: Optional[FeRFETParams] = None,
+        state: FeRFETState = FeRFETState.N_HRS,
+    ) -> None:
+        self.params = params or FeRFETParams()
+        self._polarity = state.polarity
+        self._lrs = state.low_resistive
+
+    # ----------------------------------------------------------------- state
+    @property
+    def state(self) -> FeRFETState:
+        """Combined non-volatile state (one of the four of Fig 10(b))."""
+        if self._polarity is Polarity.N_TYPE:
+            return FeRFETState.N_LRS if self._lrs else FeRFETState.N_HRS
+        return FeRFETState.P_LRS if self._lrs else FeRFETState.P_HRS
+
+    @property
+    def polarity(self) -> Polarity:
+        """Stored conduction type (program-gate ferroelectric)."""
+        return self._polarity
+
+    @property
+    def low_resistive(self) -> bool:
+        """Stored threshold state (control-gate ferroelectric)."""
+        return self._lrs
+
+    @property
+    def threshold_voltage(self) -> float:
+        """Effective threshold for the stored polarity and Vth state."""
+        p = self.params
+        magnitude = p.vth_n_lrs if self._lrs else p.vth_n_hrs
+        return magnitude if self._polarity is Polarity.N_TYPE else -magnitude
+
+    # ----------------------------------------------------------- programming
+    def program_polarity(self, voltage: float) -> bool:
+        """Program the P-gate ferroelectric; returns ``True`` on a switch.
+
+        Requires ``|voltage| >= coercive_voltage``; positive programs
+        n-type, negative programs p-type.  Sub-coercive voltages (normal
+        operation) never disturb the state.
+        """
+        if abs(voltage) < self.params.coercive_voltage:
+            return False
+        new = Polarity.N_TYPE if voltage > 0 else Polarity.P_TYPE
+        changed = new is not self._polarity
+        self._polarity = new
+        return changed
+
+    def program_threshold_state(self, voltage: float) -> bool:
+        """Program the C-gate ferroelectric; returns ``True`` on a switch.
+
+        Positive coercive voltage sets LRS (low threshold), negative sets
+        HRS, mirroring the word-line set scheme of Fig 12(a).
+        """
+        if abs(voltage) < self.params.coercive_voltage:
+            return False
+        new_lrs = voltage > 0
+        changed = new_lrs is not self._lrs
+        self._lrs = new_lrs
+        return changed
+
+    def program_state(self, state: FeRFETState) -> None:
+        """Directly program both ferroelectric layers to ``state``."""
+        vc = self.params.coercive_voltage * 1.2
+        self.program_polarity(vc if state.polarity is Polarity.N_TYPE else -vc)
+        self.program_threshold_state(vc if state.low_resistive else -vc)
+
+    # --------------------------------------------------------------- current
+    def drain_current(self, v_control: float, v_drain: Optional[float] = None) -> float:
+        """Drain current at control-gate voltage ``v_control``.
+
+        Sub-coercive read voltages only: programming is explicit, via the
+        ``program_*`` methods, so a single I-V sweep does not destroy the
+        state (the read path in Fig 12 biases well below coercive).
+        """
+        p = self.params
+        if v_drain is None:
+            v_drain = p.operating_voltage
+        if self._polarity is Polarity.N_TYPE:
+            x = (v_control - self.threshold_voltage) / p.subthreshold_slope
+        else:
+            x = (self.threshold_voltage - v_control) / p.subthreshold_slope
+        overdrive = float(_softplus(np.asarray(x))) * p.subthreshold_slope
+        drive = p.transconductance * overdrive**2 * np.tanh(max(abs(v_drain), 0.0))
+        return float(drive + p.off_current)
+
+    def is_conducting(self, v_control: float, threshold_current: float = 1e-7) -> bool:
+        """Switch-level conduction test used by the FeRFET circuit cells."""
+        return self.drain_current(v_control) > threshold_current
+
+    # ------------------------------------------------------------- Fig 10(b)
+    def iv_curve(self, v_control: np.ndarray) -> np.ndarray:
+        """I-V sweep in the present state (vectorized over ``v_control``)."""
+        v_control = np.asarray(v_control, dtype=float)
+        return np.array([self.drain_current(float(v)) for v in v_control])
+
+    @classmethod
+    def four_state_curves(
+        cls,
+        params: Optional[FeRFETParams] = None,
+        v_min: float = -1.2,
+        v_max: float = 1.2,
+        points: int = 121,
+    ) -> Dict[FeRFETState, np.ndarray]:
+        """Reproduce Fig 10(b): transfer curves of all four states.
+
+        Returns a mapping from state to current array over the shared
+        voltage grid ``numpy.linspace(v_min, v_max, points)``.
+        """
+        params = params or FeRFETParams()
+        grid = np.linspace(v_min, v_max, points)
+        curves: Dict[FeRFETState, np.ndarray] = {}
+        for state in FeRFETState:
+            dev = cls(params=params, state=state)
+            curves[state] = dev.iv_curve(grid)
+        return curves
+
+    @staticmethod
+    def states_distinguishable(
+        curves: Dict[FeRFETState, np.ndarray],
+        v_grid: np.ndarray,
+        read_voltage: float,
+        min_ratio: float = 5.0,
+    ) -> bool:
+        """Check that LRS/HRS currents are separable at ``read_voltage``
+        for both polarities — the property Fig 10(b) demonstrates."""
+        idx = int(np.argmin(np.abs(np.asarray(v_grid) - read_voltage)))
+        idx_neg = int(np.argmin(np.abs(np.asarray(v_grid) + read_voltage)))
+        n_ok = (
+            curves[FeRFETState.N_LRS][idx]
+            >= min_ratio * curves[FeRFETState.N_HRS][idx]
+        )
+        p_ok = (
+            curves[FeRFETState.P_LRS][idx_neg]
+            >= min_ratio * curves[FeRFETState.P_HRS][idx_neg]
+        )
+        return bool(n_ok and p_ok)

@@ -1,0 +1,140 @@
+"""Reconfigurable FET (RFET) compact model.
+
+RFETs (Section V-A) are Schottky-barrier nanowire transistors with
+ambipolar conduction — both electron and hole transport are possible — and
+multiple independent gates.  The *program gate* selects which carrier type
+is injected, switching the device between n-type and p-type on the fly; the
+*control gate* then acts like a normal MOSFET gate for the selected
+polarity.  A NAND gate built from RFETs can be re-biased into a NOR [89].
+
+The model exposes exactly that abstraction: a volatile ``Polarity`` set by
+the program-gate voltage, plus an I-V for the selected branch.  The
+multi-independent-gate "wired-AND" behaviour of [102] is modelled by
+allowing extra series control gates: the device conducts only when *all*
+control gates enable it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.devices.fefet import _softplus
+from repro.utils.validation import check_positive
+
+
+class Polarity(enum.Enum):
+    """Conduction type selected by the program gate."""
+
+    N_TYPE = "n"
+    P_TYPE = "p"
+
+
+@dataclass
+class RFETParams:
+    """Compact-model parameters for an ambipolar Schottky-barrier RFET.
+
+    By symmetric design ([94]) the n- and p-branches share magnitudes.
+    """
+
+    vth_n: float = 0.4            # V, electron-branch threshold
+    vth_p: float = -0.4           # V, hole-branch threshold
+    transconductance: float = 1.5e-4   # A/V^2
+    subthreshold_slope: float = 0.1    # V
+    operating_voltage: float = 0.8     # V, logic VDD
+    program_threshold: float = 0.3     # V, |Vpg| needed to define polarity
+    n_control_gates: int = 1           # >1 models the wired-AND device [102]
+
+    def __post_init__(self) -> None:
+        check_positive("vth_n", self.vth_n)
+        if self.vth_p >= 0:
+            raise ValueError(f"vth_p must be negative, got {self.vth_p}")
+        check_positive("transconductance", self.transconductance)
+        check_positive("subthreshold_slope", self.subthreshold_slope)
+        check_positive("operating_voltage", self.operating_voltage)
+        check_positive("program_threshold", self.program_threshold)
+        if self.n_control_gates < 1:
+            raise ValueError(
+                f"n_control_gates must be >= 1, got {self.n_control_gates}"
+            )
+
+
+class RFET:
+    """A volatile reconfigurable FET.
+
+    The polarity is *not* retained without bias — this is the limitation
+    that motivates the ferroelectric co-integration in
+    :mod:`repro.devices.ferfet`.
+    """
+
+    def __init__(self, params: Optional[RFETParams] = None,
+                 polarity: Polarity = Polarity.N_TYPE) -> None:
+        self.params = params or RFETParams()
+        self._polarity = polarity
+
+    @property
+    def polarity(self) -> Polarity:
+        """Currently selected conduction type."""
+        return self._polarity
+
+    def apply_program_gate(self, voltage: float) -> None:
+        """Volatile polarity selection: positive program-gate voltage
+        selects electron (n-type) conduction, negative selects holes.
+
+        Voltages inside ``(-program_threshold, +program_threshold)`` leave
+        the Schottky barriers undefined; the polarity is unchanged.
+        """
+        if voltage >= self.params.program_threshold:
+            self._polarity = Polarity.N_TYPE
+        elif voltage <= -self.params.program_threshold:
+            self._polarity = Polarity.P_TYPE
+
+    def _branch_overdrive(self, v_gate: float) -> float:
+        p = self.params
+        if self._polarity is Polarity.N_TYPE:
+            x = (v_gate - p.vth_n) / p.subthreshold_slope
+        else:
+            x = (p.vth_p - v_gate) / p.subthreshold_slope
+        return float(_softplus(np.asarray(x))) * p.subthreshold_slope
+
+    def drain_current(
+        self,
+        v_control: float,
+        v_drain: Optional[float] = None,
+        extra_controls: Sequence[float] = (),
+    ) -> float:
+        """Drain current for control-gate voltage ``v_control``.
+
+        ``extra_controls`` supplies the additional independent control
+        gates of a wired-AND RFET ([102]); conduction requires every gate
+        to be turned on, so the weakest gate dominates (series channel).
+        """
+        p = self.params
+        if len(extra_controls) != p.n_control_gates - 1:
+            raise ValueError(
+                f"expected {p.n_control_gates - 1} extra control voltages, "
+                f"got {len(extra_controls)}"
+            )
+        if v_drain is None:
+            v_drain = p.operating_voltage
+        overdrives = [self._branch_overdrive(v_control)]
+        overdrives.extend(self._branch_overdrive(v) for v in extra_controls)
+        limiting = min(overdrives)
+        return float(
+            p.transconductance * limiting**2 * np.tanh(max(abs(v_drain), 0.0))
+        )
+
+    def is_conducting(
+        self,
+        v_control: float,
+        extra_controls: Sequence[float] = (),
+        threshold_current: float = 1e-7,
+    ) -> bool:
+        """Switch-level conduction test (used by the circuit simulator)."""
+        return (
+            self.drain_current(v_control, extra_controls=extra_controls)
+            > threshold_current
+        )

@@ -1,0 +1,137 @@
+"""Memory-technology presets for CIM arrays.
+
+Section II-B: "The memory array for CIM architecture can be implemented
+using different non-volatile memory technologies such as Phase Changing
+Memory (PCM), Resistive Random Access memory (ReRAM) and magnetic
+memories (MRAM) as well as conventional volatile memory technologies such
+as SRAM ...  the basic concept of CIM and its core functional units are
+similar and independent of the adopted memory technology."
+
+Each preset bundles the technology-dependent parameters the rest of the
+stack consumes — conductance window, achievable levels, variability,
+endurance, write cost, volatility — with magnitudes representative of the
+device literature.  Swapping presets re-runs any CIM experiment on a
+different technology; the cross-technology benchmark does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.devices.reram import ConductanceLevels
+from repro.devices.variability import (
+    DriftModel,
+    ReadNoiseModel,
+    VariabilityStack,
+    WriteVariationModel,
+)
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TechnologyProfile:
+    """Technology-dependent parameters of a CIM memory array."""
+
+    name: str
+    levels: ConductanceLevels
+    write_variation_sigma: float
+    read_noise_sigma: float
+    drift_nu: float
+    endurance: float               # write cycles (characteristic life)
+    write_energy: float            # J per cell write
+    write_latency: float           # s per write pulse
+    non_volatile: bool
+    leakage_per_cell: float        # W of standby leakage
+
+    def __post_init__(self) -> None:
+        check_positive("endurance", self.endurance)
+        check_positive("write_energy", self.write_energy)
+        check_positive("write_latency", self.write_latency)
+        if self.leakage_per_cell < 0:
+            raise ValueError("leakage_per_cell must be >= 0")
+
+    def variability(self) -> VariabilityStack:
+        """Build the matching variability stack."""
+        return VariabilityStack(
+            write=WriteVariationModel(sigma=self.write_variation_sigma),
+            read=ReadNoiseModel(sigma=self.read_noise_sigma),
+            drift=DriftModel(nu=self.drift_nu),
+        )
+
+    def standby_power(self, cells: int) -> float:
+        """Array leakage for ``cells`` cells (zero for NVM: the paper's
+        'zero leakage' advantage)."""
+        if cells < 0:
+            raise ValueError(f"cells must be >= 0, got {cells}")
+        return self.leakage_per_cell * cells
+
+
+#: Representative parameter sets (magnitudes from the device literature).
+_PRESETS: Dict[str, TechnologyProfile] = {
+    "reram": TechnologyProfile(
+        name="reram",
+        levels=ConductanceLevels(g_min=1e-6, g_max=1e-4, n_levels=16),
+        write_variation_sigma=0.05,
+        read_noise_sigma=0.01,
+        drift_nu=0.005,
+        endurance=1e7,
+        write_energy=10e-12,
+        write_latency=50e-9,
+        non_volatile=True,
+        leakage_per_cell=0.0,
+    ),
+    "pcm": TechnologyProfile(
+        name="pcm",
+        levels=ConductanceLevels(g_min=5e-7, g_max=5e-5, n_levels=16),
+        write_variation_sigma=0.08,
+        read_noise_sigma=0.015,
+        drift_nu=0.03,              # PCM's signature resistance drift
+        endurance=1e8,
+        write_energy=30e-12,        # melt-quench RESET is expensive
+        write_latency=100e-9,
+        non_volatile=True,
+        leakage_per_cell=0.0,
+    ),
+    "mram": TechnologyProfile(
+        name="mram",
+        levels=ConductanceLevels(
+            g_min=3e-5, g_max=6e-5, n_levels=2   # TMR ~100%: binary only
+        ),
+        write_variation_sigma=0.02,
+        read_noise_sigma=0.02,      # small read window
+        drift_nu=0.0,
+        endurance=1e15,             # effectively unlimited
+        write_energy=5e-12,
+        write_latency=10e-9,
+        non_volatile=True,
+        leakage_per_cell=0.0,
+    ),
+    "sram": TechnologyProfile(
+        name="sram",
+        levels=ConductanceLevels(g_min=1e-6, g_max=2e-5, n_levels=2),
+        write_variation_sigma=0.0,  # digital storage
+        read_noise_sigma=0.005,
+        drift_nu=0.0,
+        endurance=1e16,
+        write_energy=0.5e-15,
+        write_latency=0.5e-9,
+        non_volatile=False,
+        leakage_per_cell=10e-12,    # the volatile-technology tax
+    ),
+}
+
+
+def technology_preset(name: str) -> TechnologyProfile:
+    """Look up a preset by name ('reram', 'pcm', 'mram', 'sram')."""
+    key = name.lower()
+    if key not in _PRESETS:
+        raise ValueError(
+            f"unknown technology {name!r}; available: {sorted(_PRESETS)}"
+        )
+    return _PRESETS[key]
+
+
+def available_technologies() -> list:
+    """Names of all presets."""
+    return sorted(_PRESETS)

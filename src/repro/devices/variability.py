@@ -1,0 +1,131 @@
+"""Stochastic non-ideality models for ReRAM cells.
+
+Section III of the paper stresses that "write variation always exists while
+programming a ReRAM cell and we end up writing to the cell from a certain
+conductance distribution, instead of a specific conductance value" [41].
+This module provides the three stochastic processes the survey names:
+
+* **write variation** — programming lands on a lognormal distribution
+  centred on the target conductance;
+* **read noise** — every read adds small multiplicative Gaussian noise
+  (and may disturb the state: see :mod:`repro.faults.models`);
+* **drift** — conductance relaxes over time toward HRS, as observed in
+  filamentary devices.
+
+All models are vectorized: they accept scalars or arrays of conductances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass
+class WriteVariationModel:
+    """Lognormal programming variation.
+
+    A program operation targeting conductance ``g`` lands on
+    ``g * exp(sigma * z)`` with ``z ~ N(0, 1)``, then is clipped to the
+    physical conductance range.  ``sigma = 0`` gives ideal writes.
+    """
+
+    sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_non_negative("sigma", self.sigma)
+
+    def apply(self, target: np.ndarray, rng: RNGLike = None) -> np.ndarray:
+        """Sample actual programmed conductances for ``target``."""
+        target = np.asarray(target, dtype=float)
+        if self.sigma == 0:
+            return target.copy()
+        gen = ensure_rng(rng)
+        factor = np.exp(self.sigma * gen.standard_normal(target.shape))
+        return target * factor
+
+
+@dataclass
+class ReadNoiseModel:
+    """Multiplicative Gaussian read noise.
+
+    Each observation of conductance ``g`` returns ``g * (1 + sigma * z)``.
+    This models thermal and RTN noise at the sense amplifier input and is
+    the reason the paper's Section II-E lists "low noise margin" as the
+    first ADC challenge.
+    """
+
+    sigma: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_non_negative("sigma", self.sigma)
+
+    def apply(self, conductance: np.ndarray, rng: RNGLike = None) -> np.ndarray:
+        """Sample one noisy observation of ``conductance``."""
+        conductance = np.asarray(conductance, dtype=float)
+        if self.sigma == 0:
+            return conductance.copy()
+        gen = ensure_rng(rng)
+        noise = 1.0 + self.sigma * gen.standard_normal(conductance.shape)
+        return conductance * np.clip(noise, 0.0, None)
+
+
+@dataclass
+class DriftModel:
+    """Power-law conductance drift toward the high-resistive state.
+
+    ``g(t) = g0 * (1 + t / t0) ** (-nu)`` — the standard model for
+    filament relaxation (and PCM resistance drift).  ``nu = 0`` disables
+    drift.
+    """
+
+    nu: float = 0.005
+    t0: float = 1.0  # seconds; reference time after programming
+
+    def __post_init__(self) -> None:
+        check_non_negative("nu", self.nu)
+        check_positive("t0", self.t0)
+
+    def apply(self, conductance: np.ndarray, elapsed: float) -> np.ndarray:
+        """Return conductance after ``elapsed`` seconds of relaxation."""
+        check_non_negative("elapsed", elapsed)
+        conductance = np.asarray(conductance, dtype=float)
+        if self.nu == 0 or elapsed == 0:
+            return conductance.copy()
+        return conductance * (1.0 + elapsed / self.t0) ** (-self.nu)
+
+
+@dataclass
+class VariabilityStack:
+    """Bundle of the three stochastic models with a shared RNG stream.
+
+    This is the object that :class:`repro.crossbar.array.CrossbarArray`
+    consumes; passing ``VariabilityStack.ideal()`` turns all non-idealities
+    off.
+    """
+
+    write: WriteVariationModel
+    read: ReadNoiseModel
+    drift: DriftModel
+
+    @classmethod
+    def ideal(cls) -> "VariabilityStack":
+        """A stack with every non-ideality disabled."""
+        return cls(
+            write=WriteVariationModel(sigma=0.0),
+            read=ReadNoiseModel(sigma=0.0),
+            drift=DriftModel(nu=0.0),
+        )
+
+    @classmethod
+    def typical(cls) -> "VariabilityStack":
+        """Default magnitudes representative of HfOx ReRAM literature."""
+        return cls(
+            write=WriteVariationModel(sigma=0.05),
+            read=ReadNoiseModel(sigma=0.01),
+            drift=DriftModel(nu=0.005),
+        )

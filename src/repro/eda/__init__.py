@@ -1,0 +1,94 @@
+"""EDA flow for ReRAM-based computation-in-memory (Section IV, Fig 8).
+
+The flow follows the paper's three phases:
+
+1. **technology-independent logic synthesis** — Boolean functions are
+   represented and optimized as And-Inverter Graphs
+   (:mod:`repro.eda.aig`), Majority-Inverter Graphs (:mod:`repro.eda.mig`),
+   Binary Decision Diagrams (:mod:`repro.eda.bdd`) or Exclusive
+   Sums-of-Products (:mod:`repro.eda.esop`);
+2. **technology-dependent optimization** — representation-specific
+   rewriting (AIG rewriting, MIG depth rewriting, ESOP cube merging);
+3. **technology mapping** — instruction sequences for the three stateful
+   logic families of Section IV-A: material implication
+   (:mod:`repro.eda.imply_mapping`), majority/ReVAMP
+   (:mod:`repro.eda.majority_mapping`) and MAGIC NOR/NOT
+   (:mod:`repro.eda.magic_mapping`), each with a functional simulator so
+   every mapping is *verified*, plus delay (steps) and area (devices)
+   metrics.
+
+:mod:`repro.eda.flow` orchestrates the full Fig 8 pipeline and
+:mod:`repro.eda.benchmarks` supplies the circuit suite the comparison
+benchmarks sweep.
+"""
+
+from repro.eda.boolean import TruthTable
+from repro.eda.aig import AIG, aig_from_truth_table
+from repro.eda.mig import MIG, mig_from_aig, mig_from_truth_table
+from repro.eda.bdd import BDD
+from repro.eda.esop import EsopCube, Esop, esop_from_truth_table
+from repro.eda.netlist import NorNetlist, nor_netlist_from_aig
+from repro.eda.imply_mapping import ImplyProgram, map_aig_to_imply
+from repro.eda.majority_mapping import MajorityMapping, map_mig_to_majority
+from repro.eda.magic_mapping import (
+    MagicProgram,
+    map_netlist_to_magic_single_row,
+    map_netlist_to_magic_crossbar,
+    map_netlist_to_magic_constrained,
+)
+from repro.eda.flow import EdaFlow, FlowResult
+from repro.eda.optimization import (
+    aig_balance,
+    bdd_size_for_order,
+    permute_truth_table,
+    sift_variable_order,
+)
+from repro.eda.execution import (
+    CrossbarLogicExecutor,
+    ExecutionReport,
+    SimdRowExecutor,
+    array_for_program,
+)
+from repro.eda.verification import (
+    EquivalenceResult,
+    check_aig_equivalence,
+    check_aig_mig_equivalence,
+)
+from repro.eda import benchmarks
+
+__all__ = [
+    "TruthTable",
+    "AIG",
+    "aig_from_truth_table",
+    "MIG",
+    "mig_from_aig",
+    "mig_from_truth_table",
+    "BDD",
+    "EsopCube",
+    "Esop",
+    "esop_from_truth_table",
+    "NorNetlist",
+    "nor_netlist_from_aig",
+    "ImplyProgram",
+    "map_aig_to_imply",
+    "MajorityMapping",
+    "map_mig_to_majority",
+    "MagicProgram",
+    "map_netlist_to_magic_single_row",
+    "map_netlist_to_magic_crossbar",
+    "map_netlist_to_magic_constrained",
+    "EdaFlow",
+    "FlowResult",
+    "aig_balance",
+    "bdd_size_for_order",
+    "permute_truth_table",
+    "sift_variable_order",
+    "CrossbarLogicExecutor",
+    "ExecutionReport",
+    "SimdRowExecutor",
+    "array_for_program",
+    "EquivalenceResult",
+    "check_aig_equivalence",
+    "check_aig_mig_equivalence",
+    "benchmarks",
+]

@@ -1,0 +1,255 @@
+"""And-Inverter Graphs (AIG) — the workhorse synthesis representation [54].
+
+Literals follow the ABC convention: literal ``2*n`` is node ``n``, literal
+``2*n + 1`` is its complement.  Node 0 is the constant FALSE, so literal 0
+is FALSE and literal 1 is TRUE.  Inputs are nodes ``1 .. n_inputs``; AND
+nodes follow.  Structural hashing and the standard two-level
+simplifications run at construction time, so building an AIG *is* a light
+synthesis pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eda.boolean import TruthTable
+
+
+def lit(node: int, complement: bool = False) -> int:
+    """Make a literal from a node index."""
+    return 2 * node + int(complement)
+
+
+def lit_node(literal: int) -> int:
+    """Node index of a literal."""
+    return literal >> 1
+
+def lit_complemented(literal: int) -> bool:
+    """Whether the literal is complemented."""
+    return bool(literal & 1)
+
+
+def lit_not(literal: int) -> int:
+    """Complement a literal."""
+    return literal ^ 1
+
+
+FALSE_LIT = 0
+TRUE_LIT = 1
+
+
+class AIG:
+    """A structurally hashed And-Inverter Graph."""
+
+    def __init__(self, n_inputs: int) -> None:
+        if n_inputs < 0:
+            raise ValueError(f"n_inputs must be >= 0, got {n_inputs}")
+        self.n_inputs = n_inputs
+        # ands[i] = (fanin0_lit, fanin1_lit) for node (1 + n_inputs + i).
+        self.ands: List[Tuple[int, int]] = []
+        self.outputs: List[int] = []
+        self._strash: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------ structure
+    @property
+    def n_nodes(self) -> int:
+        """Number of AND nodes (the size/area metric)."""
+        return len(self.ands)
+
+    @property
+    def first_and_node(self) -> int:
+        return 1 + self.n_inputs
+
+    def input_lit(self, index: int) -> int:
+        """Literal of primary input ``index``."""
+        if not 0 <= index < self.n_inputs:
+            raise ValueError(
+                f"input index must be in [0, {self.n_inputs - 1}], got {index}"
+            )
+        return lit(1 + index)
+
+    def is_input_node(self, node: int) -> bool:
+        """Whether ``node`` is a primary input."""
+        return 1 <= node <= self.n_inputs
+
+    def node_fanins(self, node: int) -> Tuple[int, int]:
+        """Fanin literals of an AND node."""
+        idx = node - self.first_and_node
+        if not 0 <= idx < len(self.ands):
+            raise ValueError(f"node {node} is not an AND node")
+        return self.ands[idx]
+
+    # ----------------------------------------------------------- operators
+    def and_(self, a: int, b: int) -> int:
+        """AND of two literals with simplification + structural hashing."""
+        self._check_lit(a)
+        self._check_lit(b)
+        if a > b:
+            a, b = b, a
+        if a == FALSE_LIT:
+            return FALSE_LIT
+        if a == TRUE_LIT:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return FALSE_LIT
+        key = (a, b)
+        if key in self._strash:
+            return lit(self._strash[key])
+        node = self.first_and_node + len(self.ands)
+        self.ands.append(key)
+        self._strash[key] = node
+        return lit(node)
+
+    def or_(self, a: int, b: int) -> int:
+        """OR via De Morgan."""
+        return lit_not(self.and_(lit_not(a), lit_not(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        """XOR as (a AND NOT b) OR (NOT a AND b)."""
+        return self.or_(self.and_(a, lit_not(b)), self.and_(lit_not(a), b))
+
+    def mux(self, sel: int, then_lit: int, else_lit: int) -> int:
+        """If-then-else: ``sel ? then : else``."""
+        return self.or_(
+            self.and_(sel, then_lit), self.and_(lit_not(sel), else_lit)
+        )
+
+    def maj(self, a: int, b: int, c: int) -> int:
+        """Three-input majority out of ANDs/ORs."""
+        return self.or_(
+            self.or_(self.and_(a, b), self.and_(b, c)), self.and_(a, c)
+        )
+
+    def add_output(self, literal: int) -> int:
+        """Register ``literal`` as a primary output; returns its index."""
+        self._check_lit(literal)
+        self.outputs.append(literal)
+        return len(self.outputs) - 1
+
+    # ----------------------------------------------------------- evaluation
+    def simulate(self, input_values: Sequence[int]) -> List[int]:
+        """Evaluate all outputs for one 0/1 input assignment."""
+        if len(input_values) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} inputs, got {len(input_values)}"
+            )
+        values = [0] * (self.first_and_node + len(self.ands))
+        for i, v in enumerate(input_values):
+            if v not in (0, 1):
+                raise ValueError(f"inputs must be 0/1, got {v}")
+            values[1 + i] = v
+        for idx, (fa, fb) in enumerate(self.ands):
+            node = self.first_and_node + idx
+            va = values[lit_node(fa)] ^ int(lit_complemented(fa))
+            vb = values[lit_node(fb)] ^ int(lit_complemented(fb))
+            values[node] = va & vb
+        return [
+            values[lit_node(o)] ^ int(lit_complemented(o)) for o in self.outputs
+        ]
+
+    def to_truth_tables(self) -> List[TruthTable]:
+        """Truth tables of all outputs (bit-parallel simulation)."""
+        full = (1 << (1 << self.n_inputs)) - 1
+        tables = [0] * (self.first_and_node + len(self.ands))
+        for i in range(self.n_inputs):
+            tables[1 + i] = TruthTable.variable(self.n_inputs, i).bits
+        for idx, (fa, fb) in enumerate(self.ands):
+            node = self.first_and_node + idx
+            ta = tables[lit_node(fa)] ^ (full if lit_complemented(fa) else 0)
+            tb = tables[lit_node(fb)] ^ (full if lit_complemented(fb) else 0)
+            tables[node] = ta & tb
+        result = []
+        for o in self.outputs:
+            bits = tables[lit_node(o)] ^ (full if lit_complemented(o) else 0)
+            result.append(TruthTable(self.n_inputs, bits))
+        return result
+
+    # -------------------------------------------------------------- metrics
+    def levels(self) -> int:
+        """Logic depth (inputs/constants at level 0)."""
+        level = [0] * (self.first_and_node + len(self.ands))
+        for idx, (fa, fb) in enumerate(self.ands):
+            node = self.first_and_node + idx
+            level[node] = 1 + max(level[lit_node(fa)], level[lit_node(fb)])
+        if not self.outputs:
+            return 0
+        return max(level[lit_node(o)] for o in self.outputs)
+
+    def node_levels(self) -> Dict[int, int]:
+        """Level of every node (for scheduling in technology mapping)."""
+        level = {0: 0}
+        for i in range(self.n_inputs):
+            level[1 + i] = 0
+        for idx, (fa, fb) in enumerate(self.ands):
+            node = self.first_and_node + idx
+            level[node] = 1 + max(level[lit_node(fa)], level[lit_node(fb)])
+        return level
+
+    def cleanup(self) -> "AIG":
+        """Return a copy without nodes unreachable from the outputs."""
+        reachable = set()
+        stack = [lit_node(o) for o in self.outputs]
+        while stack:
+            node = stack.pop()
+            if node in reachable or node < self.first_and_node:
+                continue
+            reachable.add(node)
+            fa, fb = self.node_fanins(node)
+            stack.extend([lit_node(fa), lit_node(fb)])
+        new = AIG(self.n_inputs)
+        remap: Dict[int, int] = {0: 0}
+        for i in range(self.n_inputs):
+            remap[1 + i] = 1 + i
+        for idx, (fa, fb) in enumerate(self.ands):
+            node = self.first_and_node + idx
+            if node not in reachable:
+                continue
+            na = lit(remap[lit_node(fa)], lit_complemented(fa))
+            nb = lit(remap[lit_node(fb)], lit_complemented(fb))
+            remap[node] = lit_node(new.and_(na, nb))
+        for o in self.outputs:
+            new.add_output(lit(remap[lit_node(o)], lit_complemented(o)))
+        return new
+
+    def _check_lit(self, literal: int) -> None:
+        node = lit_node(literal)
+        if not 0 <= node < self.first_and_node + len(self.ands):
+            raise ValueError(f"literal {literal} references unknown node {node}")
+
+
+def aig_from_truth_table(table: TruthTable, aig: Optional[AIG] = None) -> Tuple[AIG, int]:
+    """Synthesize ``table`` into an AIG via memoized Shannon decomposition.
+
+    Returns ``(aig, output_literal)``.  If ``aig`` is given, the logic is
+    added to it (sharing existing structure through the strash); otherwise
+    a fresh AIG with ``table.n_vars`` inputs is created.  The output is
+    *not* registered; call ``aig.add_output`` if desired.
+    """
+    if aig is None:
+        aig = AIG(table.n_vars)
+    elif aig.n_inputs < table.n_vars:
+        raise ValueError(
+            f"AIG has {aig.n_inputs} inputs but table needs {table.n_vars}"
+        )
+    memo: Dict[int, int] = {}
+
+    def build(tt: TruthTable) -> int:
+        if tt.bits == 0:
+            return FALSE_LIT
+        if tt.bits == (1 << (1 << tt.n_vars)) - 1:
+            return TRUE_LIT
+        if tt.bits in memo:
+            return memo[tt.bits]
+        support = tt.support()
+        var = support[-1]  # split on the highest support variable
+        low = build(tt.cofactor(var, 0))
+        high = build(tt.cofactor(var, 1))
+        x = aig.input_lit(var)
+        result = aig.mux(x, high, low)
+        memo[tt.bits] = result
+        return result
+
+    return aig, build(table)

@@ -1,0 +1,185 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDD) [57].
+
+One of the intermediate representations named by Section IV-B.  A shared
+unique table guarantees canonicity for a fixed variable order, so
+equivalence checking between synthesis results is a pointer comparison —
+the property the flow's verification step uses.
+
+Nodes are integers; 0 and 1 are the terminals.  Variable order is the
+identity over ``x0 < x1 < ...`` (lower index tested first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eda.boolean import TruthTable
+
+
+class BDD:
+    """A shared ROBDD manager."""
+
+    ZERO = 0
+    ONE = 1
+
+    def __init__(self, n_vars: int) -> None:
+        if n_vars < 0:
+            raise ValueError(f"n_vars must be >= 0, got {n_vars}")
+        self.n_vars = n_vars
+        # node id -> (var, low, high); terminals use var = n_vars.
+        self._nodes: List[Tuple[int, int, int]] = [
+            (n_vars, 0, 0),   # ZERO
+            (n_vars, 1, 1),   # ONE
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ----------------------------------------------------------- structure
+    def var_of(self, node: int) -> int:
+        """Decision variable of ``node`` (``n_vars`` for terminals)."""
+        return self._nodes[node][0]
+
+    def low(self, node: int) -> int:
+        """Else-branch child."""
+        return self._nodes[node][1]
+
+    def high(self, node: int) -> int:
+        """Then-branch child."""
+        return self._nodes[node][2]
+
+    def is_terminal(self, node: int) -> bool:
+        """Whether ``node`` is ZERO or ONE."""
+        return node in (self.ZERO, self.ONE)
+
+    def _make(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        if key in self._unique:
+            return self._unique[key]
+        self._nodes.append(key)
+        node = len(self._nodes) - 1
+        self._unique[key] = node
+        return node
+
+    # ----------------------------------------------------------- operators
+    def variable(self, index: int) -> int:
+        """BDD for the projection ``x_index``."""
+        if not 0 <= index < self.n_vars:
+            raise ValueError(
+                f"variable index must be in [0, {self.n_vars - 1}], got {index}"
+            )
+        return self._make(index, self.ZERO, self.ONE)
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the universal BDD operator."""
+        if f == self.ONE:
+            return g
+        if f == self.ZERO:
+            return h
+        if g == h:
+            return g
+        if g == self.ONE and h == self.ZERO:
+            return f
+        key = (f, g, h)
+        if key in self._ite_cache:
+            return self._ite_cache[key]
+        top = min(self.var_of(f), self.var_of(g), self.var_of(h))
+
+        def cofactor(node: int, value: int) -> int:
+            if self.var_of(node) != top:
+                return node
+            return self.high(node) if value else self.low(node)
+
+        low = self.ite(cofactor(f, 0), cofactor(g, 0), cofactor(h, 0))
+        high = self.ite(cofactor(f, 1), cofactor(g, 1), cofactor(h, 1))
+        result = self._make(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def not_(self, f: int) -> int:
+        """Negation."""
+        return self.ite(f, self.ZERO, self.ONE)
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, self.ZERO)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, self.ONE, g)
+
+    def xor_(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.not_(g), g)
+
+    # ---------------------------------------------------------- conversion
+    def from_truth_table(self, table: TruthTable) -> int:
+        """Build the canonical BDD of ``table``."""
+        if table.n_vars != self.n_vars:
+            raise ValueError(
+                f"table has {table.n_vars} vars, manager has {self.n_vars}"
+            )
+
+        memo: Dict[Tuple[int, int], int] = {}
+
+        def shannon(tt: TruthTable, var: int) -> int:
+            if tt.bits == 0:
+                return self.ZERO
+            if tt.bits == (1 << (1 << tt.n_vars)) - 1:
+                return self.ONE
+            key = (tt.bits, var)
+            if key in memo:
+                return memo[key]
+            low = shannon(tt.cofactor(var, 0), var + 1)
+            high = shannon(tt.cofactor(var, 1), var + 1)
+            node = self._make(var, low, high)
+            memo[key] = node
+            return node
+
+        return shannon(table, 0)
+
+    def to_truth_table(self, node: int) -> TruthTable:
+        """Expand a BDD back to an explicit truth table."""
+        bits = 0
+        for minterm in range(1 << self.n_vars):
+            if self.evaluate(node, [(minterm >> i) & 1 for i in range(self.n_vars)]):
+                bits |= 1 << minterm
+        return TruthTable(self.n_vars, bits)
+
+    # ----------------------------------------------------------- evaluation
+    def evaluate(self, node: int, inputs: Sequence[int]) -> int:
+        """Evaluate ``node`` on one input assignment."""
+        if len(inputs) != self.n_vars:
+            raise ValueError(
+                f"expected {self.n_vars} inputs, got {len(inputs)}"
+            )
+        while not self.is_terminal(node):
+            var = self.var_of(node)
+            node = self.high(node) if inputs[var] else self.low(node)
+        return 1 if node == self.ONE else 0
+
+    def count_nodes(self, node: int) -> int:
+        """Number of decision nodes reachable from ``node``."""
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in seen or self.is_terminal(n):
+                continue
+            seen.add(n)
+            stack.extend([self.low(n), self.high(n)])
+        return len(seen)
+
+    def sat_count(self, node: int) -> int:
+        """Number of satisfying assignments of ``node``."""
+        def count(n: int, var: int) -> int:
+            if n == self.ZERO:
+                return 0
+            if n == self.ONE:
+                return 1 << (self.n_vars - var)
+            nv = self.var_of(n)
+            below = count(self.low(n), nv + 1) + count(self.high(n), nv + 1)
+            return below << (nv - var)
+
+        return count(node, 0)

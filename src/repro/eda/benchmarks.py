@@ -1,0 +1,161 @@
+"""Benchmark circuit suite for the EDA flow comparison.
+
+Generators build multi-output AIGs for the arithmetic/control circuits
+technology-mapping papers sweep: ripple-carry adders, parity trees,
+n-input majority, multiplexers, comparators and small array multipliers,
+plus seeded random functions for property-style coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.eda.aig import AIG, FALSE_LIT, lit_not
+from repro.eda.boolean import TruthTable
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+def full_adder(aig: AIG, a: int, b: int, cin: int) -> Tuple[int, int]:
+    """Add a 1-bit full adder; returns (sum, carry) literals."""
+    axb = aig.xor_(a, b)
+    s = aig.xor_(axb, cin)
+    carry = aig.or_(aig.and_(a, b), aig.and_(axb, cin))
+    return s, carry
+
+
+def ripple_carry_adder(n_bits: int) -> AIG:
+    """``n_bits``-bit ripple-carry adder: inputs ``a0..a(n-1), b0..b(n-1)``,
+    outputs ``s0..s(n-1), cout``."""
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    aig = AIG(2 * n_bits)
+    carry = FALSE_LIT
+    for i in range(n_bits):
+        a = aig.input_lit(i)
+        b = aig.input_lit(n_bits + i)
+        s, carry = full_adder(aig, a, b, carry)
+        aig.add_output(s)
+    aig.add_output(carry)
+    return aig
+
+
+def parity(n_bits: int) -> AIG:
+    """XOR tree over ``n_bits`` inputs."""
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    aig = AIG(n_bits)
+    acc = aig.input_lit(0)
+    for i in range(1, n_bits):
+        acc = aig.xor_(acc, aig.input_lit(i))
+    aig.add_output(acc)
+    return aig
+
+
+def majority_n(n_bits: int) -> AIG:
+    """N-input majority (n odd): 1 iff more than half the inputs are 1.
+
+    Built as a population-count threshold — the archetypal threshold-logic
+    function (Section II-D3).
+    """
+    if n_bits < 1 or n_bits % 2 == 0:
+        raise ValueError(f"n_bits must be odd and >= 1, got {n_bits}")
+    table = TruthTable.from_function(
+        n_bits, lambda *xs: sum(xs) > n_bits // 2
+    )
+    from repro.eda.aig import aig_from_truth_table
+
+    aig, out = aig_from_truth_table(table)
+    aig.add_output(out)
+    return aig.cleanup()
+
+
+def multiplexer(n_select: int) -> AIG:
+    """``2**n_select``-to-1 multiplexer; inputs are the data words followed
+    by the select bits."""
+    if n_select < 1:
+        raise ValueError(f"n_select must be >= 1, got {n_select}")
+    n_data = 1 << n_select
+    aig = AIG(n_data + n_select)
+    leaves = [aig.input_lit(i) for i in range(n_data)]
+    for level in range(n_select):
+        sel = aig.input_lit(n_data + level)
+        leaves = [
+            aig.mux(sel, leaves[2 * i + 1], leaves[2 * i])
+            for i in range(len(leaves) // 2)
+        ]
+    aig.add_output(leaves[0])
+    return aig
+
+
+def comparator(n_bits: int) -> AIG:
+    """Unsigned ``a > b`` comparator over two ``n_bits`` words."""
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    aig = AIG(2 * n_bits)
+    gt = FALSE_LIT
+    eq = 1  # TRUE
+    for i in range(n_bits - 1, -1, -1):  # MSB first
+        a = aig.input_lit(i)
+        b = aig.input_lit(n_bits + i)
+        bit_gt = aig.and_(a, lit_not(b))
+        bit_eq = lit_not(aig.xor_(a, b))
+        gt = aig.or_(gt, aig.and_(eq, bit_gt))
+        eq = aig.and_(eq, bit_eq)
+    aig.add_output(gt)
+    return aig
+
+
+def array_multiplier(n_bits: int) -> AIG:
+    """``n_bits x n_bits`` unsigned array multiplier (2n output bits)."""
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    aig = AIG(2 * n_bits)
+    # Partial products.
+    columns: List[List[int]] = [[] for _ in range(2 * n_bits)]
+    for i in range(n_bits):
+        for j in range(n_bits):
+            columns[i + j].append(
+                aig.and_(aig.input_lit(i), aig.input_lit(n_bits + j))
+            )
+    # Carry-save reduction with full adders.
+    for col in range(2 * n_bits):
+        while len(columns[col]) > 1:
+            if len(columns[col]) >= 3:
+                a, b, c = (columns[col].pop() for _ in range(3))
+                s, carry = full_adder(aig, a, b, c)
+            else:
+                a, b = columns[col].pop(), columns[col].pop()
+                s, carry = full_adder(aig, a, b, FALSE_LIT)
+            columns[col].append(s)
+            columns[col + 1].append(carry) if col + 1 < 2 * n_bits else None
+    for col in range(2 * n_bits):
+        aig.add_output(columns[col][0] if columns[col] else FALSE_LIT)
+    return aig
+
+
+def random_function(n_vars: int, rng: RNGLike = None) -> TruthTable:
+    """A uniformly random ``n_vars``-input truth table."""
+    if not 1 <= n_vars <= 16:
+        raise ValueError(f"n_vars must be in [1, 16], got {n_vars}")
+    gen = ensure_rng(rng)
+    n_bits = 1 << n_vars
+    bits = 0
+    for chunk_start in range(0, n_bits, 60):
+        width = min(60, n_bits - chunk_start)
+        bits |= int(gen.integers(0, 1 << width)) << chunk_start
+    return TruthTable(n_vars, bits)
+
+
+def standard_suite() -> Dict[str, AIG]:
+    """The circuit set swept by the Section IV comparison benchmark."""
+    return {
+        "adder4": ripple_carry_adder(4),
+        "adder8": ripple_carry_adder(8),
+        "parity8": parity(8),
+        "parity16": parity(16),
+        "majority5": majority_n(5),
+        "majority7": majority_n(7),
+        "mux8": multiplexer(3),
+        "comparator4": comparator(4),
+        "multiplier3": array_multiplier(3),
+    }

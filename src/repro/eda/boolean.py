@@ -1,0 +1,181 @@
+"""Truth-table representation of Boolean functions.
+
+The common currency of the EDA flow: every representation (AIG, MIG, BDD,
+ESOP) can be built from and verified against a :class:`TruthTable`.
+Tables are stored as Python integers (bit ``m`` holds ``f`` on input
+minterm ``m``), which keeps set operations exact and fast for the function
+sizes technology mapping works with (up to ~16 variables).
+
+Input bit convention: variable ``i`` corresponds to bit ``i`` of the
+minterm index, so ``x0`` is the least significant input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence
+
+
+def _mask(n_vars: int) -> int:
+    return (1 << (1 << n_vars)) - 1
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """An ``n_vars``-input single-output Boolean function."""
+
+    n_vars: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n_vars <= 20:
+            raise ValueError(
+                f"n_vars must be in [0, 20] for explicit tables, got {self.n_vars}"
+            )
+        if not 0 <= self.bits <= _mask(self.n_vars):
+            raise ValueError(
+                f"bits 0x{self.bits:x} out of range for {self.n_vars} variables"
+            )
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def from_function(cls, n_vars: int, fn: Callable[..., int]) -> "TruthTable":
+        """Build a table by evaluating ``fn`` on every input combination.
+
+        ``fn`` receives ``n_vars`` ints (0/1), least-significant variable
+        first, and returns a truthy/falsy value.
+        """
+        bits = 0
+        for minterm in range(1 << n_vars):
+            inputs = [(minterm >> i) & 1 for i in range(n_vars)]
+            if fn(*inputs):
+                bits |= 1 << minterm
+        return cls(n_vars, bits)
+
+    @classmethod
+    def constant(cls, n_vars: int, value: bool) -> "TruthTable":
+        """The constant-0 or constant-1 function."""
+        return cls(n_vars, _mask(n_vars) if value else 0)
+
+    @classmethod
+    def variable(cls, n_vars: int, index: int) -> "TruthTable":
+        """The projection function ``f = x_index``."""
+        if not 0 <= index < n_vars:
+            raise ValueError(
+                f"variable index must be in [0, {n_vars - 1}], got {index}"
+            )
+        bits = 0
+        for minterm in range(1 << n_vars):
+            if (minterm >> index) & 1:
+                bits |= 1 << minterm
+        return cls(n_vars, bits)
+
+    @classmethod
+    def from_bitstring(cls, bitstring: str) -> "TruthTable":
+        """Parse a binary string, most significant minterm first, e.g.
+        ``"0110"`` is XOR of two variables."""
+        length = len(bitstring)
+        if length == 0 or length & (length - 1):
+            raise ValueError(
+                f"bitstring length must be a power of two, got {length}"
+            )
+        n_vars = length.bit_length() - 1
+        bits = 0
+        for offset, char in enumerate(reversed(bitstring)):
+            if char == "1":
+                bits |= 1 << offset
+            elif char != "0":
+                raise ValueError(f"bitstring must be binary, got {char!r}")
+        return cls(n_vars, bits)
+
+    # ---------------------------------------------------------- evaluation
+    def evaluate(self, inputs: Sequence[int]) -> int:
+        """Evaluate on one input assignment (sequence of 0/1, x0 first)."""
+        if len(inputs) != self.n_vars:
+            raise ValueError(
+                f"expected {self.n_vars} inputs, got {len(inputs)}"
+            )
+        minterm = 0
+        for i, value in enumerate(inputs):
+            if value not in (0, 1):
+                raise ValueError(f"inputs must be 0/1, got {value}")
+            minterm |= value << i
+        return (self.bits >> minterm) & 1
+
+    def minterms(self) -> List[int]:
+        """Indices where the function is 1."""
+        return [m for m in range(1 << self.n_vars) if (self.bits >> m) & 1]
+
+    def count_ones(self) -> int:
+        """Number of satisfying assignments."""
+        return bin(self.bits).count("1")
+
+    # ----------------------------------------------------------- operators
+    def _check_compat(self, other: "TruthTable") -> None:
+        if self.n_vars != other.n_vars:
+            raise ValueError(
+                f"variable counts differ: {self.n_vars} vs {other.n_vars}"
+            )
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.n_vars, self.bits ^ _mask(self.n_vars))
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compat(other)
+        return TruthTable(self.n_vars, self.bits & other.bits)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compat(other)
+        return TruthTable(self.n_vars, self.bits | other.bits)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compat(other)
+        return TruthTable(self.n_vars, self.bits ^ other.bits)
+
+    @staticmethod
+    def majority(a: "TruthTable", b: "TruthTable", c: "TruthTable") -> "TruthTable":
+        """Three-input majority ``M3(a, b, c) = ab + bc + ca`` — the
+        primitive of the majority logic family (Section IV-A)."""
+        a._check_compat(b)
+        a._check_compat(c)
+        bits = (a.bits & b.bits) | (b.bits & c.bits) | (a.bits & c.bits)
+        return TruthTable(a.n_vars, bits)
+
+    @staticmethod
+    def implies(p: "TruthTable", q: "TruthTable") -> "TruthTable":
+        """Material implication ``p -> q = NOT p OR q`` (Section IV-A)."""
+        return (~p) | q
+
+    # ----------------------------------------------------------- structure
+    def cofactor(self, var: int, value: int) -> "TruthTable":
+        """Shannon cofactor with ``x_var`` fixed to ``value`` (the result
+        still nominally ranges over all ``n_vars`` variables)."""
+        if not 0 <= var < self.n_vars:
+            raise ValueError(
+                f"var must be in [0, {self.n_vars - 1}], got {var}"
+            )
+        if value not in (0, 1):
+            raise ValueError(f"value must be 0/1, got {value}")
+        bits = 0
+        for minterm in range(1 << self.n_vars):
+            source = (minterm & ~(1 << var)) | (value << var)
+            if (self.bits >> source) & 1:
+                bits |= 1 << minterm
+        return TruthTable(self.n_vars, bits)
+
+    def depends_on(self, var: int) -> bool:
+        """Whether the function actually depends on ``x_var``."""
+        return self.cofactor(var, 0).bits != self.cofactor(var, 1).bits
+
+    def support(self) -> List[int]:
+        """The variables the function depends on."""
+        return [v for v in range(self.n_vars) if self.depends_on(v)]
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether the function is constant 0 or constant 1."""
+        return self.bits in (0, _mask(self.n_vars))
+
+    def __str__(self) -> str:
+        width = 1 << self.n_vars
+        return format(self.bits, f"0{width}b")

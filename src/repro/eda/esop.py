@@ -1,0 +1,168 @@
+"""Exclusive Sum-of-Products (ESOP) representation [56].
+
+An ESOP is an XOR of product terms (cubes).  Two classic canonical
+subclasses are provided:
+
+* **PPRM** (positive-polarity Reed-Muller): every variable appears
+  uncomplemented; obtained by the Reed-Muller (Moebius) transform;
+* **FPRM** (fixed-polarity Reed-Muller): each variable has one global
+  polarity; searching all ``2^n`` polarities minimizes the cube count.
+
+ESOPs matter for ReRAM mapping because of the crossbar lower bound of
+[69]: any Boolean function in ESOP form can be computed on a crossbar
+building block of **3 wordlines x 2 bitlines**, with cubes evaluated
+sequentially — the basis of the LUT-based area-constrained mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.eda.boolean import TruthTable
+
+
+@dataclass(frozen=True)
+class EsopCube:
+    """One product term.
+
+    ``care`` marks the variables present in the cube; ``polarity`` gives
+    their phase (bit set = positive literal).  Bits of ``polarity``
+    outside ``care`` must be zero.
+    """
+
+    care: int
+    polarity: int
+
+    def __post_init__(self) -> None:
+        if self.polarity & ~self.care:
+            raise ValueError(
+                "polarity bits must be a subset of care bits "
+                f"(care=0x{self.care:x}, polarity=0x{self.polarity:x})"
+            )
+
+    def evaluate(self, minterm: int) -> int:
+        """1 iff the minterm satisfies every literal of the cube."""
+        return 1 if (minterm & self.care) == self.polarity else 0
+
+    @property
+    def n_literals(self) -> int:
+        """Number of literals in the cube."""
+        return bin(self.care).count("1")
+
+    def __str__(self) -> str:
+        if self.care == 0:
+            return "1"
+        parts = []
+        bit = 0
+        care = self.care
+        while care:
+            if care & 1:
+                name = f"x{bit}"
+                parts.append(name if (self.polarity >> bit) & 1 else f"~{name}")
+            care >>= 1
+            bit += 1
+        return "*".join(parts)
+
+
+@dataclass
+class Esop:
+    """An XOR of cubes over ``n_vars`` variables."""
+
+    n_vars: int
+    cubes: List[EsopCube]
+
+    @property
+    def n_cubes(self) -> int:
+        """Cube count — the primary cost metric."""
+        return len(self.cubes)
+
+    def evaluate(self, minterm: int) -> int:
+        """XOR of all cube evaluations on ``minterm``."""
+        result = 0
+        for cube in self.cubes:
+            result ^= cube.evaluate(minterm)
+        return result
+
+    def to_truth_table(self) -> TruthTable:
+        """Expand back to an explicit truth table (verification)."""
+        bits = 0
+        for minterm in range(1 << self.n_vars):
+            if self.evaluate(minterm):
+                bits |= 1 << minterm
+        return TruthTable(self.n_vars, bits)
+
+    def crossbar_building_block(self) -> Tuple[int, int]:
+        """The [69] lower bound: a 3-wordline x 2-bitline crossbar block
+        suffices to evaluate an ESOP (cubes applied sequentially)."""
+        return (3, 2)
+
+    def mapping_delay_estimate(self) -> int:
+        """Sequential cube evaluation steps on the minimal block: one step
+        per cube plus one initialization step."""
+        return self.n_cubes + 1
+
+
+def _reed_muller_coefficients(table: TruthTable) -> List[int]:
+    """Moebius transform over GF(2): PPRM coefficient per monomial mask."""
+    n = table.n_vars
+    coeffs = [(table.bits >> m) & 1 for m in range(1 << n)]
+    for i in range(n):
+        step = 1 << i
+        for m in range(1 << n):
+            if m & step:
+                coeffs[m] ^= coeffs[m ^ step]
+    return coeffs
+
+
+def esop_from_truth_table(table: TruthTable) -> Esop:
+    """PPRM expansion of ``table`` (canonical, positive polarity)."""
+    coeffs = _reed_muller_coefficients(table)
+    cubes = [
+        EsopCube(care=mask, polarity=mask)
+        for mask, c in enumerate(coeffs)
+        if c
+    ]
+    return Esop(table.n_vars, cubes)
+
+
+def fprm_from_truth_table(table: TruthTable, polarity: int) -> Esop:
+    """Fixed-polarity Reed-Muller expansion under ``polarity``.
+
+    Bit ``i`` of ``polarity`` set means variable ``i`` appears positive;
+    clear means it appears complemented.  Implemented by transforming the
+    input-space relabelled function and restoring literal phases.
+    """
+    n = table.n_vars
+    if not 0 <= polarity < (1 << n):
+        raise ValueError(f"polarity out of range for {n} variables")
+    # Substitute x_i -> NOT x_i for negative-polarity variables: permute
+    # the truth table by XOR-ing minterm indices with the complement mask.
+    flip = ((1 << n) - 1) & ~polarity
+    bits = 0
+    for m in range(1 << n):
+        if (table.bits >> (m ^ flip)) & 1:
+            bits |= 1 << m
+    coeffs = _reed_muller_coefficients(TruthTable(n, bits))
+    cubes = []
+    for mask, c in enumerate(coeffs):
+        if c:
+            cubes.append(EsopCube(care=mask, polarity=mask & polarity))
+    return Esop(n, cubes)
+
+
+def minimize_esop(table: TruthTable, max_exhaustive_vars: int = 8) -> Esop:
+    """Best fixed-polarity expansion by exhaustive polarity search.
+
+    For ``n_vars <= max_exhaustive_vars`` all ``2^n`` polarities are
+    tried; larger functions fall back to PPRM.
+    """
+    n = table.n_vars
+    if n > max_exhaustive_vars:
+        return esop_from_truth_table(table)
+    best = None
+    for polarity in range(1 << n):
+        candidate = fprm_from_truth_table(table, polarity)
+        if best is None or candidate.n_cubes < best.n_cubes:
+            best = candidate
+    return best

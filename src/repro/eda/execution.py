@@ -1,0 +1,217 @@
+"""Executing mapped logic on a real (possibly faulty) crossbar array.
+
+The technology mappers in :mod:`repro.eda` verify programs on an ideal
+boolean device model.  This module closes the loop with the physical
+layer: a :class:`CrossbarLogicExecutor` runs a
+:class:`~repro.eda.magic_mapping.MagicProgram` on a
+:class:`~repro.crossbar.array.CrossbarArray`, with logic states stored as
+LRS/HRS conductances.  Stuck cells (from the fault injector or endurance
+wear-out) corrupt gate results exactly as they would in silicon — which
+is why Section III's march screening exists, and the executor lets that
+whole story be demonstrated end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.eda.magic_mapping import MagicOp, MagicProgram
+
+
+@dataclass
+class ExecutionReport:
+    """Result of running a logic program on a crossbar."""
+
+    outputs: List[int]
+    gate_evaluations: int
+    cell_writes: int
+
+
+class CrossbarLogicExecutor:
+    """Runs MAGIC programs on conductance-state crossbar devices.
+
+    Logic convention: conductance above the ladder midpoint is logic 1
+    (LRS), below is logic 0 (HRS) — the stateful-logic encoding of
+    Section IV-A.
+    """
+
+    def __init__(self, array: CrossbarArray, program: MagicProgram) -> None:
+        self.array = array
+        self.program = program
+        rows, cols = array.shape
+        for device, (r, c) in program.placement.items():
+            if not (0 <= r < rows and 0 <= c < cols):
+                raise ValueError(
+                    f"device {device} placed at ({r}, {c}) outside the "
+                    f"{rows}x{cols} array"
+                )
+        missing = [
+            d for d in range(program.n_devices) if d not in program.placement
+        ]
+        if missing:
+            raise ValueError(f"devices without placement: {missing}")
+
+    # ------------------------------------------------------------ state I/O
+    @property
+    def _midpoint(self) -> float:
+        levels = self.array.config.levels
+        return 0.5 * (levels.g_min + levels.g_max)
+
+    def _read_device(self, device: int) -> int:
+        r, c = self.program.placement[device]
+        return int(self.array.conductances()[r, c] >= self._midpoint)
+
+    def _write_device(self, device: int, value: int) -> None:
+        r, c = self.program.placement[device]
+        levels = self.array.config.levels
+        target = levels.g_max if value else levels.g_min
+        self.array.write_cell(r, c, target)
+
+    # ------------------------------------------------------------- execute
+    def execute(self, inputs: Sequence[int]) -> ExecutionReport:
+        """Run the program; returns outputs read from the array."""
+        if len(inputs) != self.program.n_inputs:
+            raise ValueError(
+                f"expected {self.program.n_inputs} inputs, got {len(inputs)}"
+            )
+        writes = 0
+        for device, value in zip(self.program.input_devices, inputs):
+            if value not in (0, 1):
+                raise ValueError(f"inputs must be 0/1, got {value}")
+            self._write_device(device, value)
+            writes += 1
+        for device, value in self.program.const_preload.items():
+            self._write_device(device, value)
+            writes += 1
+
+        gates = 0
+        for op in sorted(self.program.ops, key=lambda o: o.time):
+            if op.kind == "INIT":
+                self._write_device(op.output, 1)
+                writes += 1
+            else:
+                result = 1 - max(self._read_device(d) for d in op.inputs)
+                self._write_device(op.output, result)
+                writes += 1
+                gates += 1
+
+        outputs = [self._read_device(d) for d in self.program.output_devices]
+        return ExecutionReport(
+            outputs=outputs, gate_evaluations=gates, cell_writes=writes
+        )
+
+    def matches_ideal(self, inputs: Sequence[int]) -> bool:
+        """Whether the crossbar execution equals the ideal boolean model."""
+        return self.execute(inputs).outputs == self.program.execute(
+            list(inputs)
+        )
+
+
+class SimdRowExecutor:
+    """SIMD execution of a single-row MAGIC program ([70]).
+
+    The point of the single-row mapping: "optimizing throughput by Single
+    Instruction Multiple Data (SIMD) like operations" — the same pulse
+    sequence drives *every* row of the crossbar simultaneously, so one
+    program execution processes one independent input vector per row.
+    Sequential per-gate delay is unchanged; throughput multiplies by the
+    row count.
+    """
+
+    def __init__(self, array: CrossbarArray, program: MagicProgram) -> None:
+        rows, cols = array.shape
+        placed_rows = {r for r, _ in program.placement.values()}
+        if placed_rows - {0}:
+            raise ValueError(
+                "SIMD execution needs a single-row program (all devices on "
+                f"row 0); got rows {sorted(placed_rows)}"
+            )
+        if program.n_devices > cols:
+            raise ValueError(
+                f"program needs {program.n_devices} columns, array has {cols}"
+            )
+        self.array = array
+        self.program = program
+
+    @property
+    def lanes(self) -> int:
+        """Independent data lanes (= array rows)."""
+        return self.array.rows
+
+    def execute(self, lane_inputs) -> list:
+        """Run the program on every row at once.
+
+        ``lane_inputs``: sequence of ``lanes`` input vectors.  Returns one
+        output list per lane.  The instruction count equals a single
+        program execution — that is the SIMD throughput win.
+        """
+        lane_inputs = list(lane_inputs)
+        if len(lane_inputs) != self.lanes:
+            raise ValueError(
+                f"expected {self.lanes} lane inputs, got {len(lane_inputs)}"
+            )
+        levels = self.array.config.levels
+        midpoint = 0.5 * (levels.g_min + levels.g_max)
+
+        def col_of(device: int) -> int:
+            return self.program.placement[device][1]
+
+        # Preload inputs and constants on every lane.
+        for lane, inputs in enumerate(lane_inputs):
+            if len(inputs) != self.program.n_inputs:
+                raise ValueError(
+                    f"lane {lane}: expected {self.program.n_inputs} inputs"
+                )
+            for device, value in zip(self.program.input_devices, inputs):
+                self.array.write_cell(
+                    lane, col_of(device), levels.g_max if value else levels.g_min
+                )
+            for device, value in self.program.const_preload.items():
+                self.array.write_cell(
+                    lane, col_of(device), levels.g_max if value else levels.g_min
+                )
+
+        # One shared pulse sequence; every row reacts in parallel.
+        for op in sorted(self.program.ops, key=lambda o: o.time):
+            if op.kind == "INIT":
+                for lane in range(self.lanes):
+                    self.array.write_cell(lane, col_of(op.output), levels.g_max)
+            else:
+                g = self.array.conductances()
+                for lane in range(self.lanes):
+                    result = 1 - max(
+                        int(g[lane, col_of(d)] >= midpoint) for d in op.inputs
+                    )
+                    self.array.write_cell(
+                        lane,
+                        col_of(op.output),
+                        levels.g_max if result else levels.g_min,
+                    )
+
+        g = self.array.conductances()
+        return [
+            [
+                int(g[lane, col_of(d)] >= midpoint)
+                for d in self.program.output_devices
+            ]
+            for lane in range(self.lanes)
+        ]
+
+
+def array_for_program(
+    program: MagicProgram,
+    rng=None,
+    variability=None,
+) -> CrossbarArray:
+    """Build a crossbar just large enough for ``program``'s placement."""
+    rows, cols = program.crossbar_extent()
+    kwargs = {}
+    if variability is not None:
+        kwargs["variability"] = variability
+    return CrossbarArray(
+        CrossbarConfig(rows=max(rows, 1), cols=max(cols, 1)),
+        rng=rng,
+        **kwargs,
+    )

@@ -1,0 +1,194 @@
+"""Technology mapping to material-implication (IMPLY) sequences.
+
+Material implication (Section IV-A) computes, with two ReRAM devices
+``p`` and ``q``, ``q <- S_p -> S_q`` (the result replaces one operand's
+state).  Together with ``FALSE`` (unconditional reset) it is functionally
+complete [63].  The classic gadgets:
+
+* ``NOT a`` into work device ``w``:   ``FALSE(w); IMPLY(a, w)``  (2 steps)
+* ``NAND(a, b)`` into ``w``:          ``FALSE(w); IMPLY(a, w); IMPLY(b, w)``
+  (3 steps)
+
+The mapper converts an AIG node-by-node, computing each AND node in its
+*complemented* phase first (a NAND is cheaper), materializing positive
+phases lazily, and optionally recycling devices whose values are fully
+consumed — the device-count heuristics of [66].  [64] showed two working
+memristors suffice in the limit (with recomputation); the mapper reports
+its working-set size so that bound can be compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.eda.aig import AIG, lit_complemented, lit_node, lit_not
+
+
+@dataclass(frozen=True)
+class ImplyOp:
+    """One instruction: ``FALSE d`` or ``IMPLY p q`` (``q <- p -> q``)."""
+
+    kind: str                 # "FALSE" or "IMPLY"
+    p: int                    # source device (unused for FALSE)
+    q: int                    # destination device
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("FALSE", "IMPLY"):
+            raise ValueError(f"unknown IMPLY op kind {self.kind!r}")
+
+
+@dataclass
+class ImplyProgram:
+    """An IMPLY instruction sequence over a device file.
+
+    ``input_devices`` lists the devices preloaded with the primary inputs;
+    ``output_devices`` the devices holding the outputs after execution.
+    """
+
+    n_inputs: int
+    ops: List[ImplyOp] = field(default_factory=list)
+    input_devices: List[int] = field(default_factory=list)
+    output_devices: List[int] = field(default_factory=list)
+    n_devices: int = 0
+
+    @property
+    def delay(self) -> int:
+        """Number of sequential steps (each op is one pulse cycle)."""
+        return len(self.ops)
+
+    @property
+    def area(self) -> int:
+        """Devices used (storage + working memristors)."""
+        return self.n_devices
+
+    def false(self, device: int) -> None:
+        """Append an unconditional reset of ``device``."""
+        self.ops.append(ImplyOp("FALSE", 0, device))
+
+    def imply(self, p: int, q: int) -> None:
+        """Append ``q <- p -> q``."""
+        if p == q:
+            raise ValueError("IMPLY source and destination must differ")
+        self.ops.append(ImplyOp("IMPLY", p, q))
+
+    def execute(self, input_values: Sequence[int]) -> List[int]:
+        """Functionally simulate the program; returns output bit values."""
+        if len(input_values) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} inputs, got {len(input_values)}"
+            )
+        state = [0] * self.n_devices
+        for device, value in zip(self.input_devices, input_values):
+            if value not in (0, 1):
+                raise ValueError(f"inputs must be 0/1, got {value}")
+            state[device] = value
+        for op in self.ops:
+            if op.kind == "FALSE":
+                state[op.q] = 0
+            else:
+                state[op.q] = (1 - state[op.p]) | state[op.q]
+        return [state[d] for d in self.output_devices]
+
+
+def map_aig_to_imply(aig: AIG, reuse_devices: bool = True) -> ImplyProgram:
+    """Map an AIG to an IMPLY program.
+
+    Every AND node is computed as a NAND (3 steps) into a fresh work
+    device; a consumer needing the positive phase triggers a lazy NOT
+    (2 steps).  With ``reuse_devices`` the mapper recycles devices whose
+    remaining fanout count drops to zero, reducing area at no delay cost.
+    """
+    program = ImplyProgram(n_inputs=aig.n_inputs)
+    free: List[int] = []
+
+    def alloc() -> int:
+        if reuse_devices and free:
+            return free.pop()
+        device = program.n_devices
+        program.n_devices += 1
+        return device
+
+    # Input devices hold the primary input values (never recycled: they
+    # are the data already resident in the memory).
+    program.input_devices = [alloc() for _ in range(aig.n_inputs)]
+
+    # Fanout counts per literal so devices can be recycled.
+    fanout: Dict[int, int] = {}
+
+    def bump(literal: int) -> None:
+        fanout[literal] = fanout.get(literal, 0) + 1
+
+    for fa, fb in aig.ands:
+        bump(fa)
+        bump(fb)
+    for o in aig.outputs:
+        bump(o)
+
+    # device_of[literal] -> device currently holding that literal's value.
+    device_of: Dict[int, int] = {}
+    for i in range(aig.n_inputs):
+        device_of[aig.input_lit(i)] = program.input_devices[i]
+
+    # Constants: materialize on demand.
+    def const_device(value: int) -> int:
+        literal = 1 if value else 0
+        if literal in device_of:
+            return device_of[literal]
+        device = alloc()
+        program.false(device)
+        if value:
+            # TRUE = a -> a is not expressible without a second device;
+            # use FALSE(w); IMPLY(w, w2-with-0)... simplest: FALSE then
+            # IMPLY from the zeroed device onto another zeroed device
+            # yields 1 (0 -> 0 = 1).
+            zero = alloc()
+            program.false(zero)
+            program.imply(zero, device)
+            if reuse_devices:
+                free.append(zero)
+        device_of[literal] = device
+        return device
+
+    def consume(literal: int) -> None:
+        """Decrement fanout; recycle the device when fully consumed."""
+        if lit_node(literal) <= aig.n_inputs:
+            return  # never recycle inputs or constants
+        fanout[literal] -= 1
+        if (
+            reuse_devices
+            and fanout[literal] == 0
+            and fanout.get(lit_not(literal), 0) <= 0
+            and literal in device_of
+        ):
+            free.append(device_of[literal])
+
+    def device_for(literal: int) -> int:
+        """Device holding ``literal``'s value, materializing a NOT if only
+        the complement is resident."""
+        if lit_node(literal) == 0:
+            return const_device(lit_complemented(literal))
+        if literal in device_of:
+            return device_of[literal]
+        source = device_of[lit_not(literal)]
+        work = alloc()
+        program.false(work)
+        program.imply(source, work)   # work = NOT source
+        device_of[literal] = work
+        return work
+
+    for idx, (fa, fb) in enumerate(aig.ands):
+        node = aig.first_and_node + idx
+        da = device_for(fa)
+        db = device_for(fb)
+        work = alloc()
+        program.false(work)
+        program.imply(da, work)       # work = NOT a
+        program.imply(db, work)       # work = NAND(a, b)
+        device_of[2 * node + 1] = work  # the NAND is the complemented phase
+        consume(fa)
+        consume(fb)
+
+    for o in aig.outputs:
+        program.output_devices.append(device_for(o))
+    return program

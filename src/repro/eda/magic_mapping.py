@@ -1,0 +1,346 @@
+"""Technology mapping to MAGIC (Memristor-Aided loGIC) [70, 71, 72, 73].
+
+MAGIC (Section IV-A) computes a multi-input NOR of the *states* of input
+devices into a freshly initialized output device; input states are
+unchanged.  Executing a gate therefore takes two pulses: ``INIT`` (set the
+output device to logic 1) and ``NOR`` (conditionally reset it).
+
+Two mapping styles from the literature:
+
+* **single-row** ([70], "SIMpler MAGIC"): every device sits on one
+  crossbar row and gates execute strictly sequentially — delay is
+  ``2 * gates`` but the same program runs on *all rows simultaneously*,
+  giving SIMD throughput over independent data;
+* **crossbar** ([71] SMT / [72] LUT-based): gates of the same netlist
+  level execute in parallel across rows/columns — delay drops to
+  ``2 * levels`` at the cost of a 2-D device footprint.
+
+Both mappers emit a :class:`MagicProgram` that is functionally simulated
+for verification, and report the delay/area metrics the Section IV
+comparison benchmarks sweep (including the area-delay product used by
+[73] to rank mapping flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.eda.netlist import NorNetlist
+
+
+@dataclass(frozen=True)
+class MagicOp:
+    """One MAGIC micro-operation.
+
+    ``kind`` is ``"INIT"`` (set device to 1) or ``"NOR"`` (NOR of the
+    input devices' states into the output device).  ``time`` is the pulse
+    cycle; operations sharing a cycle execute in parallel.
+    """
+
+    kind: str
+    time: int
+    output: int
+    inputs: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("INIT", "NOR"):
+            raise ValueError(f"unknown MAGIC op kind {self.kind!r}")
+        if self.kind == "NOR" and not self.inputs:
+            raise ValueError("NOR needs at least one input device")
+
+
+@dataclass
+class MagicProgram:
+    """A MAGIC schedule over a device array."""
+
+    n_inputs: int
+    ops: List[MagicOp] = field(default_factory=list)
+    input_devices: List[int] = field(default_factory=list)
+    output_devices: List[int] = field(default_factory=list)
+    n_devices: int = 0
+    placement: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    const_preload: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def delay(self) -> int:
+        """Number of pulse cycles (parallel ops share a cycle)."""
+        if not self.ops:
+            return 0
+        return 1 + max(op.time for op in self.ops)
+
+    @property
+    def area(self) -> int:
+        """Devices used."""
+        return self.n_devices
+
+    @property
+    def area_delay_product(self) -> int:
+        """The ranking metric of [73]."""
+        return self.area * self.delay
+
+    def crossbar_extent(self) -> Tuple[int, int]:
+        """Bounding box (rows, cols) of the placement (single-row mappings
+        report (1, n_devices))."""
+        if not self.placement:
+            return (1, self.n_devices)
+        rows = 1 + max(r for r, _ in self.placement.values())
+        cols = 1 + max(c for _, c in self.placement.values())
+        return (rows, cols)
+
+    def execute(self, input_values: Sequence[int]) -> List[int]:
+        """Functionally simulate the schedule; returns output bits.
+
+        Raises on causality violations (a NOR reading a device written in
+        the same or a later cycle).
+        """
+        if len(input_values) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} inputs, got {len(input_values)}"
+            )
+        state = [0] * self.n_devices
+        written_at = [-1] * self.n_devices
+        for device, value in zip(self.input_devices, input_values):
+            if value not in (0, 1):
+                raise ValueError(f"inputs must be 0/1, got {value}")
+            state[device] = value
+            written_at[device] = -1
+        for device, value in self.const_preload.items():
+            state[device] = value
+        for op in sorted(self.ops, key=lambda o: o.time):
+            if op.kind == "INIT":
+                state[op.output] = 1
+                # INIT does not count as the data write for causality.
+                continue
+            for d in op.inputs:
+                if written_at[d] >= op.time:
+                    raise RuntimeError(
+                        f"causality violation: device {d} written at cycle "
+                        f"{written_at[d]} read at cycle {op.time}"
+                    )
+            result = 1 - max(state[d] for d in op.inputs)
+            state[op.output] = result
+            written_at[op.output] = op.time
+        return [state[d] for d in self.output_devices]
+
+
+def map_netlist_to_magic_single_row(
+    netlist: NorNetlist,
+    reuse_devices: bool = False,
+) -> MagicProgram:
+    """Sequential single-row MAGIC mapping ([70]).
+
+    Every gate costs an INIT cycle and a NOR cycle.  With
+    ``reuse_devices`` fully consumed intermediate devices are recycled
+    (reducing the row length at no delay cost).
+    """
+    program = MagicProgram(n_inputs=netlist.n_inputs)
+    free: List[int] = []
+
+    def alloc() -> int:
+        if reuse_devices and free:
+            return free.pop()
+        device = program.n_devices
+        program.n_devices += 1
+        return device
+
+    program.input_devices = [alloc() for _ in range(netlist.n_inputs)]
+    device_of: Dict[int, int] = {
+        i: program.input_devices[i] for i in range(netlist.n_inputs)
+    }
+
+    # Constants as dedicated devices (written during input load).
+    const_devices: Dict[int, int] = {}
+
+    def const_device(signal: int) -> int:
+        if signal not in const_devices:
+            const_devices[signal] = alloc()
+        return const_devices[signal]
+
+    fanout: Dict[int, int] = {}
+    for gate in netlist.gates:
+        for s in gate.inputs:
+            fanout[s] = fanout.get(s, 0) + 1
+    for o in netlist.outputs:
+        fanout[o] = fanout.get(o, 0) + 1
+
+    time = 0
+    for gate in netlist.gates:
+        in_devices = []
+        for s in gate.inputs:
+            if s in (NorNetlist.CONST0, NorNetlist.CONST1):
+                in_devices.append(const_device(s))
+            else:
+                in_devices.append(device_of[s])
+        out = alloc()
+        program.ops.append(MagicOp("INIT", time, out))
+        time += 1
+        program.ops.append(MagicOp("NOR", time, out, tuple(in_devices)))
+        time += 1
+        device_of[gate.output] = out
+        for s in gate.inputs:
+            if s < netlist.n_inputs:
+                continue
+            fanout[s] = fanout.get(s, 1) - 1
+            if reuse_devices and fanout[s] == 0 and s in device_of:
+                free.append(device_of[s])
+
+    program.output_devices = [
+        device_of[o] if o >= 0 else const_device(o) for o in netlist.outputs
+    ]
+    program.placement = {d: (0, d) for d in range(program.n_devices)}
+    _simulate_constants(program, const_devices)
+    return program
+
+
+def map_netlist_to_magic_crossbar(netlist: NorNetlist) -> MagicProgram:
+    """Level-parallel crossbar MAGIC mapping ([71, 72]-style).
+
+    All gates of one netlist level share an INIT cycle and a NOR cycle, so
+    delay is ``2 * levels``.  Placement: level ``L`` occupies column
+    ``L``; parallel gates stack in rows.
+    """
+    program = MagicProgram(n_inputs=netlist.n_inputs)
+
+    def alloc() -> int:
+        device = program.n_devices
+        program.n_devices += 1
+        return device
+
+    program.input_devices = [alloc() for _ in range(netlist.n_inputs)]
+    device_of: Dict[int, int] = {
+        i: program.input_devices[i] for i in range(netlist.n_inputs)
+    }
+    for i, d in enumerate(device_of.values()):
+        program.placement[d] = (i, 0)
+
+    const_devices: Dict[int, int] = {}
+
+    def const_device(signal: int) -> int:
+        if signal not in const_devices:
+            const_devices[signal] = alloc()
+            program.placement[const_devices[signal]] = (
+                netlist.n_inputs + len(const_devices) - 1,
+                0,
+            )
+        return const_devices[signal]
+
+    levels = netlist.signal_levels()
+    by_level: Dict[int, List] = {}
+    for gate in netlist.gates:
+        by_level.setdefault(levels[gate.output], []).append(gate)
+
+    for level in sorted(by_level):
+        init_time = 2 * (level - 1)
+        nor_time = init_time + 1
+        for row, gate in enumerate(by_level[level]):
+            in_devices = []
+            for s in gate.inputs:
+                if s in (NorNetlist.CONST0, NorNetlist.CONST1):
+                    in_devices.append(const_device(s))
+                else:
+                    in_devices.append(device_of[s])
+            out = alloc()
+            program.placement[out] = (row, level)
+            device_of[gate.output] = out
+            program.ops.append(MagicOp("INIT", init_time, out))
+            program.ops.append(MagicOp("NOR", nor_time, out, tuple(in_devices)))
+
+    program.output_devices = [
+        device_of[o] if o >= 0 else const_device(o) for o in netlist.outputs
+    ]
+    _simulate_constants(program, const_devices)
+    return program
+
+
+def map_netlist_to_magic_constrained(
+    netlist: NorNetlist,
+    max_rows: int,
+) -> MagicProgram:
+    """Area-constrained crossbar mapping ([73]'s problem setting).
+
+    The crossbar height is capped at ``max_rows``: a netlist level with
+    more gates than rows executes in multiple INIT/NOR waves.  Delay is
+    ``2 * sum(ceil(gates_at_level / max_rows))`` — it degrades gracefully
+    toward the single-row mapping as the row budget shrinks, tracing the
+    area-delay trade-off curve the mapping literature ranks flows on.
+    """
+    if max_rows < 1:
+        raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+    program = MagicProgram(n_inputs=netlist.n_inputs)
+
+    def alloc() -> int:
+        device = program.n_devices
+        program.n_devices += 1
+        return device
+
+    next_col = 0
+
+    def place_column_chunk(devices: List[int]) -> None:
+        nonlocal next_col
+        for row, device in enumerate(devices):
+            program.placement[device] = (row, next_col)
+        next_col += 1
+
+    # Inputs packed max_rows-per-column.
+    program.input_devices = [alloc() for _ in range(netlist.n_inputs)]
+    for start in range(0, netlist.n_inputs, max_rows):
+        place_column_chunk(program.input_devices[start : start + max_rows])
+
+    device_of: Dict[int, int] = {
+        i: program.input_devices[i] for i in range(netlist.n_inputs)
+    }
+    const_devices: Dict[int, int] = {}
+    pending_const_placement: List[int] = []
+
+    def const_device(signal: int) -> int:
+        if signal not in const_devices:
+            const_devices[signal] = alloc()
+            pending_const_placement.append(const_devices[signal])
+        return const_devices[signal]
+
+    levels = netlist.signal_levels()
+    by_level: Dict[int, List] = {}
+    for gate in netlist.gates:
+        by_level.setdefault(levels[gate.output], []).append(gate)
+
+    time = 0
+    for level in sorted(by_level):
+        gates = by_level[level]
+        for start in range(0, len(gates), max_rows):
+            wave = gates[start : start + max_rows]
+            outputs = []
+            for gate in wave:
+                in_devices = []
+                for s in gate.inputs:
+                    if s in (NorNetlist.CONST0, NorNetlist.CONST1):
+                        in_devices.append(const_device(s))
+                    else:
+                        in_devices.append(device_of[s])
+                out = alloc()
+                outputs.append(out)
+                device_of[gate.output] = out
+                program.ops.append(MagicOp("INIT", time, out))
+                program.ops.append(
+                    MagicOp("NOR", time + 1, out, tuple(in_devices))
+                )
+            place_column_chunk(outputs)
+            time += 2
+
+    # Constants get their own column(s) at the end of the placement.
+    for start in range(0, len(pending_const_placement), max_rows):
+        place_column_chunk(
+            pending_const_placement[start : start + max_rows]
+        )
+
+    program.output_devices = [
+        device_of[o] if o >= 0 else const_device(o) for o in netlist.outputs
+    ]
+    _simulate_constants(program, const_devices)
+    return program
+
+
+def _simulate_constants(program: MagicProgram, const_devices: Dict[int, int]) -> None:
+    """Record constant-device preloads (written during the input load)."""
+    for signal, device in const_devices.items():
+        program.const_preload[device] = 1 if signal == NorNetlist.CONST1 else 0

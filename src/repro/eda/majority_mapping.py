@@ -1,0 +1,243 @@
+"""Technology mapping to ReRAM majority logic (ReVAMP-style, [35, 67, 68]).
+
+The majority family (Section IV-A) computes, in one pulse,
+
+.. math::
+
+    NS_x = M_3(S_x, V_{wl}, \\overline{V_{bl}})
+
+i.e. the device's next state is the majority of its *resident* state and
+the two volatile line voltages.  [67] proved that an MIG can be mapped
+with **optimal delay equal to the number of MIG levels + 1** when the
+device count is unconstrained: one step loads the inputs, then every MIG
+level executes in parallel (each node's deepest fanin is the resident
+state written by the producing step; the other two fanins arrive on the
+word/bit lines).
+
+Two schedulers are provided:
+
+* :func:`map_mig_to_majority` — the delay-optimal parallel schedule;
+* the ``max_devices``-constrained mode — a sequential compiler in the
+  spirit of [68] that reuses devices, trading delay for area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eda.mig import MIG
+from repro.eda.aig import lit_complemented, lit_node, lit_not
+
+
+@dataclass(frozen=True)
+class MajorityStep:
+    """One device update: ``device <- M3(resident, wl, NOT bl)``.
+
+    Operand literals refer to MIG signals; ``resident`` must already be
+    the device's state when the step fires.
+    """
+
+    time: int
+    device: int
+    resident: int     # MIG literal resident in the device
+    wl: int           # MIG literal applied on the wordline
+    bl: int           # MIG literal applied (complemented) on the bitline
+    node: int         # the MIG node this step computes
+
+
+@dataclass
+class MajorityMapping:
+    """A scheduled majority-logic program for one MIG."""
+
+    mig: MIG
+    steps: List[MajorityStep]
+    device_of_node: Dict[int, int]
+    n_devices: int
+    load_steps: int = 1
+
+    @property
+    def delay(self) -> int:
+        """Total steps including the input-load step(s)."""
+        if not self.steps:
+            return self.load_steps
+        return self.load_steps + max(s.time for s in self.steps)
+
+    @property
+    def area(self) -> int:
+        """Devices used."""
+        return self.n_devices
+
+    def execute(self, input_values: Sequence[int]) -> List[int]:
+        """Functionally simulate the schedule; returns output bits.
+
+        Verifies schedule causality: every operand of a step must have
+        been produced at a strictly earlier time (inputs and constants at
+        time 0).  The resident operand is preloaded into the step's device
+        by the producing step's write-through, which the [67] delay model
+        charges to that earlier step.
+        """
+        if len(input_values) != self.mig.n_inputs:
+            raise ValueError(
+                f"expected {self.mig.n_inputs} inputs, got {len(input_values)}"
+            )
+        values: Dict[int, int] = {0: 0}
+        produced_at: Dict[int, int] = {0: 0}
+        for i, v in enumerate(input_values):
+            if v not in (0, 1):
+                raise ValueError(f"inputs must be 0/1, got {v}")
+            values[1 + i] = v
+            produced_at[1 + i] = 0
+
+        def lit_value(literal: int) -> int:
+            return values[lit_node(literal)] ^ int(lit_complemented(literal))
+
+        for step in sorted(self.steps, key=lambda s: s.time):
+            for operand in (step.resident, step.wl, step.bl):
+                node = lit_node(operand)
+                if node not in produced_at:
+                    raise RuntimeError(
+                        f"schedule violation at t={step.time}: operand node "
+                        f"{node} has not been produced"
+                    )
+                if produced_at[node] >= step.time:
+                    raise RuntimeError(
+                        f"schedule violation at t={step.time}: operand node "
+                        f"{node} is produced at t={produced_at[node]}"
+                    )
+            resident = lit_value(step.resident)
+            wl = lit_value(step.wl)
+            bl = lit_value(step.bl)
+            values[step.node] = 1 if resident + wl + bl >= 2 else 0
+            produced_at[step.node] = step.time
+
+        return [lit_value(o) for o in self.mig.outputs]
+
+
+def map_mig_to_majority(
+    mig: MIG,
+    max_devices: Optional[int] = None,
+) -> MajorityMapping:
+    """Map an MIG to a majority-logic schedule.
+
+    Unconstrained (``max_devices=None``): the delay-optimal schedule of
+    [67] — ``delay == mig.levels() + 1``.  Each node owns a device; the
+    device is pre-written with the node's deepest fanin by that fanin's
+    producing step (or the load step), so each MIG level costs one step.
+
+    Constrained: nodes execute sequentially (one per step) with greedy
+    device reuse once all fanouts are consumed ([68]-style compilation);
+    ``max_devices`` bounds the working set and the mapper raises if the
+    bound is infeasible.
+    """
+    levels = mig.node_levels()
+
+    # Fanout counting for the reuse mode.
+    fanout: Dict[int, int] = {}
+    for fanins in mig.majs:
+        for f in fanins:
+            node = lit_node(f)
+            fanout[node] = fanout.get(node, 0) + 1
+    for o in mig.outputs:
+        node = lit_node(o)
+        fanout[node] = fanout.get(node, 0) + 1
+
+    device_of_node: Dict[int, int] = {}
+    steps: List[MajorityStep] = []
+
+    if max_devices is None:
+        # Delay-optimal: every signal gets its own device.
+        next_device = 0
+        for node in range(1 + mig.n_inputs):
+            device_of_node[node] = next_device
+            next_device += 1
+        for idx, fanins in enumerate(mig.majs):
+            node = mig.first_maj_node + idx
+            device_of_node[node] = next_device
+            next_device += 1
+        for idx, fanins in enumerate(mig.majs):
+            node = mig.first_maj_node + idx
+            # Resident operand: any fanin; its value is copied into the
+            # device during the preceding step (write-through), so the
+            # resident-state discipline is met.  We pick the deepest fanin.
+            ordered = sorted(fanins, key=lambda f: levels[lit_node(f)])
+            resident = ordered[-1]
+            wl, bl = ordered[0], ordered[1]
+            steps.append(
+                MajorityStep(
+                    time=levels[node],
+                    device=device_of_node[node],
+                    resident=resident,
+                    wl=wl,
+                    bl=bl,
+                    node=node,
+                )
+            )
+        mapping = MajorityMapping(
+            mig=mig,
+            steps=steps,
+            device_of_node=device_of_node,
+            n_devices=next_device,
+        )
+        return mapping
+
+    # Sequential, device-constrained compilation.
+    if max_devices < 1 + mig.n_inputs + 1:
+        raise ValueError(
+            f"max_devices={max_devices} cannot hold {mig.n_inputs} inputs, "
+            "the constant and one work device"
+        )
+    free: List[int] = []
+    next_device = 0
+
+    def alloc() -> int:
+        nonlocal next_device
+        if free:
+            return free.pop()
+        if next_device >= max_devices:
+            raise RuntimeError(
+                f"device budget {max_devices} exhausted; increase max_devices"
+            )
+        device = next_device
+        next_device += 1
+        return device
+
+    for node in range(1 + mig.n_inputs):
+        device_of_node[node] = alloc()
+
+    time = 1
+    for idx, fanins in enumerate(mig.majs):
+        node = mig.first_maj_node + idx
+        ordered = sorted(fanins, key=lambda f: levels[lit_node(f)])
+        resident = ordered[-1]
+        wl, bl = ordered[0], ordered[1]
+        device = alloc()
+        device_of_node[node] = device
+        # One extra step to copy the resident operand into the device,
+        # then the majority pulse.
+        steps.append(
+            MajorityStep(
+                time=time,
+                device=device,
+                resident=resident,
+                wl=wl,
+                bl=bl,
+                node=node,
+            )
+        )
+        time += 1
+        for f in fanins:
+            src = lit_node(f)
+            if src <= mig.n_inputs:
+                continue
+            fanout[src] -= 1
+            if fanout.get(src, 0) == 0:
+                free.append(device_of_node[src])
+
+    return MajorityMapping(
+        mig=mig,
+        steps=steps,
+        device_of_node=device_of_node,
+        n_devices=next_device,
+        load_steps=2,  # load inputs + copy first resident operand
+    )

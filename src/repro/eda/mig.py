@@ -1,0 +1,278 @@
+"""Majority-Inverter Graphs (MIG) [55] and depth optimization.
+
+MIGs represent logic with three-input majority nodes plus edge inverters —
+the natural representation for ReRAM majority logic (Section IV-A), since
+the device natively computes ``NS_x = M3(S_x, V_wl, NOT V_bl)``.
+
+Literal convention matches :mod:`repro.eda.aig`: literal ``2n`` is node
+``n``, ``2n + 1`` its complement; node 0 is constant FALSE.
+
+The self-dual property of majority lets inverters be pushed through nodes
+(``NOT M(a,b,c) = M(NOT a, NOT b, NOT c)``), and the majority axioms give
+the construction-time simplifications used here:
+
+* ``M(a, a, c) = a``           (majority rule)
+* ``M(a, NOT a, c) = c``       (complementary rule)
+
+:func:`MIG.depth_optimize` applies the associativity/distributivity-style
+rebalancing that underlies MIG depth rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eda.aig import (
+    AIG,
+    FALSE_LIT,
+    TRUE_LIT,
+    lit,
+    lit_complemented,
+    lit_node,
+    lit_not,
+)
+from repro.eda.boolean import TruthTable
+
+
+class MIG:
+    """A structurally hashed Majority-Inverter Graph."""
+
+    def __init__(self, n_inputs: int) -> None:
+        if n_inputs < 0:
+            raise ValueError(f"n_inputs must be >= 0, got {n_inputs}")
+        self.n_inputs = n_inputs
+        # majs[i] = (a_lit, b_lit, c_lit) for node (1 + n_inputs + i).
+        self.majs: List[Tuple[int, int, int]] = []
+        self.outputs: List[int] = []
+        self._strash: Dict[Tuple[int, int, int], int] = {}
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of majority nodes (the size metric)."""
+        return len(self.majs)
+
+    @property
+    def first_maj_node(self) -> int:
+        return 1 + self.n_inputs
+
+    def input_lit(self, index: int) -> int:
+        """Literal of primary input ``index``."""
+        if not 0 <= index < self.n_inputs:
+            raise ValueError(
+                f"input index must be in [0, {self.n_inputs - 1}], got {index}"
+            )
+        return lit(1 + index)
+
+    def node_fanins(self, node: int) -> Tuple[int, int, int]:
+        """Fanin literals of a majority node."""
+        idx = node - self.first_maj_node
+        if not 0 <= idx < len(self.majs):
+            raise ValueError(f"node {node} is not a majority node")
+        return self.majs[idx]
+
+    # ----------------------------------------------------------- operators
+    def maj(self, a: int, b: int, c: int) -> int:
+        """Majority of three literals with axiom simplification, canonical
+        ordering, inverter normalization and structural hashing."""
+        for literal in (a, b, c):
+            self._check_lit(literal)
+        a, b, c = sorted((a, b, c))
+        # Majority rule: two equal fanins decide.
+        if a == b:
+            return a
+        if b == c:
+            return b
+        # Complementary rule: a pair (x, NOT x) cancels.
+        if a == lit_not(b):
+            return c
+        if b == lit_not(c):
+            return a
+        if a == lit_not(c):
+            return b
+        # Normalize: keep at most one complemented edge set by pushing a
+        # global complement to the output (self-duality).
+        invert_output = False
+        n_complemented = sum(
+            1 for x in (a, b, c) if lit_complemented(x)
+        )
+        if n_complemented >= 2:
+            a, b, c = sorted((lit_not(a), lit_not(b), lit_not(c)))
+            invert_output = True
+        key = (a, b, c)
+        if key in self._strash:
+            node_lit = lit(self._strash[key])
+        else:
+            node = self.first_maj_node + len(self.majs)
+            self.majs.append(key)
+            self._strash[key] = node
+            node_lit = lit(node)
+        return lit_not(node_lit) if invert_output else node_lit
+
+    def and_(self, a: int, b: int) -> int:
+        """AND as ``M(a, b, 0)``."""
+        return self.maj(a, b, FALSE_LIT)
+
+    def or_(self, a: int, b: int) -> int:
+        """OR as ``M(a, b, 1)``."""
+        return self.maj(a, b, TRUE_LIT)
+
+    def xor_(self, a: int, b: int) -> int:
+        """XOR via two majority nodes."""
+        return self.or_(self.and_(a, lit_not(b)), self.and_(lit_not(a), b))
+
+    def add_output(self, literal: int) -> int:
+        """Register a primary output; returns its index."""
+        self._check_lit(literal)
+        self.outputs.append(literal)
+        return len(self.outputs) - 1
+
+    # ----------------------------------------------------------- evaluation
+    def simulate(self, input_values: Sequence[int]) -> List[int]:
+        """Evaluate all outputs for one 0/1 input assignment."""
+        if len(input_values) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} inputs, got {len(input_values)}"
+            )
+        values = [0] * (self.first_maj_node + len(self.majs))
+        for i, v in enumerate(input_values):
+            if v not in (0, 1):
+                raise ValueError(f"inputs must be 0/1, got {v}")
+            values[1 + i] = v
+        for idx, (fa, fb, fc) in enumerate(self.majs):
+            node = self.first_maj_node + idx
+            va = values[lit_node(fa)] ^ int(lit_complemented(fa))
+            vb = values[lit_node(fb)] ^ int(lit_complemented(fb))
+            vc = values[lit_node(fc)] ^ int(lit_complemented(fc))
+            values[node] = 1 if va + vb + vc >= 2 else 0
+        return [
+            values[lit_node(o)] ^ int(lit_complemented(o)) for o in self.outputs
+        ]
+
+    def to_truth_tables(self) -> List[TruthTable]:
+        """Truth tables of all outputs (bit-parallel simulation)."""
+        full = (1 << (1 << self.n_inputs)) - 1
+        tables = [0] * (self.first_maj_node + len(self.majs))
+        for i in range(self.n_inputs):
+            tables[1 + i] = TruthTable.variable(self.n_inputs, i).bits
+        for idx, (fa, fb, fc) in enumerate(self.majs):
+            node = self.first_maj_node + idx
+            ta = tables[lit_node(fa)] ^ (full if lit_complemented(fa) else 0)
+            tb = tables[lit_node(fb)] ^ (full if lit_complemented(fb) else 0)
+            tc = tables[lit_node(fc)] ^ (full if lit_complemented(fc) else 0)
+            tables[node] = (ta & tb) | (tb & tc) | (ta & tc)
+        result = []
+        for o in self.outputs:
+            bits = tables[lit_node(o)] ^ (full if lit_complemented(o) else 0)
+            result.append(TruthTable(self.n_inputs, bits))
+        return result
+
+    # -------------------------------------------------------------- metrics
+    def node_levels(self) -> Dict[int, int]:
+        """Level of every node (inputs/constants at 0)."""
+        level = {0: 0}
+        for i in range(self.n_inputs):
+            level[1 + i] = 0
+        for idx, fanins in enumerate(self.majs):
+            node = self.first_maj_node + idx
+            level[node] = 1 + max(level[lit_node(f)] for f in fanins)
+        return level
+
+    def levels(self) -> int:
+        """Logic depth over all outputs."""
+        if not self.outputs:
+            return 0
+        level = self.node_levels()
+        return max(level[lit_node(o)] for o in self.outputs)
+
+    # -------------------------------------------------------- optimization
+    def depth_optimize(self, rounds: int = 2) -> "MIG":
+        """Depth-oriented rebuild.
+
+        Reconstructs the graph bottom-up; at every node it tries the
+        distributivity rewrite ``M(x, y, M(u, v, z)) ->
+        M(M(x, y, u), M(x, y, v), z)`` (right-to-left when the critical
+        fanin is the inner majority) and keeps whichever form is shallower.
+        Functional equivalence is preserved by the majority axioms.
+        """
+        current = self
+        for _ in range(max(1, rounds)):
+            rebuilt = current._depth_optimize_once()
+            if rebuilt.levels() >= current.levels():
+                return current
+            current = rebuilt
+        return current
+
+    def _depth_optimize_once(self) -> "MIG":
+        new = MIG(self.n_inputs)
+        remap: Dict[int, int] = {0: FALSE_LIT}
+        for i in range(self.n_inputs):
+            remap[1 + i] = new.input_lit(i)
+
+        def mapped(literal: int) -> int:
+            base = remap[lit_node(literal)]
+            return lit_not(base) if lit_complemented(literal) else base
+
+        def level_of(literal: int, levels: Dict[int, int]) -> int:
+            return levels[lit_node(literal)]
+
+        for idx, (fa, fb, fc) in enumerate(self.majs):
+            node = self.first_maj_node + idx
+            a, b, c = mapped(fa), mapped(fb), mapped(fc)
+            levels = new.node_levels()
+            result = new.maj(a, b, c)
+            # Try distributivity if one fanin is a much deeper majority node.
+            fanins = sorted(
+                [a, b, c], key=lambda l: level_of(l, levels)
+            )
+            shallow1, shallow2, deep = fanins
+            deep_node = lit_node(deep)
+            if (
+                deep_node >= new.first_maj_node
+                and not lit_complemented(deep)
+                and level_of(deep, levels)
+                >= level_of(shallow2, levels) + 2
+            ):
+                u, v, z = new.node_fanins(deep_node)
+                inner1 = new.maj(shallow1, shallow2, u)
+                inner2 = new.maj(shallow1, shallow2, v)
+                candidate = new.maj(inner1, inner2, z)
+                levels2 = new.node_levels()
+                if levels2[lit_node(candidate)] < levels2[lit_node(result)]:
+                    result = candidate
+            remap[node] = result
+        for o in self.outputs:
+            new.add_output(mapped(o))
+        return new
+
+    def _check_lit(self, literal: int) -> None:
+        node = lit_node(literal)
+        if not 0 <= node < self.first_maj_node + len(self.majs):
+            raise ValueError(f"literal {literal} references unknown node {node}")
+
+
+def mig_from_aig(aig: AIG) -> MIG:
+    """Convert an AIG to a MIG (AND(a, b) = M(a, b, 0))."""
+    mig = MIG(aig.n_inputs)
+    remap: Dict[int, int] = {0: FALSE_LIT}
+    for i in range(aig.n_inputs):
+        remap[1 + i] = mig.input_lit(i)
+
+    def mapped(literal: int) -> int:
+        base = remap[lit_node(literal)]
+        return lit_not(base) if lit_complemented(literal) else base
+
+    for idx, (fa, fb) in enumerate(aig.ands):
+        node = aig.first_and_node + idx
+        remap[node] = mig.and_(mapped(fa), mapped(fb))
+    for o in aig.outputs:
+        mig.add_output(mapped(o))
+    return mig
+
+
+def mig_from_truth_table(table: TruthTable) -> MIG:
+    """Synthesize a truth table into a MIG (via AIG Shannon synthesis)."""
+    from repro.eda.aig import aig_from_truth_table
+
+    aig, out = aig_from_truth_table(table)
+    aig.add_output(out)
+    return mig_from_aig(aig.cleanup())

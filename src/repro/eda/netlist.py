@@ -1,0 +1,155 @@
+"""NOR/NOT gate netlists — the input format for MAGIC mapping.
+
+MAGIC (Section IV-A) natively realizes multi-input NOR and NOT, so MAGIC
+technology mapping ([70, 71, 72]) starts from a NOR/NOT netlist.  This
+module provides the netlist container and the AIG-to-NOR conversion
+(``AND(a, b) = NOR(NOT a, NOT b)``, with NOT-gate deduplication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eda.aig import AIG, lit_complemented, lit_node
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One NOR gate; a single-input NOR is a NOT."""
+
+    inputs: Tuple[int, ...]   # signal ids
+    output: int               # signal id
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError("a gate needs at least one input")
+
+    @property
+    def is_not(self) -> bool:
+        """Whether the gate degenerates to an inverter."""
+        return len(self.inputs) == 1
+
+
+class NorNetlist:
+    """A combinational NOR/NOT netlist over integer signal ids.
+
+    Signals ``0 .. n_inputs - 1`` are primary inputs; gate outputs take
+    increasing fresh ids.  Signal ``-1`` and ``-2`` are constants 0 and 1.
+    """
+
+    CONST0 = -1
+    CONST1 = -2
+
+    def __init__(self, n_inputs: int) -> None:
+        if n_inputs < 0:
+            raise ValueError(f"n_inputs must be >= 0, got {n_inputs}")
+        self.n_inputs = n_inputs
+        self.gates: List[Gate] = []
+        self.outputs: List[int] = []
+        self._next_signal = n_inputs
+
+    # ---------------------------------------------------------- construction
+    def add_gate(self, inputs: Sequence[int]) -> int:
+        """Add a NOR gate; returns the output signal id."""
+        for s in inputs:
+            self._check_signal(s)
+        output = self._next_signal
+        self._next_signal += 1
+        self.gates.append(Gate(tuple(inputs), output))
+        return output
+
+    def add_not(self, signal: int) -> int:
+        """Add a NOT (1-input NOR)."""
+        return self.add_gate([signal])
+
+    def add_output(self, signal: int) -> int:
+        """Register a primary output; returns its index."""
+        self._check_signal(signal)
+        self.outputs.append(signal)
+        return len(self.outputs) - 1
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def n_gates(self) -> int:
+        """Gate count (area proxy before mapping)."""
+        return len(self.gates)
+
+    def signal_levels(self) -> Dict[int, int]:
+        """ASAP level of every signal (inputs and constants at 0)."""
+        level = {self.CONST0: 0, self.CONST1: 0}
+        for i in range(self.n_inputs):
+            level[i] = 0
+        for gate in self.gates:
+            level[gate.output] = 1 + max(level[s] for s in gate.inputs)
+        return level
+
+    def levels(self) -> int:
+        """Netlist depth over the outputs."""
+        if not self.outputs:
+            return 0
+        level = self.signal_levels()
+        return max(level[o] for o in self.outputs)
+
+    # ------------------------------------------------------------ evaluation
+    def simulate(self, input_values: Sequence[int]) -> List[int]:
+        """Evaluate the outputs for one 0/1 input assignment."""
+        if len(input_values) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} inputs, got {len(input_values)}"
+            )
+        values: Dict[int, int] = {self.CONST0: 0, self.CONST1: 1}
+        for i, v in enumerate(input_values):
+            if v not in (0, 1):
+                raise ValueError(f"inputs must be 0/1, got {v}")
+            values[i] = v
+        for gate in self.gates:
+            values[gate.output] = 1 - max(values[s] for s in gate.inputs)
+        return [values[o] for o in self.outputs]
+
+    def _check_signal(self, signal: int) -> None:
+        if signal in (self.CONST0, self.CONST1):
+            return
+        if not 0 <= signal < self._next_signal:
+            raise ValueError(f"unknown signal id {signal}")
+
+
+def nor_netlist_from_aig(aig: AIG) -> NorNetlist:
+    """Convert an AIG to a NOR/NOT netlist with inverter sharing.
+
+    Each AND node becomes ``NOT(NOR(NOT a, NOT b))`` collapsed to
+    ``NOR(inv_a, inv_b)`` producing the *complemented* AND; polarity
+    bookkeeping keeps one NOT per signal at most.
+    """
+    netlist = NorNetlist(aig.n_inputs)
+    # For each AIG node we track the netlist signal carrying its positive
+    # phase; inverters are created lazily and cached.
+    positive: Dict[int, int] = {0: NorNetlist.CONST0}
+    for i in range(aig.n_inputs):
+        positive[1 + i] = i
+    inverted_cache: Dict[int, int] = {}
+
+    def signal_for(literal: int) -> int:
+        node = lit_node(literal)
+        base = positive[node]
+        if not lit_complemented(literal):
+            return base
+        if base not in inverted_cache:
+            if base == NorNetlist.CONST0:
+                inverted_cache[base] = NorNetlist.CONST1
+            elif base == NorNetlist.CONST1:
+                inverted_cache[base] = NorNetlist.CONST0
+            else:
+                inverted_cache[base] = netlist.add_not(base)
+        return inverted_cache[base]
+
+    for idx, (fa, fb) in enumerate(aig.ands):
+        node = aig.first_and_node + idx
+        # AND(a, b) = NOR(NOT a, NOT b).
+        positive[node] = netlist.add_gate(
+            [signal_for(fa ^ 1), signal_for(fb ^ 1)]
+        )
+
+    for o in aig.outputs:
+        netlist.add_output(signal_for(o))
+    return netlist

@@ -1,0 +1,150 @@
+"""Technology-independent optimization passes (Fig 8, phase 1-2).
+
+* :func:`aig_balance` — rebuilds AND trees as balanced (minimum-depth)
+  trees, the classic ABC ``balance`` pass.  Depth reductions here flow
+  directly into mapped delay for every technology family.
+* :func:`sift_variable_order` — greedy sifting search for a BDD variable
+  order minimizing node count (the area lever for BDD-based flows [57]).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.eda.aig import (
+    AIG,
+    FALSE_LIT,
+    lit,
+    lit_complemented,
+    lit_node,
+    lit_not,
+)
+from repro.eda.bdd import BDD
+from repro.eda.boolean import TruthTable
+
+
+def aig_balance(aig: AIG) -> AIG:
+    """Depth-balance an AIG.
+
+    Every maximal AND tree (a node whose fanins are reached through
+    non-complemented AND edges) is flattened to its leaf literals and
+    rebuilt as a balanced tree, pairing the shallowest operands first
+    (Huffman-style), which minimizes the tree's depth.
+    """
+    new = AIG(aig.n_inputs)
+    # positive-phase literal in `new` for each old node.
+    mapped: Dict[int, int] = {0: FALSE_LIT}
+    for i in range(aig.n_inputs):
+        mapped[1 + i] = new.input_lit(i)
+
+    def map_literal(literal: int) -> int:
+        base = mapped[lit_node(literal)]
+        return lit_not(base) if lit_complemented(literal) else base
+
+    def conjuncts(node: int, out: List[int]) -> None:
+        """Collect the leaf literals of ``node``'s maximal AND tree."""
+        for fanin in aig.node_fanins(node):
+            fanin_node = lit_node(fanin)
+            if (
+                not lit_complemented(fanin)
+                and fanin_node >= aig.first_and_node
+            ):
+                conjuncts(fanin_node, out)
+            else:
+                out.append(fanin)
+
+    levels_new: Dict[int, int] = {}
+
+    def level_of(literal: int) -> int:
+        node = lit_node(literal)
+        if node < new.first_and_node:
+            return 0
+        return levels_new.get(node, 0)
+
+    for idx in range(len(aig.ands)):
+        node = aig.first_and_node + idx
+        leaves: List[int] = []
+        conjuncts(node, leaves)
+        operands = [map_literal(leaf) for leaf in leaves]
+        # Pair shallowest operands first (ties broken by literal id for
+        # determinism).
+        heap = [(level_of(op), op) for op in operands]
+        heapq.heapify(heap)
+        while len(heap) > 1:
+            l1, a = heapq.heappop(heap)
+            l2, b = heapq.heappop(heap)
+            combined = new.and_(a, b)
+            combined_node = lit_node(combined)
+            if combined_node >= new.first_and_node:
+                levels_new[combined_node] = max(l1, l2) + 1
+            heapq.heappush(heap, (level_of(combined), combined))
+        mapped[node] = heap[0][1] if heap else FALSE_LIT
+
+    for output in aig.outputs:
+        new.add_output(map_literal(output))
+    return new.cleanup()
+
+
+def permute_truth_table(table: TruthTable, order: List[int]) -> TruthTable:
+    """Relabel variables: new variable ``i`` is old variable ``order[i]``.
+
+    ``order`` must be a permutation of ``range(table.n_vars)``.
+    """
+    n = table.n_vars
+    if sorted(order) != list(range(n)):
+        raise ValueError(f"order must permute range({n}), got {order}")
+    bits = 0
+    for m_new in range(1 << n):
+        m_old = 0
+        for i_new in range(n):
+            if (m_new >> i_new) & 1:
+                m_old |= 1 << order[i_new]
+        if (table.bits >> m_old) & 1:
+            bits |= 1 << m_new
+    return TruthTable(n, bits)
+
+
+def bdd_size_for_order(table: TruthTable, order: List[int]) -> int:
+    """BDD node count of ``table`` under variable order ``order``."""
+    permuted = permute_truth_table(table, order)
+    manager = BDD(table.n_vars)
+    return manager.count_nodes(manager.from_truth_table(permuted))
+
+
+def sift_variable_order(
+    table: TruthTable,
+    max_passes: int = 2,
+) -> Tuple[List[int], int]:
+    """Greedy sifting: move each variable to its best position in turn.
+
+    Returns ``(order, node_count)``.  Exact for small functions is
+    exponential; sifting is the standard polynomial heuristic.
+    """
+    if max_passes < 1:
+        raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+    n = table.n_vars
+    order = list(range(n))
+    best_size = bdd_size_for_order(table, order)
+    for _ in range(max_passes):
+        improved = False
+        for var in list(order):
+            current_pos = order.index(var)
+            best_pos, best_here = current_pos, best_size
+            for pos in range(n):
+                if pos == current_pos:
+                    continue
+                candidate = order[:]
+                candidate.remove(var)
+                candidate.insert(pos, var)
+                size = bdd_size_for_order(table, candidate)
+                if size < best_here:
+                    best_here, best_pos = size, pos
+            if best_pos != current_pos:
+                order.remove(var)
+                order.insert(best_pos, var)
+                best_size = best_here
+                improved = True
+        if not improved:
+            break
+    return order, best_size

@@ -1,0 +1,59 @@
+"""Fault models, defect mapping and fault injection (Section III, Fig 6).
+
+The paper classifies ReRAM cell faults along two axes — *hard vs. soft*
+and *static vs. dynamic* — and names the concrete mechanisms in each
+quadrant (Fig 6).  This subpackage provides:
+
+* :mod:`repro.faults.models` — the taxonomy as code, plus behavioural
+  models for each mechanism (stuck-at, transition, read/write disturb,
+  write variation, coupling);
+* :mod:`repro.faults.defects` — the defect-to-fault mapping of [45]
+  (oxide pinholes, broken wordlines, forming failures ...);
+* :mod:`repro.faults.injection` — population sampling and injection into
+  :class:`~repro.crossbar.array.CrossbarArray` instances, including the
+  yield-driven populations used by the accuracy-vs-yield benchmark;
+* :mod:`repro.faults.endurance` — Weibull wear-out over write cycles,
+  feeding the "hard faults eventually exceed ECC capability" claim.
+"""
+
+from repro.faults.models import (
+    FaultType,
+    FaultClass,
+    FaultPersistence,
+    Fault,
+    fault_taxonomy,
+    ReadDisturbProcess,
+    WriteDisturbProcess,
+)
+from repro.faults.defects import Defect, DefectType, defect_to_fault, sample_defects
+from repro.faults.injection import FaultInjector, FaultMap, yield_to_fault_rate
+from repro.faults.endurance import EnduranceModel, EnduranceSimulator
+from repro.faults.tolerance import (
+    RetrainReport,
+    RowRemapRepair,
+    fault_aware_retrain,
+    noise_aware_train,
+)
+
+__all__ = [
+    "FaultType",
+    "FaultClass",
+    "FaultPersistence",
+    "Fault",
+    "fault_taxonomy",
+    "ReadDisturbProcess",
+    "WriteDisturbProcess",
+    "Defect",
+    "DefectType",
+    "defect_to_fault",
+    "sample_defects",
+    "FaultInjector",
+    "FaultMap",
+    "yield_to_fault_rate",
+    "EnduranceModel",
+    "EnduranceSimulator",
+    "RetrainReport",
+    "RowRemapRepair",
+    "fault_aware_retrain",
+    "noise_aware_train",
+]

@@ -1,0 +1,116 @@
+"""Defect-to-fault mapping, following the analysis of [45].
+
+Section III-A: "The impact of various process variations and manufacturing
+defects like oxide-pinholes on ReRAM and associated defect-to-fault mapping
+have been explored in [45]".  A *defect* is a physical flaw; a *fault* is
+the logic-level misbehaviour it causes.  This module samples physical
+defect populations and maps them to the fault types of
+:mod:`repro.faults.models` — e.g. a broken wordline manifests as SA1
+behaviour on the affected row (paper, Section III-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.faults.models import Fault, FaultType
+from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.validation import check_probability
+
+
+class DefectType(enum.Enum):
+    """Physical manufacturing defects named in Section III-A / [45]."""
+
+    OXIDE_PINHOLE = "oxide_pinhole"        # shorted oxide -> cell stuck LRS
+    BROKEN_WORDLINE = "broken_wordline"    # open row wire -> SA1 behaviour
+    BROKEN_BITLINE = "broken_bitline"      # open column wire
+    OVER_FORMING = "over_forming"          # forming overshoot -> stuck LRS
+    UNDER_FORMING = "under_forming"        # filament never formed -> stuck HRS
+    ELECTRODE_CONTAMINATION = "electrode_contamination"  # switching asymmetry
+    PROCESS_VARIATION = "process_variation"              # parameter spread
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One physical defect with its location.
+
+    Line defects (broken wordline/bitline) carry the line index in
+    ``row``/``col`` and ``-1`` for the other coordinate.
+    """
+
+    defect_type: DefectType
+    row: int
+    col: int
+
+
+#: Which logic-level fault each defect causes, per the [45]-style mapping.
+_DEFECT_FAULT_MAP: Dict[DefectType, FaultType] = {
+    DefectType.OXIDE_PINHOLE: FaultType.STUCK_AT_1,
+    DefectType.BROKEN_WORDLINE: FaultType.STUCK_AT_1,
+    DefectType.BROKEN_BITLINE: FaultType.STUCK_AT_0,
+    DefectType.OVER_FORMING: FaultType.STUCK_AT_1,
+    DefectType.UNDER_FORMING: FaultType.STUCK_AT_0,
+    DefectType.ELECTRODE_CONTAMINATION: FaultType.TRANSITION,
+    DefectType.PROCESS_VARIATION: FaultType.FABRICATION_VARIATION,
+}
+
+
+def defect_to_fault(defect: Defect, rows: int, cols: int) -> List[Fault]:
+    """Expand ``defect`` to the cell-level faults it causes.
+
+    Cell defects map to one fault; line defects fan out across the whole
+    broken line — e.g. "a broken word-line in a ReRAM crossbar array leads
+    to the SA1 behavior" for every cell on that row.
+    """
+    fault_type = _DEFECT_FAULT_MAP[defect.defect_type]
+    if defect.defect_type is DefectType.BROKEN_WORDLINE:
+        if not 0 <= defect.row < rows:
+            raise ValueError(f"wordline {defect.row} outside array")
+        return [Fault(fault_type, defect.row, c) for c in range(cols)]
+    if defect.defect_type is DefectType.BROKEN_BITLINE:
+        if not 0 <= defect.col < cols:
+            raise ValueError(f"bitline {defect.col} outside array")
+        return [Fault(fault_type, r, defect.col) for r in range(rows)]
+    if not (0 <= defect.row < rows and 0 <= defect.col < cols):
+        raise ValueError(
+            f"defect at ({defect.row}, {defect.col}) outside {rows}x{cols}"
+        )
+    return [Fault(fault_type, defect.row, defect.col)]
+
+
+def sample_defects(
+    rows: int,
+    cols: int,
+    cell_defect_rate: float = 0.001,
+    line_defect_rate: float = 0.002,
+    rng: RNGLike = None,
+) -> List[Defect]:
+    """Sample a manufacturing defect population for one crossbar.
+
+    ``cell_defect_rate`` is per-cell (split uniformly across the cell
+    defect kinds); ``line_defect_rate`` is per-line for broken wires.
+    """
+    check_probability("cell_defect_rate", cell_defect_rate)
+    check_probability("line_defect_rate", line_defect_rate)
+    gen = ensure_rng(rng)
+    cell_kinds = [
+        DefectType.OXIDE_PINHOLE,
+        DefectType.OVER_FORMING,
+        DefectType.UNDER_FORMING,
+        DefectType.ELECTRODE_CONTAMINATION,
+    ]
+    defects: List[Defect] = []
+    for r in range(rows):
+        for c in range(cols):
+            if gen.random() < cell_defect_rate:
+                kind = cell_kinds[int(gen.integers(len(cell_kinds)))]
+                defects.append(Defect(kind, r, c))
+    for r in range(rows):
+        if gen.random() < line_defect_rate:
+            defects.append(Defect(DefectType.BROKEN_WORDLINE, r, -1))
+    for c in range(cols):
+        if gen.random() < line_defect_rate:
+            defects.append(Defect(DefectType.BROKEN_BITLINE, -1, c))
+    return defects

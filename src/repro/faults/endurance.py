@@ -1,0 +1,119 @@
+"""Endurance wear-out over write cycling.
+
+Section III-C: "due to the limited endurance, more devices will be worn
+out over time and eventually the number of hard faults will exceed the
+ECCs correction capability".  Cell lifetimes are Weibull-distributed
+(the standard wear-out statistic); the simulator advances write cycles and
+reports the accumulating hard-fault population, which the ECC benchmark
+then compares against correction capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray
+from repro.faults.injection import FaultInjector
+from repro.faults.models import Fault, FaultType
+from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class EnduranceModel:
+    """Weibull cell-lifetime model.
+
+    ``characteristic_life`` is the 63.2%-failure write count; ``shape > 1``
+    gives wear-out behaviour (failure rate rising with age).
+    """
+
+    characteristic_life: float = 1e7
+    shape: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("characteristic_life", self.characteristic_life)
+        check_positive("shape", self.shape)
+
+    def sample_lifetimes(self, size, rng: RNGLike = None) -> np.ndarray:
+        """Draw per-cell lifetimes (in write cycles)."""
+        gen = ensure_rng(rng)
+        return self.characteristic_life * gen.weibull(self.shape, size=size)
+
+    def failure_probability(self, writes: float) -> float:
+        """CDF: probability a cell has failed after ``writes`` cycles."""
+        if writes < 0:
+            raise ValueError(f"writes must be >= 0, got {writes}")
+        return float(1.0 - np.exp(-((writes / self.characteristic_life) ** self.shape)))
+
+
+class EnduranceSimulator:
+    """Advances write cycling on a crossbar and kills expired cells.
+
+    Cells whose cumulative write count crosses their sampled lifetime
+    become stuck at the extreme nearest their last conductance — the
+    dynamic-hard quadrant of Fig 6.
+    """
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        model: Optional[EnduranceModel] = None,
+        rng: RNGLike = None,
+    ) -> None:
+        self.array = array
+        self.model = model or EnduranceModel()
+        self._rng = ensure_rng(rng)
+        self._lifetimes = self.model.sample_lifetimes(array.shape, self._rng)
+        self._writes = np.zeros(array.shape, dtype=float)
+        self.injector = FaultInjector(array, rng=self._rng)
+
+    @property
+    def write_cycles(self) -> np.ndarray:
+        """Per-cell accumulated write cycles (copy)."""
+        return self._writes.copy()
+
+    @property
+    def dead_cell_count(self) -> int:
+        """Cells stuck so far."""
+        return self.array.fault_count()
+
+    def cycle(self, writes_per_cell: float = 1.0) -> List[Fault]:
+        """Apply ``writes_per_cell`` uniform write cycles; returns the
+        newly expired cells' faults."""
+        check_positive("writes_per_cell", writes_per_cell)
+        before = self._writes < self._lifetimes
+        self._writes += writes_per_cell
+        now_dead = (self._writes >= self._lifetimes) & before
+        now_dead &= ~self.array._stuck_mask
+        new_faults: List[Fault] = []
+        for r, c in zip(*np.nonzero(now_dead)):
+            fault = Fault(FaultType.ENDURANCE_WEAROUT, int(r), int(c))
+            self.injector.inject_fault(fault)
+            new_faults.append(fault)
+        return new_faults
+
+    def run_until(self, total_writes: float, step: float) -> List[dict]:
+        """Cycle in ``step`` increments up to ``total_writes``; returns a
+        time series of ``{"writes", "dead_cells", "dead_fraction"}`` rows
+        (the curve the ECC-exhaustion benchmark plots)."""
+        check_positive("total_writes", total_writes)
+        check_positive("step", step)
+        rows, cols = self.array.shape
+        series = []
+        done = 0.0
+        while done < total_writes:
+            increment = min(step, total_writes - done)
+            self.cycle(increment)
+            done += increment
+            dead = self.dead_cell_count
+            series.append(
+                {
+                    "writes": done,
+                    "dead_cells": dead,
+                    "dead_fraction": dead / (rows * cols),
+                }
+            )
+        return series

@@ -1,0 +1,224 @@
+"""Fault taxonomy and behavioural fault models (Fig 6 of the paper).
+
+Fig 6 classifies ReRAM cell faults on two axes:
+
+===========  ==========================  ============================
+             Hard                        Soft
+===========  ==========================  ============================
+Dynamic      endurance limitation        read disturbance,
+                                         write disturbance,
+                                         write variation
+Static       fabrication defect          fabrication variation
+===========  ==========================  ============================
+
+Hard faults pin the cell at a fixed state "which cannot be tuned anymore"
+— and "tend to get stuck at the highest and lowest value, i.e., SA0 or
+SA1".  We adopt the memory convention: logic 0 = HRS (lowest conductance),
+logic 1 = LRS (highest conductance), so SA0 pins ``g_min`` and SA1 pins
+``g_max``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray
+from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.validation import check_non_negative, check_probability
+
+
+class FaultClass(enum.Enum):
+    """Severity axis of Fig 6."""
+
+    HARD = "hard"
+    SOFT = "soft"
+
+
+class FaultPersistence(enum.Enum):
+    """Origin axis of Fig 6."""
+
+    STATIC = "static"    # introduced at fabrication
+    DYNAMIC = "dynamic"  # introduced during field operation
+
+
+class FaultType(enum.Enum):
+    """Concrete fault mechanisms named by Section III-A."""
+
+    STUCK_AT_0 = "sa0"                  # pinned at HRS (g_min)
+    STUCK_AT_1 = "sa1"                  # pinned at LRS (g_max)
+    TRANSITION = "tf"                   # one switching direction broken
+    ADDRESS_DECODER = "adf"             # wrong/no/multiple row selected
+    READ_DISTURB = "read_disturb"       # read current biases the state
+    WRITE_DISTURB = "write_disturb"     # half-selected neighbours shift
+    WRITE_VARIATION = "write_variation" # landing distribution, not value
+    FABRICATION_VARIATION = "fab_variation"  # static parameter spread
+    ENDURANCE_WEAROUT = "endurance"     # dynamic hard, after many writes
+    COUPLING = "coupling"               # aggressor write flips victim
+    OVER_FORMING = "over_forming"       # forming leaves cell stuck SA1
+
+
+#: Placement of each mechanism in the (class, persistence) plane of Fig 6.
+_TAXONOMY: Dict[FaultType, Tuple[FaultClass, FaultPersistence]] = {
+    FaultType.STUCK_AT_0: (FaultClass.HARD, FaultPersistence.STATIC),
+    FaultType.STUCK_AT_1: (FaultClass.HARD, FaultPersistence.STATIC),
+    FaultType.TRANSITION: (FaultClass.HARD, FaultPersistence.STATIC),
+    FaultType.ADDRESS_DECODER: (FaultClass.HARD, FaultPersistence.STATIC),
+    FaultType.OVER_FORMING: (FaultClass.HARD, FaultPersistence.STATIC),
+    FaultType.READ_DISTURB: (FaultClass.SOFT, FaultPersistence.DYNAMIC),
+    FaultType.WRITE_DISTURB: (FaultClass.SOFT, FaultPersistence.DYNAMIC),
+    FaultType.WRITE_VARIATION: (FaultClass.SOFT, FaultPersistence.DYNAMIC),
+    FaultType.COUPLING: (FaultClass.SOFT, FaultPersistence.DYNAMIC),
+    FaultType.FABRICATION_VARIATION: (FaultClass.SOFT, FaultPersistence.STATIC),
+    FaultType.ENDURANCE_WEAROUT: (FaultClass.HARD, FaultPersistence.DYNAMIC),
+}
+
+
+def fault_taxonomy() -> Dict[Tuple[FaultClass, FaultPersistence], List[FaultType]]:
+    """The Fig 6 matrix: quadrant -> mechanisms.
+
+    >>> taxonomy = fault_taxonomy()
+    >>> FaultType.ENDURANCE_WEAROUT in taxonomy[
+    ...     (FaultClass.HARD, FaultPersistence.DYNAMIC)]
+    True
+    """
+    quadrants: Dict[Tuple[FaultClass, FaultPersistence], List[FaultType]] = {}
+    for fault_type, key in _TAXONOMY.items():
+        quadrants.setdefault(key, []).append(fault_type)
+    return quadrants
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault instance with its ground-truth location."""
+
+    fault_type: FaultType
+    row: int
+    col: int
+
+    @property
+    def fault_class(self) -> FaultClass:
+        """Hard or soft (Fig 6 vertical axis)."""
+        return _TAXONOMY[self.fault_type][0]
+
+    @property
+    def persistence(self) -> FaultPersistence:
+        """Static or dynamic (Fig 6 horizontal axis)."""
+        return _TAXONOMY[self.fault_type][1]
+
+    @property
+    def is_hard(self) -> bool:
+        """Convenience flag for the common hard/soft split."""
+        return self.fault_class is FaultClass.HARD
+
+
+class ReadDisturbProcess:
+    """Dynamic soft fault: reads bias the cell toward LRS.
+
+    "The read disturbance fault may appear when a read current is applied
+    during read operations, which may bias the state of the cell" [39, 40].
+    Each read of a susceptible cell shifts its conductance up by
+    ``shift_fraction`` of the remaining range with probability
+    ``disturb_probability``.
+    """
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        disturb_probability: float = 0.01,
+        shift_fraction: float = 0.05,
+        rng: RNGLike = None,
+    ) -> None:
+        check_probability("disturb_probability", disturb_probability)
+        check_probability("shift_fraction", shift_fraction)
+        self.array = array
+        self.disturb_probability = disturb_probability
+        self.shift_fraction = shift_fraction
+        self._rng = ensure_rng(rng)
+        self.disturb_events = 0
+
+    def read(self, noisy: bool = True) -> np.ndarray:
+        """Read the conductance matrix, then apply disturbance."""
+        observed = (
+            self.array.read_conductances()
+            if noisy
+            else self.array.conductances()
+        )
+        self._disturb()
+        return observed
+
+    def vmm(self, voltages: np.ndarray) -> np.ndarray:
+        """A VMM is a parallel read of every cell — it disturbs too."""
+        result = self.array.vmm(voltages)
+        self._disturb()
+        return result
+
+    def _disturb(self) -> None:
+        g_max = self.array.config.levels.g_max
+        hit = self._rng.random(self.array.shape) < self.disturb_probability
+        hit &= ~self.array._stuck_mask
+        if not hit.any():
+            return
+        self.disturb_events += int(hit.sum())
+        g = self.array._g
+        shifted = g + self.shift_fraction * (g_max - g)
+        self.array._g = np.where(hit, shifted, g)
+
+
+class WriteDisturbProcess:
+    """Dynamic soft fault: writing a cell disturbs half-selected neighbours.
+
+    Cells sharing the written cell's wordline or bitline see a half-select
+    voltage; with probability ``disturb_probability`` each such neighbour
+    shifts toward the written direction by ``shift_fraction``.
+    """
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        disturb_probability: float = 0.005,
+        shift_fraction: float = 0.05,
+        rng: RNGLike = None,
+    ) -> None:
+        check_probability("disturb_probability", disturb_probability)
+        check_probability("shift_fraction", shift_fraction)
+        self.array = array
+        self.disturb_probability = disturb_probability
+        self.shift_fraction = shift_fraction
+        self._rng = ensure_rng(rng)
+        self.disturb_events = 0
+
+    def write_cell(self, row: int, col: int, target_conductance: float) -> None:
+        """Write one cell and stochastically disturb its row/column."""
+        self.array._check_cell(row, col)
+        check_non_negative("target_conductance", target_conductance)
+        landed = float(
+            self.array.variability.write.apply(target_conductance, self._rng)
+        )
+        if not self.array._stuck_mask[row, col]:
+            self.array._g[row, col] = landed
+        self.array._write_counts[row, col] += 1
+
+        g = self.array._g
+        levels = self.array.config.levels
+        target_extreme = (
+            levels.g_max
+            if target_conductance >= 0.5 * (levels.g_min + levels.g_max)
+            else levels.g_min
+        )
+        half_selected = np.zeros(self.array.shape, dtype=bool)
+        half_selected[row, :] = True
+        half_selected[:, col] = True
+        half_selected[row, col] = False
+        hit = half_selected & (
+            self._rng.random(self.array.shape) < self.disturb_probability
+        )
+        hit &= ~self.array._stuck_mask
+        if not hit.any():
+            return
+        self.disturb_events += int(hit.sum())
+        shifted = g + self.shift_fraction * (target_extreme - g)
+        self.array._g = np.where(hit, shifted, g)

@@ -1,0 +1,42 @@
+"""FeRFET circuit topologies (Section V).
+
+Switch-level implementations, on top of the
+:class:`~repro.devices.ferfet.FeRFET` compact model, of the cells the
+paper presents:
+
+* :mod:`repro.ferfet.cells` — the Fig 11 Memory-In-Logic programmable
+  XOR/XNOR cell (four FeRFETs, functionality fixed non-volatilely by the
+  P / NOT-P program signals);
+* :mod:`repro.ferfet.arrays` — the Fig 12 Logic-In-Memory array cells:
+  the AND-array-like (N)OR cell and the wired-AND NOR-array cell with its
+  dynamic AOI/XNOR modes, plus the in-array half/full adder of [103];
+* :mod:`repro.ferfet.bnn_engine` — the XNOR-popcount engine for binary
+  neural networks ([114, 115]), the target application Section V-D names.
+"""
+
+from repro.ferfet.cells import ProgrammableXorCell, CellFunction
+from repro.ferfet.arrays import (
+    OrTypeCell,
+    AndTypeCell,
+    NorArray,
+    LogicInMemoryAdder,
+)
+from repro.ferfet.bnn_engine import XnorPopcountEngine
+from repro.ferfet.coupled_arrays import (
+    CoupledArrayPipeline,
+    PipelineTrace,
+    two_stage_and,
+)
+
+__all__ = [
+    "ProgrammableXorCell",
+    "CellFunction",
+    "OrTypeCell",
+    "AndTypeCell",
+    "NorArray",
+    "LogicInMemoryAdder",
+    "XnorPopcountEngine",
+    "CoupledArrayPipeline",
+    "PipelineTrace",
+    "two_stage_and",
+]

@@ -1,0 +1,238 @@
+"""Fig 12 Logic-In-Memory array cells and the in-array adder of [103].
+
+Two cell flavours:
+
+* :class:`OrTypeCell` — the AND-array-like design of Fig 12(a).  The
+  stored state is written "by applying a high set voltage at the word
+  line"; the stored bit serves as input A, the volatile input B is applied
+  at the *same* word line "using a distinctive smaller VDD".  With a
+  depletion-mode LRS (device conducts at 0 V when storing 1) the cell
+  conducts iff ``A OR B``; the inverting bitline sense then yields NOR —
+  "the output will compute the (N)OR function of A and B".
+* :class:`AndTypeCell` — a wired-AND cell for the NOR-array design of
+  Fig 12(b), using an additional independent (select) gate [102].  It
+  conducts iff ``A AND B``, enabling the dynamic AND-OR-INVERT and XNOR
+  modes of [104].
+
+:class:`NorArray` wires cells onto shared bitlines (parallel conduction,
+inverting sense), and :class:`LogicInMemoryAdder` composes the cells into
+the half/full adder demonstrated in-array by [103].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.devices.ferfet import FeRFET, FeRFETParams
+from repro.devices.rfet import Polarity
+
+
+def _or_cell_params() -> FeRFETParams:
+    """Depletion-mode LRS: storing 1 makes the device always-on."""
+    return FeRFETParams(
+        vth_n_lrs=-0.3,
+        vth_n_hrs=0.5,
+        operating_voltage=0.8,
+        coercive_voltage=2.0,
+    )
+
+
+def _and_cell_params() -> FeRFETParams:
+    """Enhancement-mode LRS: storing 1 only *allows* conduction when the
+    volatile gate is also driven high."""
+    return FeRFETParams(
+        vth_n_lrs=0.3,
+        vth_n_hrs=1.5,
+        operating_voltage=0.8,
+        coercive_voltage=2.0,
+    )
+
+
+class OrTypeCell:
+    """Fig 12(a) AND-array-like cell computing (N)OR of stored A and
+    volatile B."""
+
+    def __init__(self, params: Optional[FeRFETParams] = None) -> None:
+        self.params = params or _or_cell_params()
+        if self.params.vth_n_lrs >= 0:
+            raise ValueError(
+                "the OR-type cell needs a depletion-mode LRS "
+                "(vth_n_lrs < 0) so a stored 1 conducts at B = 0"
+            )
+        self.device = FeRFET(self.params)
+        self.device.program_polarity(1.2 * self.params.coercive_voltage)
+
+    def store(self, a: int) -> None:
+        """Step 1 of the protocol: write A with a high set voltage on WL."""
+        if a not in (0, 1):
+            raise ValueError(f"stored bit must be 0/1, got {a}")
+        vp = 1.2 * self.params.coercive_voltage
+        self.device.program_threshold_state(vp if a else -vp)
+
+    @property
+    def stored(self) -> int:
+        """The stored bit A."""
+        return int(self.device.low_resistive)
+
+    def conducts(self, b: int) -> bool:
+        """Step 2: apply volatile B at the WL with the smaller VDD; the
+        cell conducts iff ``A OR B``."""
+        if b not in (0, 1):
+            raise ValueError(f"b must be 0/1, got {b}")
+        v = self.params.operating_voltage if b else 0.0
+        return self.device.is_conducting(v)
+
+    def nor(self, b: int) -> int:
+        """Inverted bitline response: ``NOT (A OR B)``."""
+        return 0 if self.conducts(b) else 1
+
+    def or_(self, b: int) -> int:
+        """Non-inverted response (second sense stage): ``A OR B``."""
+        return 1 if self.conducts(b) else 0
+
+
+class AndTypeCell:
+    """Wired-AND cell (Fig 12(b) style) conducting iff stored A AND
+    volatile B."""
+
+    def __init__(self, params: Optional[FeRFETParams] = None) -> None:
+        self.params = params or _and_cell_params()
+        if self.params.vth_n_lrs <= 0:
+            raise ValueError(
+                "the AND-type cell needs an enhancement-mode LRS "
+                "(vth_n_lrs > 0) so conduction requires B = 1"
+            )
+        if self.params.vth_n_hrs <= self.params.operating_voltage:
+            raise ValueError(
+                "vth_n_hrs must exceed the operating voltage so a stored 0 "
+                "blocks conduction for any B"
+            )
+        self.device = FeRFET(self.params)
+        self.device.program_polarity(1.2 * self.params.coercive_voltage)
+
+    def store(self, a: int) -> None:
+        """Write the non-volatile operand A."""
+        if a not in (0, 1):
+            raise ValueError(f"stored bit must be 0/1, got {a}")
+        vp = 1.2 * self.params.coercive_voltage
+        self.device.program_threshold_state(vp if a else -vp)
+
+    @property
+    def stored(self) -> int:
+        """The stored bit A."""
+        return int(self.device.low_resistive)
+
+    def conducts(self, b: int, select: int = 1) -> bool:
+        """Conduction = ``A AND B AND select`` (the middle gate of the
+        three-gate device acts as access transistor [102])."""
+        if b not in (0, 1) or select not in (0, 1):
+            raise ValueError("b and select must be 0/1")
+        if not select:
+            return False
+        v = self.params.operating_voltage if b else 0.0
+        return self.device.is_conducting(v)
+
+
+class NorArray:
+    """Cells on shared bitlines with inverting sense: a NOR-array.
+
+    Each bitline output is ``NOT (OR over activated cells' conduction)``;
+    with :class:`AndTypeCell` conduction terms ``A_i AND B_i`` this is the
+    AND-OR-INVERT of [104], and XNOR/XOR follow by operand encoding.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"array must be at least 1x1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.cells: List[List[AndTypeCell]] = [
+            [AndTypeCell() for _ in range(cols)] for _ in range(rows)
+        ]
+
+    def store(self, bits: Sequence[Sequence[int]]) -> None:
+        """Program the stored operand plane."""
+        if len(bits) != self.rows or any(len(r) != self.cols for r in bits):
+            raise ValueError(
+                f"bits must be {self.rows}x{self.cols}"
+            )
+        for i in range(self.rows):
+            for j in range(self.cols):
+                self.cells[i][j].store(bits[i][j])
+
+    def aoi(self, b: Sequence[int], select: Optional[Sequence[int]] = None) -> List[int]:
+        """AND-OR-INVERT: bitline_j = NOT OR_i (A_ij AND b_i AND sel_i)."""
+        if len(b) != self.rows:
+            raise ValueError(f"b must have {self.rows} entries")
+        select = list(select) if select is not None else [1] * self.rows
+        if len(select) != self.rows:
+            raise ValueError(f"select must have {self.rows} entries")
+        outputs = []
+        for j in range(self.cols):
+            conducting = any(
+                self.cells[i][j].conducts(b[i], select[i])
+                for i in range(self.rows)
+            )
+            outputs.append(0 if conducting else 1)
+        return outputs
+
+    def xnor_column(self, a: int, b: int, col: int = 0) -> int:
+        """Dynamic XNOR using two rows of one column: cells store
+        ``(a, NOT a)``, inputs apply ``(b, NOT b)``; the AOI output is
+        ``NOT(ab + (1-a)(1-b)) = XOR``, re-inverted to XNOR."""
+        if self.rows < 2:
+            raise ValueError("xnor needs at least two rows")
+        self.cells[0][col].store(a)
+        self.cells[1][col].store(1 - a)
+        inputs = [b, 1 - b] + [0] * (self.rows - 2)
+        xor = self.aoi(inputs)[col]
+        return 1 - xor
+
+
+class LogicInMemoryAdder:
+    """In-array half/full adder composed from the Fig 12 cells ([103]).
+
+    ``sum = A XOR B XOR Cin`` via two sequential XNOR stages;
+    ``carry = MAJ(A, B, Cin) = AB + Cin (A XOR B)`` via AND-type
+    conduction with AOI sensing.
+    """
+
+    def __init__(self) -> None:
+        self._xnor_array = NorArray(rows=2, cols=1)
+        self._carry_array = NorArray(rows=2, cols=1)
+
+    def half_add(self, a: int, b: int) -> Tuple[int, int]:
+        """Returns (sum, carry) of two bits."""
+        for bit in (a, b):
+            if bit not in (0, 1):
+                raise ValueError("inputs must be 0/1")
+        s = 1 - self._xnor_array.xnor_column(a, b)
+        self._carry_array.cells[0][0].store(a)
+        carry = int(self._carry_array.cells[0][0].conducts(b))
+        return s, carry
+
+    def full_add(self, a: int, b: int, cin: int) -> Tuple[int, int]:
+        """Returns (sum, carry) of three bits, evaluated in-array."""
+        if cin not in (0, 1):
+            raise ValueError("inputs must be 0/1")
+        s1, c1 = self.half_add(a, b)
+        s, c2 = self.half_add(s1, cin)
+        # carry = c1 OR c2; use an OR-type cell for the in-memory OR.
+        or_cell = OrTypeCell()
+        or_cell.store(c1)
+        carry = or_cell.or_(c2)
+        return s, carry
+
+    def add_words(self, a_bits: Sequence[int], b_bits: Sequence[int]) -> List[int]:
+        """Ripple-carry addition of two little-endian bit vectors; returns
+        ``len + 1`` result bits."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("operand widths differ")
+        carry = 0
+        result = []
+        for a, b in zip(a_bits, b_bits):
+            s, carry = self.full_add(a, b, carry)
+            result.append(s)
+        result.append(carry)
+        return result

@@ -1,0 +1,99 @@
+"""XNOR-popcount engine for binary neural networks on FeRFETs.
+
+Section V-D: "One such target application are binary neural networks
+[114].  Particularly the very efficient XOR and XNOR implementation
+enabled by the RFET base technology is suitable to be employed for this
+type of computing paradigm [115].  The Fe layer allows non-volatility
+which can be used to store weights ...  In contrast to memristors, which
+carry out computation in analog domain, FeRFETs can enable logic
+computation in the digital domain without the need of extensive peripheral
+circuits."
+
+A binarized dot product of ±1 vectors is ``2 * popcount(XNOR(w, x)) - n``.
+The engine stores each weight bit as the programmed function of one
+:class:`~repro.ferfet.cells.ProgrammableXorCell` — weight ``+1`` programs
+XNOR, weight ``-1`` programs XOR (equivalently XNOR with the flipped
+weight) — so evaluation is a purely digital cell read plus a popcount.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ferfet.cells import CellFunction, ProgrammableXorCell
+
+
+class XnorPopcountEngine:
+    """A grid of programmable cells computing binarized VMMs.
+
+    Weights are a ±1 matrix of shape ``(n_inputs, n_outputs)``; inputs are
+    ±1 vectors.  Output ``j`` is the integer dot product
+    ``sum_i w_ij * x_i`` obtained via XNOR-popcount, optionally passed
+    through the sign activation.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        if not np.all(np.isin(weights, (-1, 1))):
+            raise ValueError("BNN weights must be +/-1")
+        self.weights = weights.astype(int)
+        self.n_inputs, self.n_outputs = weights.shape
+        self.cells: List[List[ProgrammableXorCell]] = []
+        for i in range(self.n_inputs):
+            row = []
+            for j in range(self.n_outputs):
+                cell = ProgrammableXorCell()
+                # XNOR(x, w): storing w=+1 as XNOR means cell(x_bit, 1)...
+                # Encode: cell computes XNOR of (x_bit, w_bit) by
+                # programming XNOR for w=+1 and XOR for w=-1, evaluated
+                # against the constant input 1.
+                cell.program(
+                    CellFunction.XNOR
+                    if self.weights[i, j] > 0
+                    else CellFunction.XOR
+                )
+                row.append(cell)
+            self.cells.append(row)
+
+    @property
+    def n_cells(self) -> int:
+        """Total programmable cells in the engine."""
+        return self.n_inputs * self.n_outputs
+
+    @staticmethod
+    def _to_bit(value: int) -> int:
+        if value not in (-1, 1):
+            raise ValueError(f"BNN activations must be +/-1, got {value}")
+        return 1 if value > 0 else 0
+
+    def dot(self, x: Sequence[int]) -> np.ndarray:
+        """Integer dot products ``x @ W`` via XNOR-popcount on the cells."""
+        if len(x) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} inputs, got {len(x)}"
+            )
+        bits = [self._to_bit(int(v)) for v in x]
+        outputs = np.empty(self.n_outputs, dtype=int)
+        for j in range(self.n_outputs):
+            popcount = 0
+            for i in range(self.n_inputs):
+                # cell(x_i, 1) = XNOR(x_i, 1) = x_i for w=+1 cells,
+                #                XOR(x_i, 1)  = NOT x_i for w=-1 cells,
+                # i.e. exactly XNOR(x_i, w_ij).
+                match, _ = self.cells[i][j].evaluate(bits[i], 1)
+                popcount += match
+            outputs[j] = 2 * popcount - self.n_inputs
+        return outputs
+
+    def forward(self, x: Sequence[int]) -> np.ndarray:
+        """Binarized layer: sign activation of :meth:`dot` (+1 on ties)."""
+        raw = self.dot(x)
+        return np.where(raw >= 0, 1, -1)
+
+    def reference_dot(self, x: Sequence[int]) -> np.ndarray:
+        """Software reference ``x @ W`` for verification."""
+        return np.asarray(x, dtype=int) @ self.weights

@@ -1,0 +1,141 @@
+"""The Fig 11 programmable XOR/XNOR Memory-In-Logic cell.
+
+"The cell comprises four transistors with three gates each.  Notably, the
+ferroelectric is just present at all outer gates (program gates) ...  P
+and NOT-P are not used as data inputs, but configure the gate to either
+compute the XOR or XNOR function of the inputs A and B.  Note, that the
+cell is built for a static, pass-transistor-like style of operation."
+
+Switch-level realization: four FeRFETs form two complementary
+pass-transistor branches per output rail.
+
+======  ==========  ======  =============================
+device  source      gate    role
+======  ==========  ======  =============================
+T1      A           B       pulls OUT when it conducts
+T2      NOT A       B       pulls OUT when it conducts
+T3      A           B       pulls NOT-OUT when it conducts
+T4      NOT A       B       pulls NOT-OUT when it conducts
+======  ==========  ======  =============================
+
+Programming ``(T1, T2, T3, T4) = (p, n, n, p)`` makes
+``OUT = B ? NOT A : A = XOR(A, B)``; the complementary pattern yields
+XNOR.  The program path (coercive-voltage pulses on the P rails) is
+completely separate from the data path (sub-coercive logic levels) — the
+benefit the paper highlights.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.devices.ferfet import FeRFET, FeRFETParams
+from repro.devices.rfet import Polarity
+
+
+class CellFunction(enum.Enum):
+    """The two programmable functions of the Fig 11 cell."""
+
+    XOR = "xor"
+    XNOR = "xnor"
+
+
+class ProgrammableXorCell:
+    """Four-FeRFET static XOR/XNOR cell with dual-rail output."""
+
+    def __init__(self, params: Optional[FeRFETParams] = None) -> None:
+        self.params = params or FeRFETParams()
+        self.t1 = FeRFET(self.params)
+        self.t2 = FeRFET(self.params)
+        self.t3 = FeRFET(self.params)
+        self.t4 = FeRFET(self.params)
+        self._function: Optional[CellFunction] = None
+        # Data-path logic levels: dual rail around 0 so that p-type
+        # branches conduct on logic 0.
+        self._v_high = self.params.operating_voltage
+        self._v_low = -self.params.operating_voltage
+
+    @property
+    def function(self) -> Optional[CellFunction]:
+        """Currently programmed function (None before first programming)."""
+        return self._function
+
+    @property
+    def program_voltage(self) -> float:
+        """Voltage on the P rails during programming (coercive-level)."""
+        return 1.2 * self.params.coercive_voltage
+
+    # ------------------------------------------------------------- program
+    def program(self, function: CellFunction) -> None:
+        """Fix the cell function non-volatilely via the P / NOT-P rails.
+
+        Only the program-gate ferroelectrics switch; the control gates
+        keep their (LRS) state, matching Fig 11 where the ferroelectric
+        sits "just ... at all outer gates".
+        """
+        vp = self.program_voltage
+        if function is CellFunction.XOR:
+            polarities = (-vp, +vp, +vp, -vp)   # (p, n, n, p)
+        else:
+            polarities = (+vp, -vp, -vp, +vp)   # (n, p, p, n)
+        for device, v in zip((self.t1, self.t2, self.t3, self.t4), polarities):
+            device.program_polarity(v)
+            device.program_threshold_state(vp)  # keep control FE in LRS
+        self._function = function
+
+    # -------------------------------------------------------------- evaluate
+    def _level(self, bit: int) -> float:
+        return self._v_high if bit else self._v_low
+
+    def evaluate(self, a: int, b: int) -> Tuple[int, int]:
+        """Static evaluation; returns ``(out, out_bar)``.
+
+        Raises if the pass network would float or fight (both branches of
+        one rail on), which would indicate a programming error.
+        """
+        if self._function is None:
+            raise RuntimeError("cell must be programmed before evaluation")
+        if a not in (0, 1) or b not in (0, 1):
+            raise ValueError(f"inputs must be 0/1, got a={a}, b={b}")
+        vb = self._level(b)
+        out = self._resolve_rail(
+            branch_values=(a, 1 - a),
+            branch_on=(self.t1.is_conducting(vb), self.t2.is_conducting(vb)),
+            rail="OUT",
+        )
+        out_bar = self._resolve_rail(
+            branch_values=(a, 1 - a),
+            branch_on=(self.t3.is_conducting(vb), self.t4.is_conducting(vb)),
+            rail="NOT-OUT",
+        )
+        if out == out_bar:
+            raise RuntimeError(
+                "dual-rail inconsistency: OUT == NOT-OUT "
+                f"(a={a}, b={b}, function={self._function})"
+            )
+        return out, out_bar
+
+    @staticmethod
+    def _resolve_rail(branch_values, branch_on, rail: str) -> int:
+        drivers = [v for v, on in zip(branch_values, branch_on) if on]
+        if not drivers:
+            raise RuntimeError(f"{rail} rail floats: no pass branch conducts")
+        if len(set(drivers)) > 1:
+            raise RuntimeError(f"{rail} rail contention between branches")
+        return drivers[0]
+
+    def truth_table(self) -> dict:
+        """Evaluate all four input combinations."""
+        return {(a, b): self.evaluate(a, b)[0] for a in (0, 1) for b in (0, 1)}
+
+    def verify(self) -> bool:
+        """Check the cell implements its programmed function exactly."""
+        if self._function is None:
+            return False
+        expected = {
+            CellFunction.XOR: {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0},
+            CellFunction.XNOR: {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1},
+        }[self._function]
+        return self.truth_table() == expected

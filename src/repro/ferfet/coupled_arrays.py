@@ -1,0 +1,102 @@
+"""Inter-coupled FeFET arrays: bit-passing and mixed logic/memory ([108]).
+
+"Inter-coupled arrays can be used for flexible computation, bit-passing
+and data storage" — the Section V-D observation that FeRFET arrays can
+chain: one array's bitline outputs become the next array's volatile
+inputs, while each array also keeps its stored (non-volatile) plane.
+
+:class:`CoupledArrayPipeline` implements that: a chain of
+:class:`~repro.ferfet.arrays.NorArray` stages where stage ``k``'s AOI
+outputs drive stage ``k+1``'s word lines.  Because every stage both
+stores an operand plane and computes, the pipeline *is* the intermixed
+Logic-In-Memory / Memory-In-Logic operation the paper anticipates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.ferfet.arrays import NorArray
+
+
+@dataclass
+class PipelineTrace:
+    """Stage-by-stage record of one pipeline evaluation."""
+
+    stage_inputs: List[List[int]]
+    stage_outputs: List[List[int]]
+
+    @property
+    def final(self) -> List[int]:
+        """The last stage's outputs."""
+        return self.stage_outputs[-1]
+
+
+class CoupledArrayPipeline:
+    """A chain of NOR arrays with bit-passing between stages.
+
+    Stage geometry: every stage has ``rows`` word lines and ``cols``
+    bit lines; ``cols`` of stage k must equal ``rows`` of stage k+1 so
+    outputs map one-to-one onto the next stage's inputs.
+    """
+
+    def __init__(self, stage_shapes: Sequence[tuple]) -> None:
+        if not stage_shapes:
+            raise ValueError("pipeline needs at least one stage")
+        for (r0, c0), (r1, _) in zip(stage_shapes, stage_shapes[1:]):
+            if c0 != r1:
+                raise ValueError(
+                    f"stage output width {c0} does not match next stage "
+                    f"input width {r1}"
+                )
+        self.stages = [NorArray(rows, cols) for rows, cols in stage_shapes]
+
+    @property
+    def n_stages(self) -> int:
+        """Pipeline depth."""
+        return len(self.stages)
+
+    def store_plane(self, stage: int, bits: Sequence[Sequence[int]]) -> None:
+        """Program the non-volatile operand plane of one stage."""
+        if not 0 <= stage < self.n_stages:
+            raise ValueError(f"stage {stage} out of range")
+        self.stages[stage].store(bits)
+
+    def evaluate(self, inputs: Sequence[int]) -> PipelineTrace:
+        """Push ``inputs`` through the chain; each stage computes its AOI
+        against its stored plane and passes the bits on."""
+        current = list(inputs)
+        stage_inputs: List[List[int]] = []
+        stage_outputs: List[List[int]] = []
+        for stage in self.stages:
+            if len(current) != stage.rows:
+                raise ValueError(
+                    f"stage expects {stage.rows} inputs, got {len(current)}"
+                )
+            stage_inputs.append(list(current))
+            current = stage.aoi(current)
+            stage_outputs.append(list(current))
+        return PipelineTrace(stage_inputs=stage_inputs, stage_outputs=stage_outputs)
+
+
+def two_stage_and(pipeline_inputs: Sequence[int]) -> CoupledArrayPipeline:
+    """Build a 2-stage pipeline computing AND of all inputs.
+
+    Stage 1: per-column AOI of one input each -> NOT x_i.
+    Stage 2: single column storing all-ones -> NOT(OR_i NOT x_i) = AND_i x_i.
+    A small constructive demo of bit-passing composition (De Morgan
+    across two physical arrays).
+    """
+    n = len(pipeline_inputs)
+    if n < 2:
+        raise ValueError("need at least two inputs")
+    pipeline = CoupledArrayPipeline([(n, n), (n, 1)])
+    # Stage 1: identity routing — cell (i, i) stores 1, rest 0, so
+    # column i computes NOT x_i.
+    plane1 = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+    pipeline.store_plane(0, plane1)
+    # Stage 2: every row stores 1 in the single column.
+    plane2 = [[1] for _ in range(n)]
+    pipeline.store_plane(1, plane2)
+    return pipeline

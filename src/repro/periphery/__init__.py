@@ -1,0 +1,49 @@
+"""Periphery circuit models: DACs, ADCs, sense amplifiers, drivers.
+
+Section II-B2 of the paper lists the periphery changes a CIM core needs:
+row decoders that enable several rows in parallel, 1-bit drivers replaced
+by DACs, column read circuits replaced by ADCs, and a control block for
+multi-operand VMM.  Section II-E then shows (Fig 5) that the ADC dominates
+the resulting die: >90% of area and >65% of power.
+
+Every component here carries an analytical area/power/energy/latency model
+so that :mod:`repro.periphery.area_power` can regenerate Fig 5 and sweep
+the ADC-resolution trade-off.
+"""
+
+from repro.periphery.adc import ADC, ADCConfig
+from repro.periphery.dac import DAC, DACConfig
+from repro.periphery.sense_amp import SenseAmplifier, SenseAmpConfig
+from repro.periphery.drivers import RowDecoder, WordlineDriver, DriverConfig
+from repro.periphery.voltage_regulation import (
+    ChargePump,
+    VoltageDomain,
+    reram_voltage_domains,
+    voltage_domain_overhead,
+)
+from repro.periphery.area_power import (
+    Component,
+    TileBudget,
+    isaac_tile_budget,
+    adc_resolution_sweep,
+)
+
+__all__ = [
+    "ADC",
+    "ADCConfig",
+    "DAC",
+    "DACConfig",
+    "SenseAmplifier",
+    "SenseAmpConfig",
+    "RowDecoder",
+    "WordlineDriver",
+    "DriverConfig",
+    "ChargePump",
+    "VoltageDomain",
+    "reram_voltage_domains",
+    "voltage_domain_overhead",
+    "Component",
+    "TileBudget",
+    "isaac_tile_budget",
+    "adc_resolution_sweep",
+]

@@ -1,0 +1,83 @@
+"""Digital-to-analog converter model for wordline driving.
+
+Per Section II-B2, "1-bit row or word-line drivers are now replaced by
+digital-to-analog converters (DACs) that convert multi-bit VMM operands
+into an array of analog voltages".  ISAAC sidesteps multi-bit DACs with
+bit-serial inputs; both styles are supported by combining this model with
+:class:`repro.crossbar.mapping.InputEncoder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class DACConfig:
+    """DAC design parameters (ISAAC-calibrated at 1 bit)."""
+
+    bits: int = 1
+    v_min: float = 0.0
+    v_max: float = 1.0
+    update_rate: float = 1.28e9       # settles per second
+    energy_per_update: float = 3.05e-15  # J at 1 bit; scales with 2^bits
+    area_per_level: float = 8.3e-8      # mm^2 per output level
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        if self.v_max <= self.v_min:
+            raise ValueError(
+                f"v_max ({self.v_max}) must exceed v_min ({self.v_min})"
+            )
+        check_positive("update_rate", self.update_rate)
+        check_positive("energy_per_update", self.energy_per_update)
+        check_positive("area_per_level", self.area_per_level)
+
+
+class DAC:
+    """Behavioural + cost model of one wordline DAC channel."""
+
+    def __init__(self, config: DACConfig = None) -> None:
+        self.config = config or DACConfig()
+
+    @property
+    def levels(self) -> int:
+        """Number of producible output voltages."""
+        return 2**self.config.bits
+
+    @property
+    def energy_per_conversion(self) -> float:
+        """Joules per output update, scaling with the level count."""
+        return self.config.energy_per_update * self.levels / 2
+
+    @property
+    def power(self) -> float:
+        """Watts at the configured update rate."""
+        return self.energy_per_conversion * self.config.update_rate
+
+    @property
+    def area(self) -> float:
+        """mm^2, linear in the level count (resistor/current-steering)."""
+        return self.config.area_per_level * self.levels
+
+    @property
+    def latency(self) -> float:
+        """Seconds per settled output."""
+        return 1.0 / self.config.update_rate
+
+    def convert(self, code: np.ndarray) -> np.ndarray:
+        """Digital code(s) to output voltage(s)."""
+        c = self.config
+        code = np.asarray(code)
+        if np.any((code < 0) | (code >= self.levels)):
+            raise ValueError(
+                f"codes must be in [0, {self.levels - 1}] for a "
+                f"{c.bits}-bit DAC"
+            )
+        step = (c.v_max - c.v_min) / (self.levels - 1) if self.levels > 1 else 0.0
+        return c.v_min + code * step

@@ -1,0 +1,138 @@
+"""Read/write voltage-domain overhead (Conclusions, point four).
+
+"Within CIM paradigms, the unavoidable requirement of different voltages
+for read and write can lead to excessive power requirements.  Further,
+this skewed voltage for read and write also requires different voltage
+drivers and can put extra burden on the physical resources within the
+circuit implementation."
+
+This module models that burden: a charge-pump/LDO stack generating the
+write domain from the logic supply, with conversion efficiency falling as
+the boost ratio grows, plus the per-domain driver/level-shifter area.
+:func:`voltage_domain_overhead` quantifies the power and area tax a CIM
+macro pays for its SET/RESET/forming voltages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class VoltageDomain:
+    """One supply domain the CIM macro must provide."""
+
+    name: str
+    voltage: float         # V (magnitude)
+    duty_cycle: float      # fraction of time this domain sources current
+    load_current: float    # A while active
+
+    def __post_init__(self) -> None:
+        check_positive("voltage", self.voltage)
+        if not 0 <= self.duty_cycle <= 1:
+            raise ValueError(
+                f"duty_cycle must be in [0, 1], got {self.duty_cycle}"
+            )
+        if self.load_current < 0:
+            raise ValueError("load_current must be >= 0")
+
+
+@dataclass
+class ChargePump:
+    """A switched-capacitor boost converter from the logic supply.
+
+    Ideal stage count is ``ceil(v_out / v_in) - 1``; efficiency degrades
+    multiplicatively per stage (switching + parasitic loss).
+    """
+
+    v_supply: float = 0.9
+    stage_efficiency: float = 0.85
+    area_per_stage: float = 1.5e-3   # mm^2
+
+    def __post_init__(self) -> None:
+        check_positive("v_supply", self.v_supply)
+        if not 0 < self.stage_efficiency <= 1:
+            raise ValueError(
+                f"stage_efficiency must be in (0, 1], got {self.stage_efficiency}"
+            )
+        check_positive("area_per_stage", self.area_per_stage)
+
+    def stages_for(self, v_out: float) -> int:
+        """Pump stages needed to reach ``v_out`` (0 if within supply)."""
+        check_positive("v_out", v_out)
+        if v_out <= self.v_supply:
+            return 0
+        return math.ceil(v_out / self.v_supply) - 1
+
+    def efficiency(self, v_out: float) -> float:
+        """End-to-end conversion efficiency for ``v_out``."""
+        return self.stage_efficiency ** self.stages_for(v_out)
+
+    def input_power(self, domain: VoltageDomain) -> float:
+        """Supply power drawn to deliver the domain's average load."""
+        load_power = domain.voltage * domain.load_current * domain.duty_cycle
+        eff = self.efficiency(domain.voltage)
+        return load_power / eff if eff > 0 else float("inf")
+
+    def area(self, v_out: float) -> float:
+        """Pump area for the domain (mm^2)."""
+        return self.area_per_stage * self.stages_for(v_out)
+
+
+def reram_voltage_domains(
+    read_voltage: float = 0.2,
+    write_voltage: float = 2.0,
+    forming_voltage: float = 3.5,
+    read_duty: float = 0.9,
+    write_duty: float = 0.1,
+    read_current: float = 1e-3,
+    write_current: float = 2e-3,
+) -> List[VoltageDomain]:
+    """The domain set a ReRAM CIM macro needs (read << write < forming)."""
+    return [
+        VoltageDomain("read", read_voltage, read_duty, read_current),
+        VoltageDomain("write", write_voltage, write_duty, write_current),
+        # Forming happens once; its duty is negligible but the domain (and
+        # its driver) must exist physically.
+        VoltageDomain("forming", forming_voltage, 1e-6, 5e-3),
+    ]
+
+
+def voltage_domain_overhead(
+    domains: Sequence[VoltageDomain],
+    pump: ChargePump = None,
+    driver_area_per_domain: float = 0.8e-3,
+) -> Dict[str, float]:
+    """Quantify the multi-domain tax.
+
+    Returns: total delivered (load) power, total supply power, conversion
+    loss, loss fraction, regulation area, and the count of extra domains
+    beyond the logic supply — the "different voltage drivers" burden.
+    """
+    pump = pump or ChargePump()
+    check_positive("driver_area_per_domain", driver_area_per_domain)
+    load = 0.0
+    supply = 0.0
+    area = 0.0
+    extra_domains = 0
+    for domain in domains:
+        load_power = domain.voltage * domain.load_current * domain.duty_cycle
+        load += load_power
+        supply += pump.input_power(domain)
+        area += pump.area(domain.voltage)
+        if domain.voltage > pump.v_supply:
+            extra_domains += 1
+            area += driver_area_per_domain
+    loss = supply - load
+    return {
+        "load_power": load,
+        "supply_power": supply,
+        "conversion_loss": loss,
+        "loss_fraction": loss / supply if supply > 0 else 0.0,
+        "regulation_area_mm2": area,
+        "boosted_domains": extra_domains,
+    }

@@ -1,0 +1,97 @@
+"""Testing and fault tolerance for CIM systems (Section III).
+
+Manufacturing-time methods:
+
+* :mod:`repro.testing.march` — a march-test engine with the March C*
+  algorithm of [39] (``{UP(r0,w1); UP(r1,r1,w0); DOWN(r0,w1); DOWN(r1,w0);
+  UP(r0)}``) running against a behavioural faulty-memory model;
+* :mod:`repro.testing.sneak_path_test` — the parallel group-testing
+  method of [46] that exploits crossbar sneak paths to test a
+  neighbourhood of cells per measurement.
+
+On-line methods:
+
+* :mod:`repro.testing.online_voltage` — the four-step voltage-comparison
+  stuck-at detection of [38], with bidirectional localization;
+* :mod:`repro.testing.abft` — the checksum-based X-ABFT detection and
+  correction of [49, 50];
+* :mod:`repro.testing.ecc` — Hamming SEC-DED error correction and the
+  BER-limit analysis of [51];
+* :mod:`repro.testing.changepoint` — the power-monitoring changepoint
+  detection + fault-rate estimation of [52] (Fig 7).
+"""
+
+from repro.testing.march import (
+    MarchOrder,
+    MarchOp,
+    MarchElement,
+    MarchTest,
+    march_c_star,
+    march_c_minus,
+    FaultyBitMemory,
+    MemoryFault,
+    MemoryFaultKind,
+    MarchTestRunner,
+)
+from repro.testing.sneak_path_test import SneakPathTester, SneakPathTestReport
+from repro.testing.online_voltage import VoltageComparisonTester, VoltageTestReport
+from repro.testing.abft import ChecksumEncodedMatrix, AbftProtectedVMM, AbftReport
+from repro.testing.ecc import HammingSecDed, EccAnalysis
+from repro.testing.diagnosis import (
+    Diagnosis,
+    SignatureDiagnoser,
+    build_fault_dictionary,
+    golden_signature,
+)
+from repro.testing.march_crossbar import (
+    CrossbarMarchResult,
+    CrossbarMarchTester,
+)
+from repro.testing.scouting_test import (
+    ScoutingLogicTester,
+    ScoutingTestReport,
+    inject_reference_drift,
+)
+from repro.testing.changepoint import (
+    CusumDetector,
+    PageHinkleyDetector,
+    PowerMonitor,
+    FaultRateEstimator,
+    OnlinePowerTestbench,
+)
+
+__all__ = [
+    "MarchOrder",
+    "MarchOp",
+    "MarchElement",
+    "MarchTest",
+    "march_c_star",
+    "march_c_minus",
+    "FaultyBitMemory",
+    "MemoryFault",
+    "MemoryFaultKind",
+    "MarchTestRunner",
+    "SneakPathTester",
+    "SneakPathTestReport",
+    "VoltageComparisonTester",
+    "VoltageTestReport",
+    "ChecksumEncodedMatrix",
+    "AbftProtectedVMM",
+    "AbftReport",
+    "HammingSecDed",
+    "EccAnalysis",
+    "Diagnosis",
+    "SignatureDiagnoser",
+    "build_fault_dictionary",
+    "golden_signature",
+    "CrossbarMarchResult",
+    "CrossbarMarchTester",
+    "ScoutingLogicTester",
+    "ScoutingTestReport",
+    "inject_reference_drift",
+    "CusumDetector",
+    "PageHinkleyDetector",
+    "PowerMonitor",
+    "FaultRateEstimator",
+    "OnlinePowerTestbench",
+]

@@ -1,0 +1,177 @@
+"""X-ABFT: checksum-based fault detection and correction ([49, 50]).
+
+"The basic idea of the X-ABFT method is to encode matrices with checksums
+(the sum of each row or column) and compute using both original and
+encoded data.  Thus, faults can be detected when discrepancies exist
+between the checksums and the sum of the cells.  Moreover, this method
+periodically applies test-input vectors to extract signatures, and uses
+signatures for fault localization and correction."
+
+Implementation on the simulated crossbar:
+
+* the weight matrix is augmented with a checksum column (sum of each row);
+  during a VMM the checksum column's output must equal the sum of the
+  logical outputs — an online concurrent error-detection invariant;
+* periodic testing applies unit test vectors ``e_i``, reads back the row
+  of conductances, and compares against the golden signature captured at
+  program time; deviations localize faulty cells and yield an error matrix
+  used to correct subsequent VMM outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.array import CrossbarConfig
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ChecksumEncodedMatrix:
+    """A weight matrix augmented with a row-sum checksum column.
+
+    Weights must be non-negative (conductance domain).  The encoded matrix
+    has shape ``(rows, cols + 1)`` with ``encoded[:, -1] == weights.sum(1)``.
+    """
+
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=float)
+        if self.weights.ndim != 2:
+            raise ValueError(
+                f"weights must be 2-D, got shape {self.weights.shape}"
+            )
+        if np.any(self.weights < 0):
+            raise ValueError("checksum encoding works in the non-negative "
+                             "conductance domain; map signed weights first")
+
+    @property
+    def encoded(self) -> np.ndarray:
+        """The augmented matrix with the checksum column appended."""
+        checksum = self.weights.sum(axis=1, keepdims=True)
+        return np.hstack([self.weights, checksum])
+
+    @staticmethod
+    def check_output(output: np.ndarray, tolerance: float) -> bool:
+        """Consistency test on an encoded VMM output: the last element must
+        equal the sum of the others within ``tolerance`` (relative)."""
+        output = np.asarray(output, dtype=float)
+        logical = output[:-1]
+        checksum = output[-1]
+        scale = max(abs(checksum), float(np.abs(logical).sum()), 1e-30)
+        return abs(logical.sum() - checksum) / scale <= tolerance
+
+
+@dataclass
+class AbftReport:
+    """Result of a periodic X-ABFT signature test."""
+
+    localized_cells: Set[Tuple[int, int]]
+    error_matrix: np.ndarray
+    measurements: int
+
+    @property
+    def fault_detected(self) -> bool:
+        """Whether any signature deviated."""
+        return bool(self.localized_cells)
+
+
+class AbftProtectedVMM:
+    """A crossbar-backed VMM engine with X-ABFT protection.
+
+    The conductance scale maps weight ``w`` (in ``[0, w_max]``) linearly to
+    ``g_min + w / w_max * (g_max - g_min)``; the checksum column needs
+    headroom, so the physical ladder of the backing array must allow
+    conductances up to ``cols * g_weight_max`` — the constructor builds a
+    suitably scaled array automatically.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        w_max: float = 1.0,
+        detection_tolerance: float = 0.02,
+        signature_tolerance: float = 0.25,
+        rng=None,
+        variability=None,
+    ) -> None:
+        check_positive("w_max", w_max)
+        check_positive("detection_tolerance", detection_tolerance)
+        check_positive("signature_tolerance", signature_tolerance)
+        self.matrix = ChecksumEncodedMatrix(np.asarray(weights, dtype=float))
+        self.w_max = w_max
+        self.detection_tolerance = detection_tolerance
+        self.signature_tolerance = signature_tolerance
+
+        rows, cols = self.matrix.weights.shape
+        # Conductance scale: 1 weight unit -> g_unit siemens.  The checksum
+        # column can reach cols * w_max, so scale to keep it on-ladder.
+        from repro.devices.reram import ConductanceLevels
+
+        self.g_unit = 1e-5
+        g_max_needed = (cols * w_max) * self.g_unit + 1e-6
+        levels = ConductanceLevels(g_min=1e-8, g_max=g_max_needed, n_levels=256)
+        config = CrossbarConfig(rows=rows, cols=cols + 1, levels=levels)
+        kwargs = {}
+        if variability is not None:
+            kwargs["variability"] = variability
+        self.array = CrossbarArray(config, rng=rng, **kwargs)
+        self.array.program(self._conductance_targets())
+        self.golden = self.array.healthy_conductances()
+        self._correction = np.zeros_like(self.golden)
+
+    def _conductance_targets(self) -> np.ndarray:
+        return self.matrix.encoded * self.g_unit + 1e-8
+
+    # ------------------------------------------------------------- operation
+    def multiply(self, x: np.ndarray, v_read: float = 0.2) -> Tuple[np.ndarray, bool]:
+        """Protected VMM: returns (logical outputs, checksum_ok).
+
+        The logical outputs are corrected with the most recent error matrix
+        from :meth:`periodic_test` (zero until a test has run).
+        """
+        x = np.asarray(x, dtype=float)
+        rows, _ = self.matrix.weights.shape
+        if x.shape != (rows,):
+            raise ValueError(f"x must have shape ({rows},), got {x.shape}")
+        voltages = x * v_read
+        raw = self.array.vmm(voltages)
+        ok = ChecksumEncodedMatrix.check_output(raw, self.detection_tolerance)
+        corrected = raw - voltages @ self._correction
+        logical = corrected[:-1] / (self.g_unit * v_read)
+        return logical, ok
+
+    def reference_multiply(self, x: np.ndarray) -> np.ndarray:
+        """Fault-free software reference ``x @ W``."""
+        x = np.asarray(x, dtype=float)
+        return x @ self.matrix.weights
+
+    # ------------------------------------------------------------ periodic
+    def periodic_test(self, v_read: float = 0.2) -> AbftReport:
+        """Apply unit test vectors to every row, compare against golden
+        signatures, localize deviating cells and refresh the correction
+        (error) matrix used by :meth:`multiply`."""
+        rows, cols_encoded = self.array.shape
+        error = np.zeros((rows, cols_encoded))
+        localized: Set[Tuple[int, int]] = set()
+        spacing = self.g_unit * self.w_max
+        for i in range(rows):
+            voltages = np.zeros(rows)
+            voltages[i] = v_read
+            measured = self.array.vmm(voltages) / v_read
+            deviation = measured - self.golden[i]
+            for j in range(cols_encoded):
+                if abs(deviation[j]) > self.signature_tolerance * spacing:
+                    localized.add((i, j))
+                    error[i, j] = deviation[j]
+        self._correction = error
+        return AbftReport(
+            localized_cells=localized,
+            error_matrix=error,
+            measurements=rows,
+        )

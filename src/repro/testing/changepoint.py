@@ -1,0 +1,372 @@
+"""Online fault detection by monitoring dynamic power ([52], Fig 7).
+
+"This method exploits the fact that ReRAM faults affect the dynamic power
+consumption of ReRAM crossbars; therefore, it monitors the dynamic power
+consumption of each ReRAM crossbar and determines the occurrence of faults
+when a changepoint is detected in the monitored power-consumption time
+series."  On detection, "this method estimates the percentage of faulty
+cells ... by training a machine learning-based estimation model" whose
+inputs are "the statistics of the power-consumption profile" and whose
+output is "the percentage of faulty cells".
+
+Pieces:
+
+* :class:`PowerMonitor` — runs a workload on a crossbar and records the
+  per-cycle dynamic power (the Fig 7 trace);
+* :class:`CusumDetector` / :class:`PageHinkleyDetector` — streaming
+  changepoint detectors over that trace;
+* :class:`FaultRateEstimator` — least-squares regression from power-shift
+  statistics to faulty-cell percentage, trained on simulated populations;
+* :class:`OnlinePowerTestbench` — end-to-end Fig 7 scenario: N cycles of
+  workload, fault burst at a chosen cycle, detection latency and estimated
+  fault rate out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.faults.injection import FaultInjector
+from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+class CusumDetector:
+    """Two-sided CUSUM changepoint detector with a calibration warm-up.
+
+    The first ``warmup`` samples estimate the in-control mean and standard
+    deviation; afterwards the cumulative sums
+    ``S+ = max(0, S+ + z - drift)`` and ``S- = max(0, S- - z - drift)``
+    are compared against ``threshold`` (both in sigma units).
+    """
+
+    def __init__(
+        self,
+        threshold: float = 12.0,
+        drift: float = 0.5,
+        warmup: int = 100,
+    ) -> None:
+        check_positive("threshold", threshold)
+        if drift < 0:
+            raise ValueError(f"drift must be >= 0, got {drift}")
+        if warmup < 2:
+            raise ValueError(f"warmup must be >= 2, got {warmup}")
+        self.threshold = threshold
+        self.drift = drift
+        self.warmup = warmup
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all state (new monitoring session)."""
+        self._samples: List[float] = []
+        self._mean = 0.0
+        self._std = 1.0
+        self._s_pos = 0.0
+        self._s_neg = 0.0
+        self._n = 0
+        self.detection_index: Optional[int] = None
+
+    def update(self, value: float) -> bool:
+        """Feed one sample; returns ``True`` at the first detection."""
+        self._n += 1
+        if self._n <= self.warmup:
+            self._samples.append(float(value))
+            if self._n == self.warmup:
+                self._mean = float(np.mean(self._samples))
+                self._std = float(np.std(self._samples)) or 1e-12
+            return False
+        z = (value - self._mean) / self._std
+        self._s_pos = max(0.0, self._s_pos + z - self.drift)
+        self._s_neg = max(0.0, self._s_neg - z - self.drift)
+        if self.detection_index is None and (
+            self._s_pos > self.threshold or self._s_neg > self.threshold
+        ):
+            self.detection_index = self._n - 1
+            return True
+        return False
+
+    def run(self, series: np.ndarray) -> Optional[int]:
+        """Run over a full series; returns the detection index or None."""
+        self.reset()
+        for idx, value in enumerate(np.asarray(series, dtype=float)):
+            if self.update(float(value)):
+                return idx
+        return self.detection_index
+
+
+class PageHinkleyDetector:
+    """Page-Hinkley test for mean increase/decrease, with warm-up.
+
+    Maintained for cross-checking CUSUM; both should agree on the Fig 7
+    scenario within a few cycles.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 10.0,
+        delta: float = 0.2,
+        warmup: int = 50,
+    ) -> None:
+        check_positive("threshold", threshold)
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        if warmup < 2:
+            raise ValueError(f"warmup must be >= 2, got {warmup}")
+        self.threshold = threshold
+        self.delta = delta
+        self.warmup = warmup
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all state."""
+        self._samples: List[float] = []
+        self._mean = 0.0
+        self._std = 1.0
+        self._n = 0
+        self._m_pos = 0.0
+        self._min_m_pos = 0.0
+        self._m_neg = 0.0
+        self._max_m_neg = 0.0
+        self.detection_index: Optional[int] = None
+
+    def update(self, value: float) -> bool:
+        """Feed one sample; returns ``True`` at the first detection."""
+        self._n += 1
+        if self._n <= self.warmup:
+            self._samples.append(float(value))
+            if self._n == self.warmup:
+                self._mean = float(np.mean(self._samples))
+                self._std = float(np.std(self._samples)) or 1e-12
+            return False
+        z = (value - self._mean) / self._std
+        self._m_pos += z - self.delta
+        self._min_m_pos = min(self._min_m_pos, self._m_pos)
+        self._m_neg += z + self.delta
+        self._max_m_neg = max(self._max_m_neg, self._m_neg)
+        rising = self._m_pos - self._min_m_pos > self.threshold
+        falling = self._max_m_neg - self._m_neg > self.threshold
+        if self.detection_index is None and (rising or falling):
+            self.detection_index = self._n - 1
+            return True
+        return False
+
+    def run(self, series: np.ndarray) -> Optional[int]:
+        """Run over a full series; returns the detection index or None."""
+        self.reset()
+        for idx, value in enumerate(np.asarray(series, dtype=float)):
+            if self.update(float(value)):
+                return idx
+        return self.detection_index
+
+
+class PowerMonitor:
+    """Records per-cycle dynamic power of a crossbar under a workload.
+
+    Each cycle applies one random input voltage vector (representative of
+    inference activity) and reads the array's dissipated power plus small
+    multiplicative sensor noise.
+    """
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        activity: float = 0.5,
+        sensor_noise: float = 0.01,
+        rng: RNGLike = None,
+    ) -> None:
+        check_probability("activity", activity)
+        if sensor_noise < 0:
+            raise ValueError(f"sensor_noise must be >= 0, got {sensor_noise}")
+        self.array = array
+        self.activity = activity
+        self.sensor_noise = sensor_noise
+        self._rng = ensure_rng(rng)
+        self.trace: List[float] = []
+
+    def cycle(self) -> float:
+        """Run one workload cycle; returns the observed power sample."""
+        rows = self.array.rows
+        v_read = self.array.config.read_voltage
+        active = self._rng.random(rows) < self.activity
+        voltages = np.where(active, v_read, 0.0)
+        power = self.array.dynamic_read_power(voltages)
+        observed = power * (1.0 + self.sensor_noise * self._rng.standard_normal())
+        self.trace.append(observed)
+        return observed
+
+    def run(self, cycles: int) -> np.ndarray:
+        """Run ``cycles`` workload cycles; returns the power trace so far."""
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        for _ in range(cycles):
+            self.cycle()
+        return np.asarray(self.trace)
+
+
+def power_shift_features(
+    baseline: np.ndarray, post: np.ndarray
+) -> np.ndarray:
+    """Statistics of the power profile used as estimator inputs ([52]).
+
+    Features: relative mean shift, relative std shift, relative max shift,
+    and the z-score of the post-change mean under baseline statistics.
+    """
+    baseline = np.asarray(baseline, dtype=float)
+    post = np.asarray(post, dtype=float)
+    if baseline.size < 2 or post.size < 1:
+        raise ValueError("need >= 2 baseline and >= 1 post samples")
+    b_mean = baseline.mean()
+    b_std = baseline.std() or 1e-12
+    return np.array(
+        [
+            (post.mean() - b_mean) / b_mean,
+            (post.std() - baseline.std()) / b_std,
+            (post.max() - baseline.max()) / b_mean,
+            (post.mean() - b_mean) / b_std,
+        ]
+    )
+
+
+class FaultRateEstimator:
+    """Regression from power-shift statistics to faulty-cell percentage.
+
+    Trained on simulated fault populations (the [52] methodology: "the
+    statistics of the power-consumption profile as independent variables,
+    and the percentage of faulty cells as dependent variables").  Uses
+    ordinary least squares with a bias term.
+    """
+
+    def __init__(self) -> None:
+        self._coef: Optional[np.ndarray] = None
+
+    @property
+    def trained(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._coef is not None
+
+    def fit(self, features: np.ndarray, fault_rates: np.ndarray) -> float:
+        """Least-squares fit; returns the training R^2."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(fault_rates, dtype=float)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"features {x.shape} and targets {y.shape} are inconsistent"
+            )
+        design = np.hstack([x, np.ones((x.shape[0], 1))])
+        self._coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+        predictions = design @ self._coef
+        ss_res = float(np.sum((y - predictions) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2)) or 1e-30
+        return 1.0 - ss_res / ss_tot
+
+    def predict(self, features: np.ndarray) -> float:
+        """Estimate the faulty-cell fraction for one feature vector."""
+        if self._coef is None:
+            raise RuntimeError("estimator must be fitted before predicting")
+        x = np.asarray(features, dtype=float).ravel()
+        design = np.concatenate([x, [1.0]])
+        return float(np.clip(design @ self._coef, 0.0, 1.0))
+
+    @classmethod
+    def train_on_simulations(
+        cls,
+        rows: int = 64,
+        cols: int = 64,
+        fault_rates: Optional[np.ndarray] = None,
+        samples_per_rate: int = 5,
+        cycles: int = 100,
+        rng: RNGLike = None,
+    ) -> Tuple["FaultRateEstimator", float]:
+        """Generate training data by simulating fault bursts at a range of
+        rates and fit the estimator.  Returns (estimator, R^2)."""
+        gen = ensure_rng(rng)
+        if fault_rates is None:
+            fault_rates = np.linspace(0.01, 0.3, 12)
+        features, targets = [], []
+        for rate in fault_rates:
+            for _ in range(samples_per_rate):
+                bench = OnlinePowerTestbench(
+                    rows=rows,
+                    cols=cols,
+                    fault_rate=float(rate),
+                    inject_at=cycles,
+                    rng=gen,
+                )
+                trace = bench.run(total_cycles=2 * cycles)
+                features.append(
+                    power_shift_features(trace[:cycles], trace[cycles:])
+                )
+                targets.append(rate)
+        estimator = cls()
+        r2 = estimator.fit(np.asarray(features), np.asarray(targets))
+        return estimator, r2
+
+
+@dataclass
+class OnlinePowerTestbench:
+    """End-to-end Fig 7 scenario on one crossbar.
+
+    Runs ``total_cycles`` of workload; at cycle ``inject_at`` a stuck-at
+    fault burst of ``fault_rate`` is injected (SA1-heavy by default, since
+    stuck-LRS cells raise column conductance and hence dynamic power).
+    """
+
+    rows: int = 64
+    cols: int = 64
+    fault_rate: float = 0.1
+    sa1_fraction: float = 1.0
+    inject_at: int = 600
+    activity: float = 0.5
+    sensor_noise: float = 0.01
+    rng: RNGLike = None
+
+    def __post_init__(self) -> None:
+        check_probability("fault_rate", self.fault_rate)
+        check_probability("sa1_fraction", self.sa1_fraction)
+        if self.inject_at < 1:
+            raise ValueError(f"inject_at must be >= 1, got {self.inject_at}")
+        gen = ensure_rng(self.rng)
+        self._gen = gen
+        config = CrossbarConfig(rows=self.rows, cols=self.cols)
+        self.array = CrossbarArray(config, rng=gen)
+        levels = config.levels
+        weights = gen.uniform(levels.g_min, levels.g_max, size=(self.rows, self.cols))
+        self.array.program(weights)
+        self.monitor = PowerMonitor(
+            self.array,
+            activity=self.activity,
+            sensor_noise=self.sensor_noise,
+            rng=gen,
+        )
+        self.injected = False
+
+    def run(self, total_cycles: int = 1200) -> np.ndarray:
+        """Run the scenario; returns the full power trace."""
+        if total_cycles <= self.inject_at:
+            raise ValueError(
+                f"total_cycles ({total_cycles}) must exceed inject_at "
+                f"({self.inject_at})"
+            )
+        self.monitor.run(self.inject_at)
+        if not self.injected:
+            injector = FaultInjector(self.array, rng=self._gen)
+            injector.inject_stuck_at(self.fault_rate, self.sa1_fraction)
+            self.injected = True
+        self.monitor.run(total_cycles - self.inject_at)
+        return np.asarray(self.monitor.trace)
+
+    def detect(
+        self,
+        trace: Optional[np.ndarray] = None,
+        detector: Optional[CusumDetector] = None,
+    ) -> Optional[int]:
+        """Run a changepoint detector over the trace; returns detection
+        cycle (should land shortly after ``inject_at``)."""
+        if trace is None:
+            trace = np.asarray(self.monitor.trace)
+        detector = detector or CusumDetector()
+        return detector.run(trace)

@@ -1,0 +1,133 @@
+"""Signature-based fault diagnosis from March C* ([39]).
+
+"By applying the test pattern in this designed order, each ReRAM cell
+provides a six-bit signature from the six read operations in the
+algorithm.  These signatures can detect stuck-at faults, transition
+faults, coupling faults, address decoder faults, and read-1 disturbance
+faults."
+
+Detection is signature != golden; *diagnosis* goes further: distinct
+mechanisms corrupt distinct subsets of the six reads, so the signature
+identifies the fault class.  :func:`build_fault_dictionary` derives the
+signature catalogue by simulation and :class:`SignatureDiagnoser` maps an
+observed signature back to candidate fault types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.testing.march import (
+    FaultyBitMemory,
+    MarchTest,
+    MarchTestRunner,
+    MemoryFault,
+    MemoryFaultKind,
+    march_c_star,
+)
+
+#: Mechanisms whose signatures depend only on the victim cell (single-cell
+#: faults; coupling needs an aggressor and is handled separately).
+SINGLE_CELL_KINDS = (
+    MemoryFaultKind.SA0,
+    MemoryFaultKind.SA1,
+    MemoryFaultKind.TF_UP,
+    MemoryFaultKind.TF_DOWN,
+    MemoryFaultKind.READ1_DISTURB,
+    MemoryFaultKind.ADF_NO_ACCESS,
+)
+
+
+def golden_signature(test: Optional[MarchTest] = None) -> Tuple[int, ...]:
+    """The fault-free per-cell read signature (what every healthy cell
+    returns — the expected values of the test's reads, in order)."""
+    test = test or march_c_star()
+    runner = MarchTestRunner(test)
+    result = runner.run(FaultyBitMemory(4))
+    return result.signatures[0]
+
+
+def build_fault_dictionary(
+    test: Optional[MarchTest] = None,
+    n_cells: int = 8,
+) -> Dict[Tuple[int, ...], Set[MemoryFaultKind]]:
+    """Simulate each single-cell mechanism at several addresses and record
+    the victim-cell signatures it can produce.
+
+    Returns a mapping from signature to the set of mechanisms that can
+    cause it.  Some mechanisms share signatures at some addresses
+    (ambiguity is part of real diagnosis); the dictionary captures that.
+    """
+    test = test or march_c_star()
+    runner = MarchTestRunner(test)
+    dictionary: Dict[Tuple[int, ...], Set[MemoryFaultKind]] = {}
+    for kind in SINGLE_CELL_KINDS:
+        for cell in range(n_cells):
+            memory = FaultyBitMemory(n_cells)
+            memory.inject(MemoryFault(kind, cell))
+            result = runner.run(memory)
+            signature = result.signatures[cell]
+            dictionary.setdefault(signature, set()).add(kind)
+    return dictionary
+
+
+@dataclass
+class Diagnosis:
+    """Diagnosis verdict for one cell's observed signature."""
+
+    signature: Tuple[int, ...]
+    healthy: bool
+    candidates: FrozenSet[MemoryFaultKind]
+
+    @property
+    def diagnosed(self) -> bool:
+        """Whether at least one known mechanism explains the signature."""
+        return self.healthy or bool(self.candidates)
+
+    @property
+    def unambiguous(self) -> bool:
+        """Whether exactly one mechanism explains the signature."""
+        return len(self.candidates) == 1
+
+
+class SignatureDiagnoser:
+    """Maps observed March C* signatures to fault-type candidates."""
+
+    def __init__(
+        self,
+        test: Optional[MarchTest] = None,
+        n_cells: int = 8,
+    ) -> None:
+        self.test = test or march_c_star()
+        self._golden = golden_signature(self.test)
+        self._dictionary = build_fault_dictionary(self.test, n_cells)
+
+    @property
+    def golden(self) -> Tuple[int, ...]:
+        """The healthy signature."""
+        return self._golden
+
+    def diagnose(self, signature: Tuple[int, ...]) -> Diagnosis:
+        """Classify one observed signature."""
+        if len(signature) != len(self._golden):
+            raise ValueError(
+                f"signature must have {len(self._golden)} reads, got "
+                f"{len(signature)}"
+            )
+        if signature == self._golden:
+            return Diagnosis(signature, healthy=True, candidates=frozenset())
+        candidates = self._dictionary.get(signature, set())
+        return Diagnosis(
+            signature, healthy=False, candidates=frozenset(candidates)
+        )
+
+    def diagnose_memory(self, memory: FaultyBitMemory) -> Dict[int, Diagnosis]:
+        """Run the march test and diagnose every non-healthy cell."""
+        result = MarchTestRunner(self.test).run(memory)
+        out: Dict[int, Diagnosis] = {}
+        for cell, signature in result.signatures.items():
+            diagnosis = self.diagnose(signature)
+            if not diagnosis.healthy:
+                out[cell] = diagnosis
+        return out

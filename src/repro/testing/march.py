@@ -1,0 +1,403 @@
+"""March test engine and the March C* algorithm of [39].
+
+A march test is a sequence of *march elements*; each element visits every
+memory address in a prescribed order and applies a short sequence of read
+(with expected value) and write operations.  The paper quotes March C* for
+ReRAM:
+
+.. math::
+
+    \\{\\Uparrow (r0, w1);\\; \\Uparrow (r1, r1, w0);\\; \\Downarrow (r0, w1);
+    \\; \\Downarrow (r1, w0);\\; \\Uparrow (r0)\\}
+
+"each ReRAM cell provides a six-bit signature from the six read operations
+in the algorithm.  These signatures can detect stuck-at faults, transition
+faults, coupling faults, address decoder faults, and read-1 disturbance
+faults."
+
+The engine runs any march test against :class:`FaultyBitMemory`, a
+behavioural single-bit-per-cell memory with injectable logical faults, and
+scores coverage against the injected ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+class MarchOrder(enum.Enum):
+    """Address order of one march element."""
+
+    UP = "up"        # ascending addresses
+    DOWN = "down"    # descending addresses
+    ANY = "any"      # order irrelevant (we use ascending)
+
+
+@dataclass(frozen=True)
+class MarchOp:
+    """One operation: ``kind`` is ``"r"`` or ``"w"``; ``value`` is 0/1.
+
+    For reads, ``value`` is the *expected* bit.
+    """
+
+    kind: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w"):
+            raise ValueError(f"op kind must be 'r' or 'w', got {self.kind!r}")
+        if self.value not in (0, 1):
+            raise ValueError(f"op value must be 0 or 1, got {self.value}")
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.value}"
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One march element: an address order plus an op sequence."""
+
+    order: MarchOrder
+    ops: Tuple[MarchOp, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("a march element needs at least one operation")
+
+    @property
+    def read_count(self) -> int:
+        """Reads per visited cell."""
+        return sum(1 for op in self.ops if op.kind == "r")
+
+    def __str__(self) -> str:
+        arrow = {"up": "UP", "down": "DOWN", "any": "ANY"}[self.order.value]
+        return f"{arrow}({','.join(map(str, self.ops))})"
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A complete march algorithm."""
+
+    name: str
+    elements: Tuple[MarchElement, ...]
+
+    @property
+    def operations_per_cell(self) -> int:
+        """Total operations applied to each cell (test-length metric: a
+        '10N' test applies 10 ops per cell)."""
+        return sum(len(e.ops) for e in self.elements)
+
+    @property
+    def reads_per_cell(self) -> int:
+        """Reads per cell — the signature width (6 for March C*)."""
+        return sum(e.read_count for e in self.elements)
+
+    def test_time(self, n_cells: int, cycle_time: float = 10e-9) -> float:
+        """Sequential test time in seconds for ``n_cells`` cells."""
+        if n_cells < 1:
+            raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+        return self.operations_per_cell * n_cells * cycle_time
+
+    def __str__(self) -> str:
+        return "{" + "; ".join(map(str, self.elements)) + "}"
+
+
+def _parse_ops(spec: str) -> Tuple[MarchOp, ...]:
+    ops = []
+    for token in spec.split(","):
+        token = token.strip()
+        match = re.fullmatch(r"([rw])([01])", token)
+        if not match:
+            raise ValueError(f"bad march op {token!r}")
+        ops.append(MarchOp(match.group(1), int(match.group(2))))
+    return tuple(ops)
+
+
+def march_c_star() -> MarchTest:
+    """March C* [39]: {UP(r0,w1); UP(r1,r1,w0); DOWN(r0,w1); DOWN(r1,w0);
+    UP(r0)} — 10 ops/cell, 6 reads/cell (the six-bit signature)."""
+    return MarchTest(
+        name="March C*",
+        elements=(
+            MarchElement(MarchOrder.UP, _parse_ops("r0,w1")),
+            MarchElement(MarchOrder.UP, _parse_ops("r1,r1,w0")),
+            MarchElement(MarchOrder.DOWN, _parse_ops("r0,w1")),
+            MarchElement(MarchOrder.DOWN, _parse_ops("r1,w0")),
+            MarchElement(MarchOrder.UP, _parse_ops("r0")),
+        ),
+    )
+
+
+def march_c_minus() -> MarchTest:
+    """Classic March C- (10N), for comparison against March C*."""
+    return MarchTest(
+        name="March C-",
+        elements=(
+            MarchElement(MarchOrder.ANY, _parse_ops("w0")),
+            MarchElement(MarchOrder.UP, _parse_ops("r0,w1")),
+            MarchElement(MarchOrder.UP, _parse_ops("r1,w0")),
+            MarchElement(MarchOrder.DOWN, _parse_ops("r0,w1")),
+            MarchElement(MarchOrder.DOWN, _parse_ops("r1,w0")),
+            MarchElement(MarchOrder.ANY, _parse_ops("r0")),
+        ),
+    )
+
+
+class MemoryFaultKind(enum.Enum):
+    """Logical fault behaviours injectable into :class:`FaultyBitMemory`."""
+
+    SA0 = "sa0"                    # cell always reads 0, writes ignored
+    SA1 = "sa1"                    # cell always reads 1, writes ignored
+    TF_UP = "tf_up"                # 0 -> 1 transition fails
+    TF_DOWN = "tf_down"            # 1 -> 0 transition fails
+    CF_ST_0 = "cf_st_0"            # coupling: aggressor at 0 forces victim to 0
+    CF_ST_1 = "cf_st_1"            # coupling: aggressor at 1 forces victim to 1
+    READ1_DISTURB = "read1_disturb"  # reading a 1 returns 1 but flips cell to 0
+    ADF_NO_ACCESS = "adf_no_access"  # address reaches no cell (reads noise 0)
+    ADF_WRONG_ROW = "adf_wrong_row"  # address maps to a different cell
+
+
+@dataclass(frozen=True)
+class MemoryFault:
+    """One injected logical fault.
+
+    ``cell`` is the victim address.  Coupling faults use ``aggressor``;
+    ADF-wrong-row uses ``alias`` as the actually accessed address.
+    """
+
+    kind: MemoryFaultKind
+    cell: int
+    aggressor: Optional[int] = None
+    alias: Optional[int] = None
+
+
+class FaultyBitMemory:
+    """A behavioural 1-bit-per-cell memory with injectable logic faults.
+
+    This is the memory-under-test abstraction the march engine drives.
+    Fault behaviours follow the standard RAM fault models the paper says
+    can be reused for ReRAM (SAF, TF, CF, ADF) plus the ReRAM-specific
+    read-1 disturbance of [39, 40].
+    """
+
+    def __init__(self, n_cells: int, initial: int = 0) -> None:
+        if n_cells < 1:
+            raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+        if initial not in (0, 1):
+            raise ValueError(f"initial must be 0 or 1, got {initial}")
+        self.n_cells = n_cells
+        self._bits = np.full(n_cells, initial, dtype=np.int8)
+        self._faults: List[MemoryFault] = []
+        self._sa: Dict[int, int] = {}
+        self._tf_up: Set[int] = set()
+        self._tf_down: Set[int] = set()
+        self._couplings: List[MemoryFault] = []
+        self._read1_disturb: Set[int] = set()
+        self._adf_no_access: Set[int] = set()
+        self._adf_alias: Dict[int, int] = {}
+
+    @property
+    def faults(self) -> List[MemoryFault]:
+        """Injected fault list (ground truth)."""
+        return list(self._faults)
+
+    def inject(self, fault: MemoryFault) -> None:
+        """Install one logical fault."""
+        self._check_addr(fault.cell)
+        if fault.kind is MemoryFaultKind.SA0:
+            self._sa[fault.cell] = 0
+            self._bits[fault.cell] = 0
+        elif fault.kind is MemoryFaultKind.SA1:
+            self._sa[fault.cell] = 1
+            self._bits[fault.cell] = 1
+        elif fault.kind is MemoryFaultKind.TF_UP:
+            self._tf_up.add(fault.cell)
+        elif fault.kind is MemoryFaultKind.TF_DOWN:
+            self._tf_down.add(fault.cell)
+        elif fault.kind in (MemoryFaultKind.CF_ST_0, MemoryFaultKind.CF_ST_1):
+            if fault.aggressor is None:
+                raise ValueError("coupling fault needs an aggressor address")
+            self._check_addr(fault.aggressor)
+            if fault.aggressor == fault.cell:
+                raise ValueError("aggressor must differ from victim")
+            self._couplings.append(fault)
+        elif fault.kind is MemoryFaultKind.READ1_DISTURB:
+            self._read1_disturb.add(fault.cell)
+        elif fault.kind is MemoryFaultKind.ADF_NO_ACCESS:
+            self._adf_no_access.add(fault.cell)
+        elif fault.kind is MemoryFaultKind.ADF_WRONG_ROW:
+            if fault.alias is None:
+                raise ValueError("ADF wrong-row fault needs an alias address")
+            self._check_addr(fault.alias)
+            if fault.alias == fault.cell:
+                raise ValueError("alias must differ from the faulty address")
+            self._adf_alias[fault.cell] = fault.alias
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unsupported fault kind {fault.kind}")
+        self._faults.append(fault)
+
+    # -------------------------------------------------------------- accesses
+    def write(self, address: int, value: int) -> None:
+        """Write ``value`` through the (possibly faulty) address decoder."""
+        self._check_addr(address)
+        if value not in (0, 1):
+            raise ValueError(f"value must be 0 or 1, got {value}")
+        if address in self._adf_no_access:
+            return
+        cell = self._adf_alias.get(address, address)
+        self._write_cell(cell, value)
+
+    def read(self, address: int) -> int:
+        """Read through the (possibly faulty) address decoder."""
+        self._check_addr(address)
+        if address in self._adf_no_access:
+            return 0
+        cell = self._adf_alias.get(address, address)
+        if cell in self._sa:
+            return self._sa[cell]
+        value = int(self._bits[cell])
+        if cell in self._read1_disturb and value == 1:
+            # Returns the correct value once, but the read current flips
+            # the stored state — the next read sees 0.
+            self._bits[cell] = 0
+        return value
+
+    def _write_cell(self, cell: int, value: int) -> None:
+        if cell in self._sa:
+            return
+        old = int(self._bits[cell])
+        if value == 1 and old == 0 and cell in self._tf_up:
+            return
+        if value == 0 and old == 1 and cell in self._tf_down:
+            return
+        self._bits[cell] = value
+        # A successful write may trigger coupling faults on victims.
+        for cf in self._couplings:
+            if cf.aggressor == cell:
+                forced = 1 if cf.kind is MemoryFaultKind.CF_ST_1 else 0
+                trigger = 1 if cf.kind is MemoryFaultKind.CF_ST_1 else 0
+                if value == trigger and cf.cell not in self._sa:
+                    self._bits[cf.cell] = forced
+
+    def _check_addr(self, address: int) -> None:
+        if not 0 <= address < self.n_cells:
+            raise ValueError(
+                f"address must be in [0, {self.n_cells - 1}], got {address}"
+            )
+
+
+@dataclass
+class MarchRunResult:
+    """Outcome of one march-test execution."""
+
+    test: MarchTest
+    n_cells: int
+    mismatches: List[Tuple[int, int, int, int]]  # (element, address, expected, got)
+    signatures: Dict[int, Tuple[int, ...]]       # address -> read signature
+
+    @property
+    def fail(self) -> bool:
+        """Whether any read mismatched its expectation."""
+        return bool(self.mismatches)
+
+    @property
+    def failing_addresses(self) -> Set[int]:
+        """Addresses with at least one mismatch (fault localization)."""
+        return {addr for _, addr, _, _ in self.mismatches}
+
+
+class MarchTestRunner:
+    """Executes march tests against a :class:`FaultyBitMemory`."""
+
+    def __init__(self, test: Optional[MarchTest] = None) -> None:
+        self.test = test or march_c_star()
+
+    def run(self, memory: FaultyBitMemory) -> MarchRunResult:
+        """Run the march test; collects mismatches and per-cell signatures."""
+        mismatches: List[Tuple[int, int, int, int]] = []
+        signatures: Dict[int, List[int]] = {a: [] for a in range(memory.n_cells)}
+        for element_index, element in enumerate(self.test.elements):
+            if element.order is MarchOrder.DOWN:
+                addresses = range(memory.n_cells - 1, -1, -1)
+            else:
+                addresses = range(memory.n_cells)
+            for address in addresses:
+                for op in element.ops:
+                    if op.kind == "w":
+                        memory.write(address, op.value)
+                    else:
+                        got = memory.read(address)
+                        signatures[address].append(got)
+                        if got != op.value:
+                            mismatches.append(
+                                (element_index, address, op.value, got)
+                            )
+        return MarchRunResult(
+            test=self.test,
+            n_cells=memory.n_cells,
+            mismatches=mismatches,
+            signatures={a: tuple(s) for a, s in signatures.items()},
+        )
+
+    def coverage(
+        self,
+        n_cells: int,
+        faults: Sequence[MemoryFault],
+    ) -> float:
+        """Single-fault coverage: the fraction of ``faults`` that, injected
+        alone into a fresh memory, cause at least one mismatch."""
+        if not faults:
+            return 1.0
+        detected = 0
+        for fault in faults:
+            memory = FaultyBitMemory(n_cells)
+            memory.inject(fault)
+            if self.run(memory).fail:
+                detected += 1
+        return detected / len(faults)
+
+
+def random_fault_population(
+    n_cells: int,
+    count: int,
+    kinds: Optional[Sequence[MemoryFaultKind]] = None,
+    rng: RNGLike = None,
+) -> List[MemoryFault]:
+    """Sample ``count`` random logical faults over ``n_cells`` addresses."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    gen = ensure_rng(rng)
+    if kinds is None:
+        kinds = [
+            MemoryFaultKind.SA0,
+            MemoryFaultKind.SA1,
+            MemoryFaultKind.TF_UP,
+            MemoryFaultKind.TF_DOWN,
+            MemoryFaultKind.CF_ST_0,
+            MemoryFaultKind.CF_ST_1,
+            MemoryFaultKind.READ1_DISTURB,
+            MemoryFaultKind.ADF_NO_ACCESS,
+            MemoryFaultKind.ADF_WRONG_ROW,
+        ]
+    faults: List[MemoryFault] = []
+    for _ in range(count):
+        kind = kinds[int(gen.integers(len(kinds)))]
+        cell = int(gen.integers(n_cells))
+        aggressor = alias = None
+        if kind in (MemoryFaultKind.CF_ST_0, MemoryFaultKind.CF_ST_1):
+            aggressor = int(gen.integers(n_cells))
+            while aggressor == cell:
+                aggressor = int(gen.integers(n_cells))
+        if kind is MemoryFaultKind.ADF_WRONG_ROW:
+            alias = int(gen.integers(n_cells))
+            while alias == cell:
+                alias = int(gen.integers(n_cells))
+        faults.append(MemoryFault(kind, cell, aggressor=aggressor, alias=alias))
+    return faults

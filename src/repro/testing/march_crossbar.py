@@ -1,0 +1,107 @@
+"""March testing of physical crossbar arrays.
+
+:mod:`repro.testing.march` runs march algorithms against a *logical*
+fault-model memory.  This adapter closes the loop with the physical
+layer: it exposes a :class:`~repro.crossbar.array.CrossbarArray` through
+the march engine's read/write interface (bit 1 = LRS, bit 0 = HRS, read
+threshold at the ladder midpoint), so March C* runs against real
+conductance states — including injected stuck cells, write variation and
+read-noise-induced marginal bits.
+
+This is the manufacturing-screen configuration: march the die, reject on
+any mismatch, and only then deploy weights or logic onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray
+from repro.testing.march import MarchOrder, MarchTest, march_c_star
+
+
+@dataclass
+class CrossbarMarchResult:
+    """Outcome of one march campaign over a physical array."""
+
+    test_name: str
+    mismatches: List[Tuple[int, int, int, int]]  # (row, col, expected, got)
+    operations: int
+
+    @property
+    def fail(self) -> bool:
+        """Whether the die fails the screen."""
+        return bool(self.mismatches)
+
+    @property
+    def failing_cells(self) -> Set[Tuple[int, int]]:
+        """Cells with at least one mismatching read."""
+        return {(r, c) for r, c, _, _ in self.mismatches}
+
+    def coverage(self, true_cells: Set[Tuple[int, int]]) -> float:
+        """Fraction of truly faulty cells among the failing cells."""
+        if not true_cells:
+            return 1.0
+        caught = sum(1 for cell in true_cells if cell in self.failing_cells)
+        return caught / len(true_cells)
+
+
+class CrossbarMarchTester:
+    """Runs march algorithms cell-by-cell over a crossbar array."""
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        test: Optional[MarchTest] = None,
+    ) -> None:
+        self.array = array
+        self.test = test or march_c_star()
+        levels = array.config.levels
+        self._g0 = levels.g_min
+        self._g1 = levels.g_max
+        self._midpoint = 0.5 * (levels.g_min + levels.g_max)
+
+    # --------------------------------------------------------- cell access
+    def _write_bit(self, row: int, col: int, value: int) -> None:
+        self.array.write_cell(row, col, self._g1 if value else self._g0)
+
+    def _read_bit(self, row: int, col: int) -> int:
+        observed = self.array.variability.read.apply(
+            self.array.conductances()[row, col], self.array._rng
+        )
+        return int(observed >= self._midpoint)
+
+    # -------------------------------------------------------------- running
+    def run(self) -> CrossbarMarchResult:
+        """March every cell in wordline-major address order."""
+        rows, cols = self.array.shape
+        addresses = [(r, c) for r in range(rows) for c in range(cols)]
+        mismatches: List[Tuple[int, int, int, int]] = []
+        operations = 0
+        for element in self.test.elements:
+            ordered = (
+                reversed(addresses)
+                if element.order is MarchOrder.DOWN
+                else addresses
+            )
+            for row, col in ordered:
+                for op in element.ops:
+                    operations += 1
+                    if op.kind == "w":
+                        self._write_bit(row, col, op.value)
+                    else:
+                        got = self._read_bit(row, col)
+                        if got != op.value:
+                            mismatches.append((row, col, op.value, got))
+        return CrossbarMarchResult(
+            test_name=self.test.name,
+            mismatches=mismatches,
+            operations=operations,
+        )
+
+    def screen(self) -> bool:
+        """Pass/fail manufacturing screen (True = die is good)."""
+        return not self.run().fail

@@ -1,0 +1,157 @@
+"""Online voltage-comparison stuck-at detection ([38], Section III-C).
+
+The four-step method the paper describes:
+
+1. the conductance values of the crossbar are read and stored off-chip;
+2. a fixed increment (for SA0 detection) or decrement (for SA1) is written
+   to all cells;
+3. test voltages are applied to a *group of rows* at a time, and output
+   currents are observed at all columns concurrently;
+4. outputs are compared with reference values computed under the
+   assumption that every cell was tuned successfully — a discrepancy means
+   at least one stuck cell in the selected rows/column.
+
+"By carrying out this fault-detection method bidirectionally, faults can
+be located": running the same procedure over column groups and
+intersecting flags localizes individual cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class VoltageTestReport:
+    """Outcome of one voltage-comparison detection pass."""
+
+    direction: str                       # "sa0" or "sa1"
+    flagged: List[Tuple[int, int]]       # (row_group_index, column) pairs
+    group_size: int
+    measurement_count: int
+    localized_cells: Set[Tuple[int, int]]
+
+    @property
+    def fault_detected(self) -> bool:
+        """Whether any group/column pair deviated."""
+        return bool(self.flagged)
+
+    def localization_precision(
+        self, true_cells: Set[Tuple[int, int]]
+    ) -> Tuple[float, float]:
+        """(recall, precision) of localized cells vs ground truth."""
+        if not self.localized_cells:
+            recall = 0.0 if true_cells else 1.0
+            return recall, 1.0
+        hits = len(self.localized_cells & true_cells)
+        recall = hits / len(true_cells) if true_cells else 1.0
+        precision = hits / len(self.localized_cells)
+        return recall, precision
+
+
+class VoltageComparisonTester:
+    """Implements the [38] on-line stuck-at test on a crossbar array."""
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        group_size: int = 4,
+        v_test: float = 0.2,
+        delta_fraction: float = 0.1,
+        margin: float = 0.5,
+    ) -> None:
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        check_positive("v_test", v_test)
+        check_positive("delta_fraction", delta_fraction)
+        check_positive("margin", margin)
+        self.array = array
+        self.group_size = group_size
+        self.v_test = v_test
+        self.delta_fraction = delta_fraction
+        self.margin = margin
+
+    def _delta(self, direction: str) -> float:
+        levels = self.array.config.levels
+        step = self.delta_fraction * (levels.g_max - levels.g_min)
+        if direction == "sa0":
+            return +step   # SA0 cells cannot be incremented
+        if direction == "sa1":
+            return -step   # SA1 cells cannot be decremented
+        raise ValueError(f"direction must be 'sa0' or 'sa1', got {direction!r}")
+
+    def detect(self, direction: str = "sa0") -> VoltageTestReport:
+        """Run steps 1-4 over row groups; returns flagged (group, column)
+        pairs and row-resolved candidate cells."""
+        delta = self._delta(direction)
+        levels = self.array.config.levels
+
+        # Step 1: read and store the conductances off-chip.
+        stored = self.array.read_conductances()
+
+        # Step 2: write the increment/decrement to all cells.
+        target = np.clip(stored + delta, levels.g_min, levels.g_max)
+        self.array.program(target)
+
+        # Steps 3-4: group-of-rows test voltages, compare with reference.
+        rows, cols = self.array.shape
+        flagged: List[Tuple[int, int]] = []
+        measurements = 0
+        n_groups = (rows + self.group_size - 1) // self.group_size
+        per_cell = abs(self.v_test * delta)
+        for group_index in range(n_groups):
+            lo = group_index * self.group_size
+            hi = min(lo + self.group_size, rows)
+            voltages = np.zeros(rows)
+            voltages[lo:hi] = self.v_test
+            measured = self.array.vmm(voltages)
+            reference = voltages @ target
+            measurements += 1
+            deviating = np.abs(measured - reference) > self.margin * per_cell
+            for col in np.nonzero(deviating)[0]:
+                flagged.append((group_index, int(col)))
+
+        localized = self._localize_rows(flagged, target)
+        return VoltageTestReport(
+            direction=direction,
+            flagged=flagged,
+            group_size=self.group_size,
+            measurement_count=measurements,
+            localized_cells=localized,
+        )
+
+    def _localize_rows(
+        self,
+        flagged: List[Tuple[int, int]],
+        target: np.ndarray,
+    ) -> Set[Tuple[int, int]]:
+        """Bidirectional refinement: within each flagged (group, column),
+        drive the group's rows one at a time to pin down the cell."""
+        localized: Set[Tuple[int, int]] = set()
+        rows, _ = self.array.shape
+        per_cell = abs(self.v_test) * abs(self._delta("sa0"))
+        seen_groups: Set[Tuple[int, int]] = set()
+        for group_index, col in flagged:
+            if (group_index, col) in seen_groups:
+                continue
+            seen_groups.add((group_index, col))
+            lo = group_index * self.group_size
+            hi = min(lo + self.group_size, rows)
+            for row in range(lo, hi):
+                voltages = np.zeros(rows)
+                voltages[row] = self.v_test
+                measured = self.array.vmm(voltages)[col]
+                reference = self.v_test * target[row, col]
+                if abs(measured - reference) > self.margin * per_cell:
+                    localized.add((row, col))
+        return localized
+
+    def detect_bidirectional(self) -> Tuple[VoltageTestReport, VoltageTestReport]:
+        """SA0 pass followed by SA1 pass (the full [38] procedure)."""
+        return self.detect("sa0"), self.detect("sa1")

@@ -1,0 +1,114 @@
+"""Testing Scouting-Logic-based CIM-P architectures ([40]).
+
+Scouting logic computes OR/AND/XOR by thresholding the summed bitline
+current of simultaneously activated rows (Section II-A, [20]).  Its fault
+universe is therefore larger than the memory's: beyond cell stuck-at
+faults, the *sense amplifier's references* can drift, corrupting logic
+results even over healthy cells.
+
+The tester applies the boundary-exercising patterns of each operation —
+the input combinations whose currents sit closest to the decision
+thresholds — and compares against golden results, detecting:
+
+* cell stuck-at faults (wrong stored operand);
+* reference-drift faults (wrong threshold: an OR that misses single-LRS
+  inputs, an AND that accepts n-1 of n, an XOR window that collapsed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.cim_core import CIMCore
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ScoutingTestReport:
+    """Outcome of a scouting-logic test campaign."""
+
+    op_failures: Dict[str, List[Tuple[Tuple[int, ...], int]]]
+    patterns_applied: int
+    columns: int
+
+    @property
+    def fault_detected(self) -> bool:
+        """Whether any pattern produced a wrong result."""
+        return any(self.op_failures.values())
+
+    @property
+    def failing_ops(self) -> Set[str]:
+        """Operations with at least one failing pattern."""
+        return {op for op, fails in self.op_failures.items() if fails}
+
+
+class ScoutingLogicTester:
+    """Functional test of a CIM core's scouting OR/AND/XOR datapath.
+
+    Test procedure per operation: write boundary operand patterns into two
+    (or ``n_rows``) wordlines, run the scouting op, and compare each
+    column's output against the boolean golden value.  The pattern set is
+    *complete* for 2-operand ops (all four operand pairs appear in every
+    column via rotation), so any single cell or threshold fault that
+    affects the op is caught.
+    """
+
+    def __init__(self, core: CIMCore, rows: Tuple[int, int] = (0, 1)) -> None:
+        if rows[0] == rows[1]:
+            raise ValueError("scouting test needs two distinct rows")
+        self.core = core
+        self.rows = rows
+
+    def _patterns(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Column-wise operand pairs covering all four combinations."""
+        cols = self.core.array.cols
+        base = np.arange(cols)
+        patterns = []
+        for phase in range(4):
+            a = ((base + phase) % 4 < 2).astype(int)       # 1 1 0 0 ...
+            b = (((base + phase) % 4) % 2 == 0).astype(int)  # 1 0 1 0 ...
+            patterns.append((a, b))
+        return patterns
+
+    def run(self) -> ScoutingTestReport:
+        """Apply all patterns to OR, AND and XOR; collect mismatches."""
+        failures: Dict[str, List[Tuple[Tuple[int, ...], int]]] = {
+            "or": [],
+            "and": [],
+            "xor": [],
+        }
+        applied = 0
+        r0, r1 = self.rows
+        for a, b in self._patterns():
+            self.core.write_bit_row(r0, a)
+            self.core.write_bit_row(r1, b)
+            applied += 1
+            results = {
+                "or": (self.core.scouting_or([r0, r1]), a | b),
+                "and": (self.core.scouting_and([r0, r1]), a & b),
+                "xor": (self.core.scouting_xor([r0, r1]), a ^ b),
+            }
+            for op, (got, expected) in results.items():
+                for col in np.nonzero(got != expected)[0]:
+                    failures[op].append(
+                        ((int(a[col]), int(b[col])), int(col))
+                    )
+        return ScoutingTestReport(
+            op_failures=failures,
+            patterns_applied=applied,
+            columns=self.core.array.cols,
+        )
+
+
+def inject_reference_drift(core: CIMCore, drift_fraction: float) -> None:
+    """Shift the sense amplifier's input-referred offset by a fraction of
+    the LRS read current — the CIM-P-specific fault of [40].
+
+    Positive drift makes thresholds effectively lower (ORs start passing
+    noise, ANDs accept partial matches); negative drift the opposite.
+    """
+    i_lrs = core.params.v_read * core.params.levels.g_max
+    core.sense_amp._offset += drift_fraction * i_lrs

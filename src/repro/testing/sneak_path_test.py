@@ -1,0 +1,166 @@
+"""Sneak-path group testing of crossbars ([46], Section III-B).
+
+"Because of the resistive and bidirectional characteristics of ReRAM
+cells, the current [flows] through both the targeted ReRAM cell and
+adjacent unintended paths.  In this way, when tests are applied to one
+ReRAM cell, the defect information of the adjacent ReRAM cells in the
+region of detection can be detected simultaneously."
+
+The tester reads *probe* cells with unselected lines floating, so the
+measured current is shaped by every cell sharing the probe's wordline and
+bitline (the region of detection).  Comparing against the current expected
+from the intended pattern flags regions containing faults; probing a
+strided subset of cells covers the array with far fewer measurements than
+cell-by-cell march testing — but, as the paper notes, "the test time
+required by the sneak-path technique increases linearly with the array
+size".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.solver import sneak_path_read_current
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class SneakPathTestReport:
+    """Outcome of one sneak-path test campaign."""
+
+    probes: List[Tuple[int, int]]
+    flagged_probes: List[Tuple[int, int]]
+    suspect_cells: Set[Tuple[int, int]]
+    measurements: List[Tuple[float, float]]  # (measured, expected) per probe
+    read_time: float = 10e-9                 # s per analog measurement
+
+    @property
+    def fault_detected(self) -> bool:
+        """Whether any probe deviated beyond threshold."""
+        return bool(self.flagged_probes)
+
+    @property
+    def test_time(self) -> float:
+        """Total measurement time (s)."""
+        return len(self.probes) * self.read_time
+
+    def detection_rate(self, true_faulty_cells: Set[Tuple[int, int]]) -> float:
+        """Fraction of truly faulty cells inside flagged regions."""
+        if not true_faulty_cells:
+            return 1.0
+        caught = sum(1 for c in true_faulty_cells if c in self.suspect_cells)
+        return caught / len(true_faulty_cells)
+
+
+class SneakPathTester:
+    """Parallel crossbar testing through deliberate sneak paths."""
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        v_read: float = 0.2,
+        threshold: float = 0.5,
+    ) -> None:
+        """``threshold`` is the detection level as a fraction of a
+        *single-fault signature*: for each probe the tester computes how
+        much one stuck cell on the probe's wordline would shift the sneak
+        current, and flags deviations exceeding ``threshold`` times that.
+        This keeps sensitivity calibrated as the array (and hence the
+        per-cell dilution of the line current) grows.
+        """
+        check_positive("v_read", v_read)
+        check_positive("threshold", threshold)
+        self.array = array
+        self.v_read = v_read
+        self.threshold = threshold
+
+    def probe(self, reference: np.ndarray, row: int, col: int) -> Tuple[float, float]:
+        """Measure cell ``(row, col)`` with floating unselected lines and
+        return (measured, expected-from-reference) sneak currents."""
+        measured, _ = sneak_path_read_current(
+            self.array.conductances(), row, col, self.v_read, scheme="floating"
+        )
+        expected, _ = sneak_path_read_current(
+            reference, row, col, self.v_read, scheme="floating"
+        )
+        return measured, expected
+
+    def probe_pattern(self, stride: int = 1) -> List[Tuple[int, int]]:
+        """The probe set: a diagonal sweep that puts one probe *on* every
+        ``stride``-th row and every ``stride``-th column.
+
+        A fault only measurably perturbs probes sharing its wordline or
+        bitline (the region of detection), so full coverage needs every
+        line probed; ``stride > 1`` trades coverage for test time.
+        """
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        rows, cols = self.array.shape
+        probes = {(r, r % cols) for r in range(0, rows, stride)}
+        probes |= {(c % rows, c) for c in range(0, cols, stride)}
+        return sorted(probes)
+
+    def run(
+        self,
+        reference: np.ndarray,
+        stride: int = 1,
+    ) -> SneakPathTestReport:
+        """Probe the diagonal pattern; each measurement simultaneously
+        tests the probe's whole wordline and bitline.
+
+        ``reference`` is the conductance matrix the array was *intended*
+        to hold (fault-free expectation).
+        """
+        reference = np.asarray(reference, dtype=float)
+        if reference.shape != self.array.shape:
+            raise ValueError(
+                f"reference shape {reference.shape} does not match array "
+                f"{self.array.shape}"
+            )
+        rows, cols = self.array.shape
+        probes = self.probe_pattern(stride)
+        flagged: List[Tuple[int, int]] = []
+        suspects: Set[Tuple[int, int]] = set()
+        measurements: List[Tuple[float, float]] = []
+
+        for r, c in probes:
+            measured, expected = self.probe(reference, r, c)
+            measurements.append((measured, expected))
+            signature = self._single_fault_signature(reference, r, c)
+            if abs(measured - expected) > self.threshold * signature:
+                flagged.append((r, c))
+                # The region of detection: the probe's wordline and
+                # bitline dominate the sneak current.
+                suspects.update((r, j) for j in range(cols))
+                suspects.update((i, c) for i in range(rows))
+        return SneakPathTestReport(
+            probes=probes,
+            flagged_probes=flagged,
+            suspect_cells=suspects,
+            measurements=measurements,
+        )
+
+    def measurement_count(self, stride: int = 1) -> int:
+        """Measurements for one campaign (linear in array side length)."""
+        return len(self.probe_pattern(stride))
+
+    def _single_fault_signature(
+        self, reference: np.ndarray, row: int, col: int
+    ) -> float:
+        """Expected sneak-current shift from one stuck-HRS cell on the
+        probe's wordline — the calibration unit for the threshold."""
+        perturbed = np.asarray(reference, dtype=float).copy()
+        victim_col = (col + 1) % perturbed.shape[1]
+        perturbed[row, victim_col] = self.array.config.levels.g_min
+        expected, _ = sneak_path_read_current(
+            np.asarray(reference, dtype=float), row, col, self.v_read,
+            scheme="floating",
+        )
+        shifted, _ = sneak_path_read_current(
+            perturbed, row, col, self.v_read, scheme="floating"
+        )
+        return max(abs(expected - shifted), 1e-30)

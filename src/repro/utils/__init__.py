@@ -1,0 +1,45 @@
+"""Shared utilities: random-number handling, unit helpers, validation.
+
+These helpers are deliberately small and dependency-free so that every
+other subpackage (devices, crossbar, testing, EDA ...) can rely on them
+without import cycles.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.units import (
+    KILO,
+    MEGA,
+    GIGA,
+    MILLI,
+    MICRO,
+    NANO,
+    PICO,
+    FEMTO,
+    engineering_format,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    check_shape,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "MILLI",
+    "MICRO",
+    "NANO",
+    "PICO",
+    "FEMTO",
+    "engineering_format",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_shape",
+]

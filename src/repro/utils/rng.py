@@ -1,0 +1,49 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (device variation, fault
+injection, workload generation) accepts either ``None``, an integer seed,
+or a ``numpy.random.Generator``.  ``ensure_rng`` normalizes all three to a
+``Generator`` so results are reproducible when a seed is supplied and
+independent when one is not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RNGLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RNGLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh entropy), an ``int`` seed, or an existing
+        ``Generator`` (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or numpy Generator, got {type(rng).__name__}"
+    )
+
+
+def spawn_rngs(rng: RNGLike, count: int) -> list:
+    """Split ``rng`` into ``count`` statistically independent generators.
+
+    Used when a simulation fans out into parallel stochastic components
+    (e.g. one RNG per crossbar tile) that must not share a stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

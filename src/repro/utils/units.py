@@ -1,0 +1,51 @@
+"""SI unit constants and engineering-notation formatting.
+
+The device and periphery models work in base SI units (volts, amperes,
+siemens, seconds, joules, square metres).  These constants keep parameter
+tables readable, e.g. ``read_voltage=200 * MILLI``.
+"""
+
+from __future__ import annotations
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+def engineering_format(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``engineering_format(2.5e-9, "s")
+    == "2.5 ns"``.
+
+    Zero, NaN and infinities are passed through without a prefix.
+    """
+    if value != value or value in (float("inf"), float("-inf")) or value == 0:
+        return f"{value} {unit}".strip()
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g} {prefix}{unit}".strip()
+    scale, prefix = _PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".strip()

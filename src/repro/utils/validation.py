@@ -1,0 +1,55 @@
+"""Argument-validation helpers.
+
+All validators raise ``ValueError`` with a message naming the offending
+parameter, so configuration errors surface at construction time instead of
+deep inside a simulation loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Require ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Require ``array.shape == shape``.  ``-1`` in ``shape`` matches any size."""
+    array = np.asarray(array)
+    if len(array.shape) != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {array.shape}"
+        )
+    for axis, (actual, expected) in enumerate(zip(array.shape, shape)):
+        if expected != -1 and actual != expected:
+            raise ValueError(
+                f"{name} axis {axis} must have size {expected}, got shape {array.shape}"
+            )
+    return array

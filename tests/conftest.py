@@ -1,0 +1,27 @@
+"""Shared fixtures for the cimflow test suite."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.devices.reram import ConductanceLevels
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_levels():
+    """A 4-level conductance ladder used across crossbar tests."""
+    return ConductanceLevels(g_min=1e-6, g_max=1e-4, n_levels=4)
+
+
+@pytest.fixture
+def small_array():
+    """An ideal 8x8 crossbar preprogrammed to mid-range conductance."""
+    array = CrossbarArray(CrossbarConfig(rows=8, cols=8), rng=7)
+    array.program(np.full((8, 8), 5e-5))
+    return array

@@ -1,0 +1,63 @@
+"""Tests for the binary neural network on FeRFET hardware."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bnn import BinaryMLP, FeRFETBinaryLayer, deploy_first_layer
+from repro.apps.datasets import binary_patterns
+
+
+@pytest.fixture(scope="module")
+def trained_bnn():
+    x, y = binary_patterns(n_samples=200, n_features=24, n_classes=2, rng=0)
+    model = BinaryMLP([24, 12, 2], rng=1)
+    model.train(x[:150], y[:150], epochs=20, rng=2)
+    return model, x, y
+
+
+class TestBinaryMLP:
+    def test_weights_are_binary(self, trained_bnn):
+        model, _, _ = trained_bnn
+        for w in model.binary_weights():
+            assert set(np.unique(w)).issubset({-1, 1})
+
+    def test_training_learns_patterns(self, trained_bnn):
+        model, x, y = trained_bnn
+        assert model.accuracy(x[150:], y[150:]) > 0.8
+
+    def test_hidden_activations_binary(self, trained_bnn):
+        model, x, _ = trained_bnn
+        h = x[:5].astype(float)
+        z = h @ np.where(model.shadow[0] >= 0, 1, -1)
+        act = np.where(z >= 0, 1.0, -1.0)
+        assert set(np.unique(act)).issubset({-1.0, 1.0})
+
+    def test_layer_validation(self):
+        with pytest.raises(ValueError):
+            BinaryMLP([8])
+
+
+class TestHardwareDeployment:
+    def test_first_layer_bit_exact(self, trained_bnn):
+        model, x, _ = trained_bnn
+        layer = deploy_first_layer(model)
+        for row in x[:5]:
+            assert layer.matches_reference(row)
+
+    def test_forward_with_activation(self, trained_bnn):
+        model, x, _ = trained_bnn
+        layer = deploy_first_layer(model)
+        out = layer.forward(x[0], activate=True)
+        assert set(np.unique(out)).issubset({-1, 1})
+
+    def test_hw_and_sw_classify_identically_through_layer(self, trained_bnn):
+        """Because the FeRFET path is digital, the deployed layer output
+        equals the software layer output exactly — the contrast with
+        analog memristor CIM the paper draws in Section V-D."""
+        model, x, _ = trained_bnn
+        layer = FeRFETBinaryLayer(model.shadow[0])
+        w = np.where(model.shadow[0] >= 0, 1, -1)
+        for row in x[:5]:
+            hw = layer.forward(row, activate=False)
+            sw = row.astype(int) @ w
+            assert np.array_equal(hw, sw)

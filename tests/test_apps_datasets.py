@@ -1,0 +1,82 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import binary_patterns, gaussian_blobs, sparse_signals
+
+
+class TestGaussianBlobs:
+    def test_shapes_and_ranges(self):
+        x, y = gaussian_blobs(n_samples=100, n_features=8, n_classes=3, rng=0)
+        assert x.shape == (100, 8)
+        assert y.shape == (100,)
+        assert x.min() >= 0 and x.max() <= 1
+        assert set(np.unique(y)).issubset(set(range(3)))
+
+    def test_deterministic(self):
+        x1, y1 = gaussian_blobs(rng=7)
+        x2, y2 = gaussian_blobs(rng=7)
+        assert np.array_equal(x1, x2)
+        assert np.array_equal(y1, y2)
+
+    def test_separation_controls_difficulty(self):
+        """Higher separation -> a nearest-centroid rule scores better."""
+
+        def centroid_accuracy(sep):
+            x, y = gaussian_blobs(
+                n_samples=400, n_classes=4, separation=sep, rng=1
+            )
+            centroids = np.array([x[y == k].mean(axis=0) for k in range(4)])
+            distances = ((x[:, None, :] - centroids) ** 2).sum(axis=2)
+            return float(np.mean(distances.argmin(axis=1) == y))
+
+        assert centroid_accuracy(4.0) > centroid_accuracy(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_blobs(n_samples=2, n_classes=4)
+
+
+class TestSparseSignals:
+    def test_shapes(self):
+        d, codes, signals = sparse_signals(
+            n_samples=10, n_atoms=32, signal_dim=16, sparsity=3, rng=0
+        )
+        assert d.shape == (16, 32)
+        assert codes.shape == (10, 32)
+        assert signals.shape == (10, 16)
+
+    def test_dictionary_normalized(self):
+        d, _, _ = sparse_signals(rng=0)
+        assert np.allclose(np.linalg.norm(d, axis=0), 1.0)
+
+    def test_exact_sparsity(self):
+        _, codes, _ = sparse_signals(n_samples=5, sparsity=4, rng=1)
+        assert np.all((codes > 0).sum(axis=1) == 4)
+
+    def test_signals_close_to_synthesis(self):
+        d, codes, signals = sparse_signals(noise=0.0, rng=2)
+        assert np.allclose(signals, codes @ d.T)
+
+    def test_sparsity_bounds(self):
+        with pytest.raises(ValueError):
+            sparse_signals(n_atoms=8, sparsity=9)
+
+
+class TestBinaryPatterns:
+    def test_values_are_pm1(self):
+        x, y = binary_patterns(rng=0)
+        assert set(np.unique(x)).issubset({-1, 1})
+
+    def test_zero_flip_gives_pure_prototypes(self):
+        x, y = binary_patterns(
+            n_samples=50, n_classes=2, flip_probability=0.0, rng=3
+        )
+        for k in (0, 1):
+            class_rows = x[y == k]
+            assert (class_rows == class_rows[0]).all()
+
+    def test_flip_probability_bound(self):
+        with pytest.raises(ValueError):
+            binary_patterns(flip_probability=0.5)

@@ -1,0 +1,95 @@
+"""Tests for the neuromorphic MLP on CIM (and the [38] yield experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import gaussian_blobs
+from repro.apps.nn import MLP, CrossbarMLP, accuracy_vs_yield
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    x, y = gaussian_blobs(
+        n_samples=300, n_features=16, n_classes=4, separation=2.5, rng=0
+    )
+    mlp = MLP([16, 16, 4], rng=1)
+    mlp.train(x[:200], y[:200], epochs=40, rng=2)
+    return mlp, x, y
+
+
+class TestSoftwareMLP:
+    def test_training_improves_accuracy(self):
+        x, y = gaussian_blobs(n_samples=200, rng=3)
+        mlp = MLP([16, 12, 4], rng=4)
+        before = mlp.accuracy(x, y)
+        mlp.train(x, y, epochs=30, rng=5)
+        assert mlp.accuracy(x, y) > max(before, 0.8)
+
+    def test_forward_is_distribution(self, trained_setup):
+        mlp, x, _ = trained_setup
+        probs = mlp.forward(x[:10])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_layer_size_validation(self):
+        with pytest.raises(ValueError):
+            MLP([16])
+        with pytest.raises(ValueError):
+            MLP([16, 0, 4])
+
+
+class TestCrossbarDeployment:
+    def test_deployed_accuracy_close_to_software(self, trained_setup):
+        mlp, x, y = trained_setup
+        deployed = CrossbarMLP(mlp, calibration=x[:200], rng=6)
+        sw = mlp.accuracy(x[200:], y[200:])
+        hw = deployed.accuracy(x[200:], y[200:], noisy=False)
+        assert hw >= sw - 0.1
+
+    def test_predictions_mostly_agree(self, trained_setup):
+        mlp, x, y = trained_setup
+        deployed = CrossbarMLP(mlp, calibration=x[:200], rng=7)
+        agreement = np.mean(
+            deployed.predict(x[200:250], noisy=False) == mlp.predict(x[200:250])
+        )
+        assert agreement > 0.9
+
+    def test_fault_injection_degrades(self, trained_setup):
+        mlp, x, y = trained_setup
+        deployed = CrossbarMLP(mlp, calibration=x[:200], rng=8)
+        clean = deployed.accuracy(x[200:], y[200:], noisy=False)
+        rate = deployed.inject_yield_faults(0.6, rng=9)
+        faulty = deployed.accuracy(x[200:], y[200:], noisy=False)
+        assert rate == pytest.approx(0.4, abs=0.06)
+        assert faulty < clean
+
+
+class TestAccuracyVsYield:
+    """The [38] experiment the paper quotes."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return accuracy_vs_yield(
+            yields=(1.0, 0.9, 0.8, 0.6), n_samples=300, rng=0
+        )
+
+    def test_clean_network_is_accurate(self, sweep):
+        assert sweep[0]["accuracy"] > 0.9
+
+    def test_accuracy_degrades_with_yield(self, sweep):
+        accs = [row["accuracy"] for row in sweep]
+        assert accs[-1] < accs[0]
+        assert sweep[-1]["drop"] > sweep[1]["drop"]
+
+    def test_drop_at_80_percent_yield_substantial(self, sweep):
+        """'reduced by 35% when the yield drops to 80%' — we require the
+        same order of magnitude (>= 20 points) on the synthetic stand-in."""
+        row = next(r for r in sweep if r["yield"] == 0.8)
+        assert row["drop"] >= 0.20
+
+    def test_fault_rates_match_yield(self, sweep):
+        for row in sweep:
+            if row["yield"] < 1.0:
+                assert row["fault_rate"] == pytest.approx(
+                    1 - row["yield"], abs=0.05
+                )

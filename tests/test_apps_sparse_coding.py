@@ -1,0 +1,83 @@
+"""Tests for crossbar sparse coding."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import sparse_signals
+from repro.apps.sparse_coding import CrossbarSparseCoder, ista_reference
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return sparse_signals(
+        n_samples=3, n_atoms=48, signal_dim=24, sparsity=3, noise=0.005, rng=0
+    )
+
+
+class TestReferenceIsta:
+    def test_recovers_sparse_code(self, problem):
+        d, codes, signals = problem
+        a = ista_reference(d, signals[0], lam=0.05, iterations=200)
+        recall, precision = CrossbarSparseCoder.support_recovery(a, codes[0])
+        assert recall == 1.0
+        assert precision >= 0.5
+
+    def test_nonnegative(self, problem):
+        d, _, signals = problem
+        a = ista_reference(d, signals[0])
+        assert np.all(a >= 0)
+
+    def test_validation(self, problem):
+        d, _, signals = problem
+        with pytest.raises(ValueError):
+            ista_reference(d, signals[0], lam=0)
+
+
+class TestCrossbarCoder:
+    def test_matches_reference(self, problem):
+        d, codes, signals = problem
+        coder = CrossbarSparseCoder(d, rng=1)
+        a_cb = coder.encode(signals[0], iterations=150)
+        a_ref = ista_reference(d, signals[0], iterations=150)
+        assert np.allclose(a_cb, a_ref, atol=0.05)
+
+    def test_reconstruction_error_small(self, problem):
+        d, _, signals = problem
+        coder = CrossbarSparseCoder(d, rng=2)
+        a = coder.encode(signals[1], iterations=150)
+        assert coder.reconstruction_error(signals[1], a) < 0.1
+
+    def test_support_recovery(self, problem):
+        d, codes, signals = problem
+        coder = CrossbarSparseCoder(d, rng=3)
+        a = coder.encode(signals[2], iterations=150)
+        recall, _ = CrossbarSparseCoder.support_recovery(a, codes[2])
+        assert recall == 1.0
+
+    def test_signal_shape_validated(self, problem):
+        d, _, _ = problem
+        coder = CrossbarSparseCoder(d, rng=4)
+        with pytest.raises(ValueError):
+            coder.encode(np.zeros(10))
+
+    def test_weights_stationary_on_crossbar(self, problem):
+        """The dictionary is programmed once; iterations only read."""
+        d, _, signals = problem
+        coder = CrossbarSparseCoder(d, rng=5)
+        writes_before = coder.core.array.write_operations
+        coder.encode(signals[0], iterations=30)
+        assert coder.core.array.write_operations == writes_before
+
+
+class TestSupportRecoveryMetric:
+    def test_perfect(self):
+        est = np.array([0.0, 1.0, 0.0, 0.8])
+        truth = np.array([0.0, 1.0, 0.0, 0.9])
+        assert CrossbarSparseCoder.support_recovery(est, truth) == (1.0, 1.0)
+
+    def test_empty_estimate(self):
+        est = np.zeros(4)
+        truth = np.array([0.0, 1.0, 0.0, 0.0])
+        recall, precision = CrossbarSparseCoder.support_recovery(est, truth)
+        assert recall == 0.0
+        assert precision == 1.0

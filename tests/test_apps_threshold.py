@@ -1,0 +1,69 @@
+"""Tests for threshold logic on CIM."""
+
+import numpy as np
+import pytest
+
+from repro.apps.threshold_logic import CrossbarThresholdGate, ThresholdGate
+
+
+class TestSoftwareGates:
+    def test_and_gate(self):
+        gate = ThresholdGate.and_gate(3)
+        assert gate.evaluate([1, 1, 1]) == 1
+        assert gate.evaluate([1, 1, 0]) == 0
+
+    def test_or_gate(self):
+        gate = ThresholdGate.or_gate(3)
+        assert gate.evaluate([0, 0, 0]) == 0
+        assert gate.evaluate([0, 1, 0]) == 1
+
+    def test_majority_gate(self):
+        gate = ThresholdGate.majority_gate(5)
+        assert gate.evaluate([1, 1, 1, 0, 0]) == 1
+        assert gate.evaluate([1, 1, 0, 0, 0]) == 0
+
+    def test_majority_needs_odd(self):
+        with pytest.raises(ValueError):
+            ThresholdGate.majority_gate(4)
+
+    def test_at_least_k(self):
+        gate = ThresholdGate.at_least_k(4, 2)
+        assert gate.evaluate([1, 0, 1, 0]) == 1
+        assert gate.evaluate([1, 0, 0, 0]) == 0
+
+    def test_signed_weights(self):
+        gate = ThresholdGate(np.array([1.0, -1.0]), 0.5)
+        assert gate.evaluate([1, 0]) == 1
+        assert gate.evaluate([1, 1]) == 0
+        assert gate.evaluate([0, 1]) == 0
+
+    def test_input_shape(self):
+        with pytest.raises(ValueError):
+            ThresholdGate.and_gate(3).evaluate([1, 1])
+
+
+class TestCrossbarGates:
+    @pytest.mark.parametrize(
+        "gate_factory",
+        [
+            lambda: ThresholdGate.and_gate(4),
+            lambda: ThresholdGate.or_gate(4),
+            lambda: ThresholdGate.majority_gate(5),
+            lambda: ThresholdGate.at_least_k(6, 3),
+        ],
+        ids=["and4", "or4", "maj5", "atleast3of6"],
+    )
+    def test_crossbar_agrees_with_reference(self, gate_factory):
+        gate = gate_factory()
+        cim_gate = CrossbarThresholdGate(gate, rng=0)
+        assert cim_gate.agrees_with_reference()
+
+    def test_signed_weight_gate_on_crossbar(self):
+        gate = ThresholdGate(np.array([1.0, -1.0, 1.0]), 1.5)
+        cim_gate = CrossbarThresholdGate(gate, rng=1)
+        assert cim_gate.agrees_with_reference()
+
+    def test_binary_input_enforced(self):
+        gate = CrossbarThresholdGate(ThresholdGate.and_gate(2), rng=2)
+        with pytest.raises(ValueError, match="binary"):
+            gate.evaluate([0.5, 1])

@@ -1,0 +1,59 @@
+"""Tests for the cimflow command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "fig5", "yield", "fig7", "eda", "chip"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "table1"])
+        assert args.seed == 7
+
+    def test_fig7_options(self):
+        args = build_parser().parse_args(
+            ["fig7", "--fault-rate", "0.2", "--inject-at", "200"]
+        )
+        assert args.fault_rate == 0.2
+        assert args.inject_at == 200
+
+
+class TestExecution:
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CIM-A" in out and "COM-F" in out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "ADC share" in out
+
+    def test_eda_runs(self, capsys):
+        assert main(["eda", "parity8"]) == 0
+        out = capsys.readouterr().out
+        assert "majority" in out
+
+    def test_eda_unknown_circuit(self, capsys):
+        assert main(["eda", "nonexistent"]) == 2
+        assert "unknown circuit" in capsys.readouterr().err
+
+    def test_fig7_runs(self, capsys):
+        assert main(["fig7", "--inject-at", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "CUSUM detection cycle" in out
+
+    def test_chip_runs(self, capsys):
+        assert main(["chip"]) == 0
+        out = capsys.readouterr().out
+        assert "TOPS_per_W" in out

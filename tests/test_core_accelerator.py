@@ -1,0 +1,90 @@
+"""Tests for the multi-tile CIM accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import AcceleratorParams, CIMAccelerator
+
+
+class TestTiling:
+    def test_tile_grid_dimensions(self, rng):
+        w = rng.uniform(-1, 1, (100, 50))
+        accel = CIMAccelerator(w, AcceleratorParams(tile_rows=64, tile_cols=32), rng=0)
+        assert accel.n_row_blocks == 2
+        assert accel.n_col_blocks == 2
+        assert accel.n_tiles == 4
+
+    def test_exact_fit(self, rng):
+        w = rng.uniform(-1, 1, (64, 32))
+        accel = CIMAccelerator(w, rng=0)
+        assert accel.n_tiles == 1
+
+    def test_weights_must_be_scaled(self, rng):
+        with pytest.raises(ValueError, match="pre-scaled"):
+            CIMAccelerator(rng.uniform(-3, 3, (8, 8)), rng=0)
+
+
+class TestVMM:
+    def test_accuracy_on_multi_tile(self, rng):
+        w = rng.uniform(-1, 1, (100, 50))
+        accel = CIMAccelerator(w, rng=1)
+        x = rng.uniform(0, 1, 100)
+        y = accel.vmm(x, noisy=False)
+        reference = x @ w
+        assert y.shape == (50,)
+        assert np.corrcoef(y, reference)[0, 1] > 0.995
+
+    def test_partial_sum_accumulation(self, rng):
+        """Splitting rows over tiles must not change the result beyond
+        per-tile quantization."""
+        w = rng.uniform(-1, 1, (128, 32))
+        x = rng.uniform(0, 1, 128)
+        one_tile = CIMAccelerator(
+            w, AcceleratorParams(tile_rows=128, tile_cols=32, adc_bits=12), rng=2
+        )
+        four_tiles = CIMAccelerator(
+            w, AcceleratorParams(tile_rows=32, tile_cols=32, adc_bits=12), rng=2
+        )
+        y1 = one_tile.vmm(x, noisy=False)
+        y4 = four_tiles.vmm(x, noisy=False)
+        assert np.allclose(y1, y4, atol=0.2)
+
+    def test_input_domain_checked(self, rng):
+        accel = CIMAccelerator(rng.uniform(-1, 1, (16, 8)), rng=3)
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            accel.vmm(np.full(16, 1.5))
+
+    def test_input_shape_checked(self, rng):
+        accel = CIMAccelerator(rng.uniform(-1, 1, (16, 8)), rng=3)
+        with pytest.raises(ValueError, match="shape"):
+            accel.vmm(np.zeros(15))
+
+
+class TestFaultInjection:
+    def test_yield_injection_across_tiles(self, rng):
+        w = rng.uniform(-1, 1, (100, 50))
+        accel = CIMAccelerator(w, rng=4)
+        rate = accel.inject_yield_faults(0.8, rng=5)
+        assert rate == pytest.approx(0.2, abs=0.05)
+        for tile_row in accel.tiles:
+            for core in tile_row:
+                assert core.array.fault_count() > 0
+
+    def test_faults_degrade_accuracy(self, rng):
+        w = rng.uniform(-1, 1, (100, 50))
+        x = rng.uniform(0, 1, 100)
+        clean = CIMAccelerator(w, rng=6)
+        y_clean = clean.vmm(x, noisy=False)
+        faulty = CIMAccelerator(w, rng=6)
+        faulty.inject_yield_faults(0.7, rng=7)
+        y_faulty = faulty.vmm(x, noisy=False)
+        ref = x @ w
+        assert np.abs(y_faulty - ref).mean() > np.abs(y_clean - ref).mean()
+
+    def test_cost_aggregation(self, rng):
+        w = rng.uniform(-1, 1, (100, 50))
+        accel = CIMAccelerator(w, rng=8)
+        accel.vmm(rng.uniform(0, 1, 100), noisy=False)
+        costs = accel.total_costs()
+        assert costs.total.energy > 0
+        assert "adc" in costs.by_category

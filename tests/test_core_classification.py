@@ -1,0 +1,93 @@
+"""Tests for the architecture classification (Fig 2) and Table I."""
+
+import pytest
+
+from repro.core.classification import (
+    TABLE_I,
+    ArchitectureClass,
+    ComputePosition,
+    Rating,
+    classify,
+    table_i_rows,
+)
+
+
+class TestClassification:
+    def test_fig2_positions(self):
+        assert classify(ComputePosition.MEMORY_ARRAY) is ArchitectureClass.CIM_A
+        assert (
+            classify(ComputePosition.MEMORY_PERIPHERY)
+            is ArchitectureClass.CIM_P
+        )
+        assert (
+            classify(ComputePosition.MEMORY_SIP_LOGIC)
+            is ArchitectureClass.COM_N
+        )
+        assert (
+            classify(ComputePosition.COMPUTATIONAL_CORE)
+            is ArchitectureClass.COM_F
+        )
+
+    def test_is_cim_flag(self):
+        assert ArchitectureClass.CIM_A.is_cim
+        assert ArchitectureClass.CIM_P.is_cim
+        assert not ArchitectureClass.COM_N.is_cim
+        assert not ArchitectureClass.COM_F.is_cim
+
+
+class TestTableI:
+    """Table I encoded verbatim — spot-check the paper's entries."""
+
+    def test_all_four_rows(self):
+        assert set(TABLE_I) == set(ArchitectureClass)
+
+    def test_cim_no_data_movement(self):
+        assert TABLE_I[ArchitectureClass.CIM_A].data_movement_outside_core is Rating.NO
+        assert TABLE_I[ArchitectureClass.CIM_P].data_movement_outside_core is Rating.NO
+
+    def test_com_moves_data(self):
+        assert TABLE_I[ArchitectureClass.COM_N].data_movement_outside_core is Rating.YES
+        assert TABLE_I[ArchitectureClass.COM_F].data_movement_outside_core is Rating.YES
+
+    def test_alignment_only_for_cim(self):
+        assert TABLE_I[ArchitectureClass.CIM_A].data_alignment_required is Rating.YES
+        assert (
+            TABLE_I[ArchitectureClass.COM_F].data_alignment_required
+            is Rating.NOT_REQUIRED
+        )
+
+    def test_bandwidth_column(self):
+        assert TABLE_I[ArchitectureClass.CIM_A].available_bandwidth is Rating.MAX
+        assert TABLE_I[ArchitectureClass.CIM_P].available_bandwidth is Rating.HIGH_MAX
+        assert TABLE_I[ArchitectureClass.COM_N].available_bandwidth is Rating.HIGH
+        assert TABLE_I[ArchitectureClass.COM_F].available_bandwidth is Rating.LOW
+
+    def test_scalability_column(self):
+        assert TABLE_I[ArchitectureClass.CIM_A].scalability is Rating.LOW
+        assert TABLE_I[ArchitectureClass.COM_F].scalability is Rating.HIGH
+
+    def test_design_effort_columns(self):
+        cim_a = TABLE_I[ArchitectureClass.CIM_A]
+        assert cim_a.design_effort_cells_array is Rating.HIGH
+        assert cim_a.design_effort_controller is Rating.HIGH
+        cim_p = TABLE_I[ArchitectureClass.CIM_P]
+        assert cim_p.design_effort_periphery is Rating.HIGH
+
+    def test_bandwidth_ordinal_ordering(self):
+        """The qualitative ratings order CIM-A >= CIM-P >= COM-N > COM-F."""
+        bw = {
+            arch: TABLE_I[arch].available_bandwidth.ordinal
+            for arch in ArchitectureClass
+        }
+        assert (
+            bw[ArchitectureClass.CIM_A]
+            >= bw[ArchitectureClass.CIM_P]
+            >= bw[ArchitectureClass.COM_N]
+            > bw[ArchitectureClass.COM_F]
+        )
+
+    def test_printable_rows(self):
+        rows = table_i_rows()
+        assert len(rows) == 4
+        assert rows[0]["architecture"] == "CIM-A"
+        assert all("scalability" in row for row in rows)

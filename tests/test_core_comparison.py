@@ -1,0 +1,80 @@
+"""Tests for the quantitative Table I comparison."""
+
+import pytest
+
+from repro.core.classification import ArchitectureClass
+from repro.core.comparison import (
+    ArchitectureComparator,
+    WorkloadSpec,
+    quantitative_table_i,
+)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return ArchitectureComparator(rng=0).measure_all()
+
+
+class TestMeasurements:
+    def test_all_classes_measured(self, measurements):
+        assert set(measurements) == set(ArchitectureClass)
+
+    def test_positive_quantities(self, measurements):
+        for m in measurements.values():
+            assert m.energy > 0
+            assert m.latency > 0
+            assert m.data_moved_bytes > 0
+
+    def test_cim_moves_only_vectors(self, measurements):
+        """CIM classes move I/O vectors; COM classes ship the matrix."""
+        w = WorkloadSpec()
+        expected = (w.matrix_rows + w.matrix_cols) * w.batch
+        assert measurements[ArchitectureClass.CIM_A].data_moved_bytes == expected
+        assert (
+            measurements[ArchitectureClass.COM_F].data_moved_bytes
+            > 10 * expected
+        )
+
+
+class TestTableIConsistency:
+    def test_orderings_match_paper(self, measurements):
+        checks = ArchitectureComparator(rng=0).ordering_consistent_with_table_i(
+            measurements
+        )
+        assert checks["cim_moves_less_data"]
+        assert checks["bandwidth_order"]
+
+    def test_com_f_worst_bandwidth(self, measurements):
+        bw = {a: m.effective_bandwidth for a, m in measurements.items()}
+        assert bw[ArchitectureClass.COM_F] == min(bw.values())
+
+    def test_cim_a_best_bandwidth(self, measurements):
+        bw = {a: m.effective_bandwidth for a, m in measurements.items()}
+        assert bw[ArchitectureClass.CIM_A] == max(bw.values())
+
+    def test_cim_p_costlier_than_cim_a(self, measurements):
+        """Table I: complex functions are 'High cost' on CIM-P — the
+        bit-serial VMM burns more time than one analog CIM-A pass."""
+        assert (
+            measurements[ArchitectureClass.CIM_P].latency
+            > measurements[ArchitectureClass.CIM_A].latency
+        )
+
+
+class TestQuantitativeTable:
+    def test_rows_carry_ratings_and_measurements(self):
+        rows = quantitative_table_i(rng=0)
+        assert len(rows) == 4
+        for row in rows:
+            assert "measured_bandwidth_GBps" in row
+            assert "bandwidth_rating" in row
+            assert row["measured_bandwidth_GBps"] > 0
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(matrix_rows=0)
+
+    def test_measurement_row_format(self, measurements):
+        row = measurements[ArchitectureClass.CIM_A].row()
+        assert row["architecture"] == "CIM-A"
+        assert row["energy_uJ"] > 0

@@ -1,0 +1,108 @@
+"""Tests for the chip-level dimensioning model."""
+
+import pytest
+
+from repro.core.dimensioning import (
+    ChipSpec,
+    adc_bits_sweep,
+    dimension_chip,
+    technology_sweep,
+)
+
+
+class TestChipSpec:
+    def test_defaults_valid(self):
+        spec = ChipSpec()
+        assert spec.profile.name == "reram"
+        assert spec.tile_budget().total_power > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChipSpec(n_tiles=0)
+        with pytest.raises(ValueError):
+            ChipSpec(utilization=0)
+        with pytest.raises(ValueError):
+            ChipSpec(utilization=1.5)
+
+
+class TestDimensioning:
+    def test_report_consistency(self):
+        report = dimension_chip(ChipSpec())
+        assert report.sustained_tops < report.peak_tops
+        assert report.total_power_w > report.compute_power_w
+        assert report.tops_per_watt > 0
+        assert report.area_mm2 > 0
+
+    def test_peak_scales_with_tiles(self):
+        small = dimension_chip(ChipSpec(n_tiles=16))
+        big = dimension_chip(ChipSpec(n_tiles=64))
+        assert big.peak_tops == pytest.approx(4 * small.peak_tops)
+
+    def test_regulation_tax_present(self):
+        """The Conclusions' multi-voltage burden shows up as power."""
+        report = dimension_chip(ChipSpec())
+        assert report.regulation_power_w > 0
+
+    def test_row_format(self):
+        row = dimension_chip(ChipSpec()).row()
+        assert row["technology"] == "reram"
+        assert row["TOPS_per_W"] > 0
+
+
+class TestAdcSweep:
+    def test_power_grows_efficiency_falls_with_bits(self):
+        reports = adc_bits_sweep((4, 6, 8, 10))
+        powers = [r.total_power_w for r in reports]
+        efficiency = [r.tops_per_watt for r in reports]
+        assert powers == sorted(powers)
+        assert efficiency == sorted(efficiency, reverse=True)
+
+    def test_throughput_unchanged_by_bits(self):
+        reports = adc_bits_sweep((4, 10))
+        assert reports[0].peak_tops == reports[1].peak_tops
+
+
+class TestTechnologySweep:
+    def test_all_technologies_dimension(self):
+        reports = technology_sweep()
+        assert {r.spec.technology for r in reports} == {
+            "reram",
+            "pcm",
+            "mram",
+            "sram",
+        }
+
+    def test_sram_pays_standby(self):
+        reports = {r.spec.technology: r for r in technology_sweep()}
+        assert reports["sram"].standby_power_w > 0
+        for nvm in ("reram", "pcm", "mram"):
+            assert reports[nvm].standby_power_w == 0.0
+
+    def test_power_is_periphery_dominated(self):
+        """Fig 5 at chip scale: the ADC budget dwarfs every technology-
+        dependent power term, so TOPS/W barely moves across technologies."""
+        reports = {r.spec.technology: r for r in technology_sweep()}
+        values = [r.tops_per_watt for r in reports.values()]
+        assert max(values) / min(values) < 1.1
+        for r in reports.values():
+            assert r.compute_power_w > 10 * (
+                r.standby_power_w + r.update_power_w
+            )
+
+    def test_endurance_limits_lifetime(self):
+        """The technology differentiator: weight-update traffic wears
+        ReRAM out in under a year; MRAM/SRAM are effectively immortal."""
+        reports = {r.spec.technology: r for r in technology_sweep()}
+        year = 3.15e7
+        assert reports["reram"].endurance_lifetime_s < year
+        assert reports["pcm"].endurance_lifetime_s > reports[
+            "reram"
+        ].endurance_lifetime_s
+        assert reports["mram"].endurance_lifetime_s > 1e6 * year
+
+    def test_zero_update_rate_infinite_lifetime(self):
+        import math
+
+        report = dimension_chip(ChipSpec(weight_update_rate=0.0))
+        assert math.isinf(report.endurance_lifetime_s)
+        assert report.update_power_w == 0.0

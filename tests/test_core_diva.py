@@ -1,0 +1,85 @@
+"""Tests for the DIVA PIM offload model ([33, 34])."""
+
+import pytest
+
+from repro.core.diva import (
+    DIVAParams,
+    DIVASystem,
+    ExecutionEstimate,
+    Kernel,
+    KernelShape,
+)
+
+
+@pytest.fixture
+def system():
+    return DIVASystem()
+
+
+class TestEstimates:
+    def test_host_moves_all_data(self, system):
+        shape = KernelShape(elements=1 << 20, result_elements=1)
+        host = system.host_estimate(Kernel.REDUCTION, shape)
+        assert host.bytes_moved >= shape.elements * system.params.element_bytes
+
+    def test_pim_moves_command_and_result_only(self, system):
+        shape = KernelShape(elements=1 << 20, result_elements=1)
+        pim = system.pim_estimate(Kernel.REDUCTION, shape)
+        assert pim.bytes_moved == system.params.command_bytes + 4
+
+    def test_costs_positive(self, system):
+        shape = KernelShape(elements=1024, result_elements=1024)
+        for est in (
+            system.host_estimate(Kernel.VECTOR_ADD, shape),
+            system.pim_estimate(Kernel.VECTOR_ADD, shape),
+        ):
+            assert est.energy > 0 and est.latency > 0
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            KernelShape(elements=0, result_elements=0)
+
+
+class TestOffloadDecision:
+    def test_data_parallel_kernels_offload(self, system):
+        shape = KernelShape(elements=1 << 16, result_elements=1)
+        assert system.should_offload(Kernel.REDUCTION, shape)
+        assert system.speedup(Kernel.REDUCTION, shape) > 1
+
+    def test_pointer_chase_stays_on_host(self, system):
+        """Serial, latency-bound work is PIM-hostile: one slow block does
+        all the work."""
+        shape = KernelShape(elements=1 << 16, result_elements=1 << 16)
+        assert not system.should_offload(Kernel.POINTER_CHASE, shape)
+
+    def test_energy_win_scales_with_data_to_result_ratio(self, system):
+        small = system.energy_ratio(
+            Kernel.REDUCTION, KernelShape(elements=1 << 10, result_elements=1)
+        )
+        large = system.energy_ratio(
+            Kernel.REDUCTION, KernelShape(elements=1 << 20, result_elements=1)
+        )
+        assert large > 10 * small
+
+    def test_workload_report(self, system):
+        rows = system.workload_report([1024, 65536])
+        assert len(rows) == len(Kernel) * 2
+        offloaded = {r["kernel"] for r in rows if r["offload"]}
+        assert "reduction" in offloaded
+        assert "pointer_chase" not in offloaded
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DIVAParams(pim_blocks=0)
+        with pytest.raises(ValueError):
+            DIVAParams(host_bus_bandwidth=0)
+
+    def test_more_blocks_more_speedup(self):
+        shape = KernelShape(elements=1 << 18, result_elements=1)
+        few = DIVASystem(DIVAParams(pim_blocks=2))
+        many = DIVASystem(DIVAParams(pim_blocks=16))
+        assert many.speedup(Kernel.VMM, shape) > few.speedup(
+            Kernel.VMM, shape
+        )

@@ -1,0 +1,54 @@
+"""Tests for cost accounting."""
+
+import pytest
+
+from repro.core.metrics import CostAccumulator, OperationCost
+
+
+class TestOperationCost:
+    def test_addition(self):
+        a = OperationCost(energy=1.0, latency=2.0, data_moved=3.0)
+        b = OperationCost(energy=0.5, latency=0.5, data_moved=1.0)
+        total = a + b
+        assert total.energy == 1.5
+        assert total.latency == 2.5
+        assert total.data_moved == 4.0
+
+    def test_scaling(self):
+        c = OperationCost(energy=2.0, latency=1.0).scaled(3)
+        assert c.energy == 6.0
+        assert c.latency == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OperationCost(energy=-1)
+        with pytest.raises(ValueError):
+            OperationCost().scaled(-1)
+
+
+class TestCostAccumulator:
+    def test_categories_tracked(self):
+        acc = CostAccumulator()
+        acc.add("adc", OperationCost(energy=3.0))
+        acc.add("dac", OperationCost(energy=1.0))
+        acc.add("adc", OperationCost(energy=2.0))
+        assert acc.total.energy == 6.0
+        assert acc.by_category["adc"].energy == 5.0
+
+    def test_energy_fraction(self):
+        acc = CostAccumulator()
+        acc.add("adc", OperationCost(energy=3.0))
+        acc.add("dac", OperationCost(energy=1.0))
+        assert acc.energy_fraction("adc") == pytest.approx(0.75)
+        assert acc.energy_fraction("missing") == 0.0
+
+    def test_empty_fractions(self):
+        acc = CostAccumulator()
+        assert acc.energy_fraction("adc") == 0.0
+        assert acc.movement_fraction("bus") == 0.0
+
+    def test_movement_fraction(self):
+        acc = CostAccumulator()
+        acc.add("bus", OperationCost(data_moved=10))
+        acc.add("link", OperationCost(data_moved=30))
+        assert acc.movement_fraction("link") == pytest.approx(0.75)

@@ -1,0 +1,147 @@
+"""Tests for the ReVAMP VLIW in-memory machine ([35])."""
+
+import numpy as np
+import pytest
+
+from repro.core.revamp import (
+    ApplyInstr,
+    Operand,
+    OperandKind,
+    ReVAMPMachine,
+    ReVAMPProgram,
+    ReadInstr,
+    compile_mig_to_revamp,
+)
+from repro.eda.boolean import TruthTable
+from repro.eda.mig import MIG, mig_from_truth_table
+
+
+class TestOperands:
+    def test_const_validation(self):
+        with pytest.raises(ValueError):
+            Operand.const(2)
+
+    def test_factories(self):
+        assert Operand.dir(3, negate=True).kind is OperandKind.DIR
+        assert Operand.pi(1).kind is OperandKind.PI
+
+
+class TestMachinePrimitives:
+    def test_reset_idiom(self):
+        """M3(S, 0, 0) = 0 regardless of S."""
+        program = ReVAMPProgram(n_inputs=0)
+        program.instructions = [
+            ApplyInstr(0, Operand.const(1), ((0, Operand.const(0)),)),  # set
+            ApplyInstr(0, Operand.const(0), ((0, Operand.const(1)),)),  # reset
+        ]
+        program.output_columns = [(0, False)]
+        program.columns_used = 1
+        machine = ReVAMPMachine(cols=1)
+        assert machine.execute(program, []) == [0]
+
+    def test_write_idiom(self):
+        """M3(0, 1, v) = v: unconditional value write via the bitline."""
+        for value in (0, 1):
+            program = ReVAMPProgram(n_inputs=1)
+            program.instructions = [
+                ApplyInstr(
+                    0, Operand.const(1), ((0, Operand.pi(0, negate=True)),)
+                ),
+            ]
+            program.output_columns = [(0, False)]
+            program.columns_used = 1
+            machine = ReVAMPMachine(cols=1)
+            assert machine.execute(program, [value]) == [value]
+
+    def test_read_loads_dir(self):
+        program = ReVAMPProgram(n_inputs=1)
+        program.instructions = [
+            # col0 <- pi0
+            ApplyInstr(0, Operand.const(1), ((0, Operand.pi(0, True)),)),
+            ReadInstr(0),
+            # col1 <- DIR[0]
+            ApplyInstr(0, Operand.const(1), ((1, Operand.dir(0, True)),)),
+        ]
+        program.output_columns = [(1, False)]
+        program.columns_used = 2
+        machine = ReVAMPMachine(cols=2)
+        assert machine.execute(program, [1]) == [1]
+        assert machine.execute(program, [0]) == [0]
+
+    def test_vliw_parallel_columns(self):
+        """One APPLY updates many columns simultaneously."""
+        program = ReVAMPProgram(n_inputs=2)
+        program.instructions = [
+            ApplyInstr(
+                0,
+                Operand.const(1),
+                ((0, Operand.pi(0, True)), (1, Operand.pi(1, True))),
+            ),
+        ]
+        program.output_columns = [(0, False), (1, False)]
+        program.columns_used = 2
+        machine = ReVAMPMachine(cols=2)
+        assert machine.execute(program, [1, 0]) == [1, 0]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ApplyInstr(
+                0,
+                Operand.const(1),
+                ((0, Operand.const(0)), (0, Operand.const(1))),
+            )
+
+    def test_capacity_checked(self):
+        program = ReVAMPProgram(n_inputs=0)
+        program.columns_used = 8
+        with pytest.raises(ValueError, match="columns"):
+            ReVAMPMachine(cols=4).execute(program, [])
+
+
+class TestCompiler:
+    @pytest.mark.parametrize("n_vars", [1, 2, 3, 4])
+    def test_random_functions_verified(self, n_vars, rng):
+        for _ in range(6):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            mig = mig_from_truth_table(table)
+            program = compile_mig_to_revamp(mig)
+            machine = ReVAMPMachine(cols=max(program.columns_used, 1))
+            for m in range(1 << n_vars):
+                inputs = [(m >> i) & 1 for i in range(n_vars)]
+                assert machine.execute(program, inputs) == mig.simulate(inputs)
+
+    def test_majority_is_native(self):
+        """One MIG node = one majority pulse (plus load/copy overhead)."""
+        mig = MIG(3)
+        a, b, c = (mig.input_lit(i) for i in range(3))
+        mig.add_output(mig.maj(a, b, c))
+        program = compile_mig_to_revamp(mig)
+        # 2 input-load applies + per-node (1 read + 3 applies).
+        assert program.read_count == 1
+        assert program.apply_count == 5
+        machine = ReVAMPMachine(cols=program.columns_used)
+        for m in range(8):
+            inputs = [(m >> i) & 1 for i in range(3)]
+            assert machine.execute(program, inputs) == [
+                int(sum(inputs) >= 2)
+            ]
+
+    def test_program_length_linear_in_nodes(self, rng):
+        sizes = []
+        for n_nodes_target in (2, 6):
+            table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+            mig = mig_from_truth_table(table)
+            program = compile_mig_to_revamp(mig)
+            sizes.append((mig.n_nodes, program.instruction_count))
+        for n_nodes, instructions in sizes:
+            assert instructions <= 2 + 4 * n_nodes + 2
+
+    def test_complemented_and_constant_outputs(self):
+        mig = MIG(2)
+        a, b = mig.input_lit(0), mig.input_lit(1)
+        mig.add_output(mig.and_(a, b) ^ 1)   # NAND
+        mig.add_output(1)                     # constant TRUE
+        program = compile_mig_to_revamp(mig)
+        machine = ReVAMPMachine(cols=program.columns_used)
+        assert machine.execute(program, [1, 1]) == [0, 1]
+        assert machine.execute(program, [0, 1]) == [1, 1]

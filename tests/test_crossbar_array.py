@@ -1,0 +1,179 @@
+"""Tests for the crossbar array model (Fig 4)."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.devices.variability import (
+    DriftModel,
+    ReadNoiseModel,
+    VariabilityStack,
+    WriteVariationModel,
+)
+
+
+class TestConfig:
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(rows=0, cols=8)
+
+    def test_rejects_negative_wire_resistance(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(wire_resistance=-1)
+
+
+class TestProgramming:
+    def test_ideal_program_is_exact(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=4, cols=4), rng=0)
+        targets = np.full((4, 4), 3e-5)
+        xbar.program(targets)
+        assert np.allclose(xbar.conductances(), targets)
+
+    def test_shape_mismatch_rejected(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=4, cols=4), rng=0)
+        with pytest.raises(ValueError, match="shape"):
+            xbar.program(np.zeros((3, 4)))
+
+    def test_negative_targets_rejected(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=2, cols=2), rng=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            xbar.program(np.full((2, 2), -1e-5))
+
+    def test_write_verify_reduces_error(self):
+        stack = VariabilityStack(
+            write=WriteVariationModel(sigma=0.1),
+            read=ReadNoiseModel(sigma=0.0),
+            drift=DriftModel(nu=0.0),
+        )
+        targets = np.full((16, 16), 5e-5)
+        one_shot = CrossbarArray(
+            CrossbarConfig(rows=16, cols=16), variability=stack, rng=1
+        )
+        one_shot.program(targets)
+        err_one = np.abs(one_shot.conductances() - targets).mean()
+
+        verified = CrossbarArray(
+            CrossbarConfig(rows=16, cols=16), variability=stack, rng=1
+        )
+        iterations = verified.program_with_verify(targets, tolerance=0.02)
+        err_verified = np.abs(verified.conductances() - targets).mean()
+        assert iterations > 1
+        assert err_verified < err_one
+
+    def test_write_counts_tracked(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=2, cols=2), rng=0)
+        xbar.program(np.full((2, 2), 1e-5))
+        xbar.program(np.full((2, 2), 2e-5))
+        assert np.all(xbar.write_counts() == 2)
+
+
+class TestVMM:
+    def test_matches_matrix_product(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=8, cols=4), rng=0)
+        g = np.random.default_rng(0).uniform(1e-6, 1e-4, (8, 4))
+        xbar.program(g)
+        v = np.random.default_rng(1).uniform(0, 0.2, 8)
+        assert np.allclose(xbar.vmm(v), v @ g)
+
+    def test_all_columns_computed_in_one_operation(self):
+        """All n MACs complete in a single analog step (O(1) claim)."""
+        xbar = CrossbarArray(CrossbarConfig(rows=8, cols=8), rng=0)
+        xbar.program(np.full((8, 8), 5e-5))
+        before = xbar.read_operations
+        xbar.vmm(np.full(8, 0.2))
+        assert xbar.read_operations == before + 1
+
+    def test_vector_shape_validated(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=8, cols=4), rng=0)
+        xbar.program(np.full((8, 4), 1e-5))
+        with pytest.raises(ValueError, match="shape"):
+            xbar.vmm(np.zeros(7))
+
+    def test_batch_vmm(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=4, cols=3), rng=0)
+        g = np.random.default_rng(2).uniform(1e-6, 1e-4, (4, 3))
+        xbar.program(g)
+        batch = np.random.default_rng(3).uniform(0, 0.2, (5, 4))
+        assert np.allclose(xbar.mvm_batch(batch), batch @ g)
+
+    def test_noisy_vmm_differs_but_close(self):
+        stack = VariabilityStack(
+            write=WriteVariationModel(sigma=0.0),
+            read=ReadNoiseModel(sigma=0.02),
+            drift=DriftModel(nu=0.0),
+        )
+        xbar = CrossbarArray(
+            CrossbarConfig(rows=16, cols=8), variability=stack, rng=4
+        )
+        g = np.full((16, 8), 5e-5)
+        xbar.program(g)
+        v = np.full(16, 0.2)
+        ideal = v @ g
+        noisy = xbar.vmm(v, noisy=True)
+        assert not np.allclose(noisy, ideal)
+        assert np.allclose(noisy, ideal, rtol=0.05)
+
+
+class TestFaultOverlay:
+    def test_stuck_cell_overrides_programming(self, small_array):
+        small_array.stick_cell(2, 3, 1e-6)
+        small_array.program(np.full((8, 8), 5e-5))
+        assert small_array.conductances()[2, 3] == 1e-6
+        assert small_array.healthy_conductances()[2, 3] == pytest.approx(5e-5)
+
+    def test_release_restores_programmed_value(self, small_array):
+        small_array.stick_cell(1, 1, 1e-6)
+        small_array.release_cell(1, 1)
+        assert small_array.conductances()[1, 1] == pytest.approx(5e-5)
+
+    def test_fault_count(self, small_array):
+        small_array.stick_cell(0, 0, 1e-6)
+        small_array.stick_cell(7, 7, 1e-4)
+        assert small_array.fault_count() == 2
+
+    def test_out_of_bounds_rejected(self, small_array):
+        with pytest.raises(IndexError):
+            small_array.stick_cell(8, 0, 1e-6)
+
+    def test_stuck_cell_changes_vmm(self, small_array):
+        v = np.full(8, 0.2)
+        before = small_array.vmm(v).copy()
+        small_array.stick_cell(0, 0, 1e-6)
+        after = small_array.vmm(v)
+        assert after[0] != pytest.approx(before[0])
+        assert np.allclose(after[1:], before[1:])
+
+
+class TestDynamicPower:
+    def test_power_formula(self, small_array):
+        v = np.full(8, 0.2)
+        expected = float((v**2) @ small_array.conductances().sum(axis=1))
+        assert small_array.dynamic_read_power(v) == pytest.approx(expected)
+
+    def test_sa1_fault_raises_power(self, small_array):
+        """The observable behind the Fig 7 detection method."""
+        v = np.full(8, 0.2)
+        before = small_array.dynamic_read_power(v)
+        small_array.stick_cell(3, 3, 1e-4)  # stuck LRS (high conductance)
+        assert small_array.dynamic_read_power(v) > before
+
+    def test_zero_input_zero_power(self, small_array):
+        assert small_array.dynamic_read_power(np.zeros(8)) == 0.0
+
+
+class TestDrift:
+    def test_relax_skips_stuck_cells(self):
+        stack = VariabilityStack(
+            write=WriteVariationModel(sigma=0.0),
+            read=ReadNoiseModel(sigma=0.0),
+            drift=DriftModel(nu=0.05),
+        )
+        xbar = CrossbarArray(
+            CrossbarConfig(rows=2, cols=2), variability=stack, rng=0
+        )
+        xbar.program(np.full((2, 2), 5e-5))
+        xbar.stick_cell(0, 0, 1e-4)
+        xbar.relax(1000.0)
+        g = xbar.conductances()
+        assert g[0, 0] == 1e-4                  # stuck untouched
+        assert g[1, 1] < 5e-5                   # healthy drifted

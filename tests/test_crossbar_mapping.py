@@ -1,0 +1,156 @@
+"""Tests for weight-to-conductance mappings and input encoders."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.mapping import (
+    BitSlicedMapping,
+    DifferentialPairMapping,
+    InputEncoder,
+    OffsetColumnMapping,
+)
+from repro.devices.reram import ConductanceLevels
+
+
+@pytest.fixture
+def weights(rng):
+    return rng.uniform(-1, 1, (16, 8))
+
+
+@pytest.fixture
+def inputs(rng):
+    return rng.uniform(0, 1, 16)
+
+
+def _decode_via_ideal_crossbar(mapping, weights, x, v_read=0.2):
+    targets = mapping.map(weights)
+    voltages = x * v_read
+    currents = voltages @ targets
+    return mapping.decode(currents, voltages, v_scale=v_read)
+
+
+class TestDifferentialPair:
+    def test_exact_round_trip(self, weights, inputs):
+        mapping = DifferentialPairMapping()
+        decoded = _decode_via_ideal_crossbar(mapping, weights, inputs)
+        assert np.allclose(decoded, inputs @ weights)
+
+    def test_column_cost(self):
+        assert DifferentialPairMapping().columns_per_weight == 2
+
+    def test_conductances_in_range(self, weights):
+        mapping = DifferentialPairMapping()
+        g = mapping.map(weights)
+        assert np.all(g >= mapping.levels.g_min - 1e-18)
+        assert np.all(g <= mapping.levels.g_max + 1e-18)
+
+    def test_rejects_overrange_weights(self):
+        mapping = DifferentialPairMapping(w_max=1.0)
+        with pytest.raises(ValueError, match="w_max"):
+            mapping.map(np.array([[1.5]]))
+
+    def test_odd_column_decode_rejected(self):
+        mapping = DifferentialPairMapping()
+        with pytest.raises(ValueError, match="even"):
+            mapping.decode(np.zeros(5), np.zeros(4))
+
+    def test_zero_weight_maps_to_floor_pair(self):
+        mapping = DifferentialPairMapping()
+        g = mapping.map(np.array([[0.0]]))
+        assert g[0, 0] == pytest.approx(mapping.levels.g_min)
+        assert g[0, 1] == pytest.approx(mapping.levels.g_min)
+
+
+class TestOffsetColumn:
+    def test_exact_round_trip(self, weights, inputs):
+        mapping = OffsetColumnMapping()
+        decoded = _decode_via_ideal_crossbar(mapping, weights, inputs)
+        assert np.allclose(decoded, inputs @ weights)
+
+    def test_reference_column_appended(self, weights):
+        mapping = OffsetColumnMapping()
+        g = mapping.map(weights)
+        assert g.shape == (16, 9)
+        assert np.allclose(g[:, -1], mapping.reference_conductance)
+
+    def test_amortized_column_cost(self):
+        assert OffsetColumnMapping().columns_per_weight == 1
+
+
+class TestBitSliced:
+    def test_round_trip_within_quantization(self, weights, inputs):
+        mapping = BitSlicedMapping(
+            levels=ConductanceLevels(n_levels=4),
+            weight_bits=8,
+            bits_per_cell=2,
+        )
+        decoded = _decode_via_ideal_crossbar(mapping, weights, inputs)
+        exact = inputs @ mapping.quantize(weights) / mapping._q_max
+        assert np.allclose(decoded, exact, atol=1e-9)
+
+    def test_slice_count(self):
+        mapping = BitSlicedMapping(
+            levels=ConductanceLevels(n_levels=4), weight_bits=8, bits_per_cell=2
+        )
+        assert mapping.n_slices == 4
+        assert mapping.columns_per_weight == 4
+
+    def test_quantize_symmetric(self):
+        mapping = BitSlicedMapping(levels=ConductanceLevels(n_levels=4))
+        q = mapping.quantize(np.array([[1.0, -1.0, 0.0]]))
+        assert q[0, 0] == -q[0, 1]
+        assert q[0, 2] == 0
+
+    def test_incompatible_ladder_rejected(self):
+        with pytest.raises(ValueError, match="levels"):
+            BitSlicedMapping(
+                levels=ConductanceLevels(n_levels=2),
+                weight_bits=8,
+                bits_per_cell=2,
+            )
+
+    def test_indivisible_bits_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            BitSlicedMapping(
+                levels=ConductanceLevels(n_levels=8),
+                weight_bits=8,
+                bits_per_cell=3,
+            )
+
+
+class TestInputEncoder:
+    def test_amplitude_scaling(self):
+        enc = InputEncoder(v_read=0.2)
+        v = enc.amplitude(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(v, [0.0, 0.1, 0.2])
+
+    def test_amplitude_rejects_out_of_range(self):
+        enc = InputEncoder()
+        with pytest.raises(ValueError):
+            enc.amplitude(np.array([1.2]))
+
+    def test_bit_serial_reconstruction(self, rng):
+        """Bit-serial planes recombine to the amplitude-encoded product
+        within input quantization."""
+        enc = InputEncoder(v_read=0.2, input_bits=8)
+        x = rng.uniform(0, 1, 16)
+        g = rng.uniform(1e-6, 1e-4, (16, 4))
+        planes = enc.bit_serial_planes(x)
+        plane_currents = [(s, v @ g) for s, v in planes]
+        combined = enc.bit_serial_combine(plane_currents)
+        exact = (x * enc.v_read) @ g
+        assert np.allclose(combined, exact, rtol=0.01)
+
+    def test_bit_serial_plane_count(self):
+        enc = InputEncoder(input_bits=6)
+        planes = enc.bit_serial_planes(np.array([0.3]))
+        assert len(planes) == 6
+
+    def test_bit_serial_planes_are_binary(self):
+        enc = InputEncoder(v_read=0.2, input_bits=4)
+        for _, v in enc.bit_serial_planes(np.array([0.7, 0.1])):
+            assert set(np.round(v, 9)).issubset({0.0, 0.2})
+
+    def test_empty_combine_rejected(self):
+        with pytest.raises(ValueError):
+            InputEncoder().bit_serial_combine([])

@@ -1,0 +1,135 @@
+"""Tests for the nodal crossbar solvers (IR drop, sneak paths)."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.solver import (
+    NodalCrossbarSolver,
+    sneak_path_read_current,
+)
+
+
+class TestIdealLimit:
+    def test_zero_parasitics_match_ideal(self):
+        g = np.random.default_rng(0).uniform(1e-6, 1e-4, (6, 5))
+        v = np.random.default_rng(1).uniform(0, 0.2, 6)
+        solver = NodalCrossbarSolver(wire_resistance=0.0, driver_resistance=0.0)
+        result = solver.solve(g, v)
+        assert np.allclose(result.column_currents, v @ g)
+
+    def test_tiny_wire_resistance_near_ideal(self):
+        g = np.full((8, 8), 5e-5)
+        v = np.full(8, 0.2)
+        solver = NodalCrossbarSolver(wire_resistance=1e-3)
+        assert solver.relative_error(g, v) < 1e-4
+
+
+class TestIRDrop:
+    def test_parasitics_reduce_current(self):
+        """Wire resistance can only lose signal, never create it."""
+        g = np.full((16, 16), 5e-5)
+        v = np.full(16, 0.2)
+        ideal = v @ g
+        actual = NodalCrossbarSolver(wire_resistance=5.0).solve(g, v)
+        assert np.all(actual.column_currents <= ideal + 1e-12)
+        assert actual.column_currents.sum() < ideal.sum()
+
+    def test_error_grows_with_wire_resistance(self):
+        g = np.full((8, 8), 5e-5)
+        v = np.full(8, 0.2)
+        e1 = NodalCrossbarSolver(wire_resistance=1.0).relative_error(g, v)
+        e2 = NodalCrossbarSolver(wire_resistance=10.0).relative_error(g, v)
+        assert e2 > e1
+
+    def test_error_grows_with_array_size(self):
+        """The scalability limit behind Table I's 'Low' CIM-A rating."""
+        solver = NodalCrossbarSolver(wire_resistance=2.0)
+        errors = []
+        for n in (4, 8, 16):
+            g = np.full((n, n), 5e-5)
+            v = np.full(n, 0.2)
+            errors.append(solver.relative_error(g, v))
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_far_cells_see_lower_voltage(self):
+        g = np.full((4, 6), 5e-5)
+        v = np.full(4, 0.2)
+        result = NodalCrossbarSolver(wire_resistance=10.0).solve(g, v)
+        row_v = result.row_node_voltages
+        assert np.all(np.diff(row_v, axis=1) <= 1e-12)
+        assert result.worst_case_drop > 0
+
+    def test_driver_resistance_droops_all_nodes(self):
+        g = np.full((4, 4), 5e-5)
+        v = np.full(4, 0.2)
+        stiff = NodalCrossbarSolver(wire_resistance=1.0, driver_resistance=0.0)
+        soft = NodalCrossbarSolver(wire_resistance=1.0, driver_resistance=1e4)
+        i_stiff = stiff.solve(g, v).column_currents.sum()
+        i_soft = soft.solve(g, v).column_currents.sum()
+        assert i_soft < i_stiff
+
+    def test_input_validation(self):
+        solver = NodalCrossbarSolver()
+        with pytest.raises(ValueError, match="2-D"):
+            solver.solve(np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError, match="shape"):
+            solver.solve(np.zeros((4, 4)), np.zeros(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            solver.solve(np.full((2, 2), -1e-5), np.zeros(2))
+
+
+class TestSneakPaths:
+    def test_floating_scheme_overestimates(self):
+        """With floating lines, sneak paths add current on top of the
+        selected cell's — the effect [46]'s test method exploits."""
+        g = np.full((8, 8), 5e-5)
+        measured, ideal = sneak_path_read_current(g, 3, 3, scheme="floating")
+        assert measured > ideal
+
+    def test_half_select_isolates_to_selected_column(self):
+        """Under v/2 biasing only the selected column's cells contribute
+        (the known half-select leakage is deterministic); cells elsewhere
+        in the array have zero net bias and no influence — unlike the
+        floating scheme, whose reading depends on the whole array."""
+        g = np.full((8, 8), 5e-5)
+        base_half, _ = sneak_path_read_current(g, 3, 3, scheme="v/2")
+        base_float, _ = sneak_path_read_current(g, 3, 3, scheme="floating")
+        g2 = g.copy()
+        g2[3, 5] = 1e-6  # off-column cell
+        half2, _ = sneak_path_read_current(g2, 3, 3, scheme="v/2")
+        float2, _ = sneak_path_read_current(g2, 3, 3, scheme="floating")
+        assert half2 == pytest.approx(base_half, rel=1e-9)
+        assert float2 != pytest.approx(base_float, rel=1e-6)
+
+    def test_half_select_leakage_is_analytic(self):
+        """v/2 reading = V g_sel + (V/2) * sum of other cells on the
+        selected column."""
+        rng = np.random.default_rng(5)
+        g = rng.uniform(1e-6, 1e-4, (6, 6))
+        v = 0.2
+        measured, _ = sneak_path_read_current(g, 2, 4, v_read=v, scheme="v/2")
+        expected = v * g[2, 4] + (v / 2) * (g[:, 4].sum() - g[2, 4])
+        assert measured == pytest.approx(expected, rel=1e-9)
+
+    def test_sneak_current_carries_neighbour_information(self):
+        """Changing an *unselected* cell shifts the floating-scheme read —
+        the 'region of detection' of the sneak-path test."""
+        g = np.full((8, 8), 5e-5)
+        base, _ = sneak_path_read_current(g, 2, 2, scheme="floating")
+        g_fault = g.copy()
+        g_fault[2, 5] = 1e-6  # same row, different column
+        changed, _ = sneak_path_read_current(g_fault, 2, 2, scheme="floating")
+        assert changed != pytest.approx(base, rel=1e-6)
+
+    def test_single_cell_no_sneak(self):
+        g = np.array([[5e-5]])
+        measured, ideal = sneak_path_read_current(g, 0, 0, scheme="floating")
+        assert measured == pytest.approx(ideal)
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            sneak_path_read_current(np.full((2, 2), 1e-5), 0, 0, scheme="v/3")
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(IndexError):
+            sneak_path_read_current(np.full((2, 2), 1e-5), 2, 0)

@@ -1,0 +1,100 @@
+"""Tests for write biasing schemes and disturbance analysis."""
+
+import math
+
+import pytest
+
+from repro.crossbar.write_schemes import (
+    disturb_rate_per_write,
+    max_disturb_free_voltage,
+    scheme_comparison,
+    stress_profile,
+)
+from repro.devices.memristor import VTEAMParams
+
+
+class TestStressProfiles:
+    def test_v2_stress_pattern(self):
+        profile = stress_profile(2.0, "v/2")
+        assert profile.selected == 2.0
+        assert profile.half_selected == 1.0
+        assert profile.unselected == 0.0
+
+    def test_v3_stress_pattern(self):
+        profile = stress_profile(1.8, "v/3")
+        assert profile.half_selected == pytest.approx(0.6)
+        assert profile.unselected == pytest.approx(0.6)
+
+    def test_populations(self):
+        profile = stress_profile(2.0, "v/2")
+        pops = profile.populations(8, 8)
+        assert pops["selected"] == 1
+        assert pops["half_selected"] == 14
+        assert pops["unselected"] == 49
+        assert sum(pops.values()) == 64
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="scheme"):
+            stress_profile(2.0, "v/4")
+
+
+class TestDisturbFreeVoltage:
+    def test_v3_tolerates_higher_voltage(self):
+        """The fundamental scheme trade-off: V/3 divides the stress by 3,
+        so its disturb-free window is 1.5x wider."""
+        v2 = max_disturb_free_voltage(scheme="v/2")
+        v3 = max_disturb_free_voltage(scheme="v/3")
+        assert v3 == pytest.approx(1.5 * v2)
+
+    def test_scales_with_threshold(self):
+        low = max_disturb_free_voltage(VTEAMParams(v_off=0.5, v_on=-0.5))
+        high = max_disturb_free_voltage(VTEAMParams(v_off=1.0, v_on=-1.0))
+        assert high == pytest.approx(2 * low)
+
+    def test_margin_bounds(self):
+        with pytest.raises(ValueError):
+            max_disturb_free_voltage(margin=0)
+
+
+class TestDisturbRate:
+    def test_safe_voltage_no_motion(self):
+        v_safe = max_disturb_free_voltage(scheme="v/2")
+        report = disturb_rate_per_write(v_safe, "v/2")
+        assert report["disturb_free"]
+        assert math.isinf(report["writes_to_disturb"])
+
+    def test_overdriven_write_has_finite_budget(self):
+        report = disturb_rate_per_write(2.2, "v/2")
+        assert not report["disturb_free"]
+        assert math.isfinite(report["writes_to_disturb"])
+        assert report["writes_to_disturb"] > 1
+
+    def test_higher_voltage_smaller_budget(self):
+        mild = disturb_rate_per_write(1.6, "v/2")
+        harsh = disturb_rate_per_write(2.4, "v/2")
+        assert (
+            harsh["half_selected_motion"] > mild["half_selected_motion"]
+        )
+
+    def test_v3_unselected_also_stressed(self):
+        report = disturb_rate_per_write(2.4, "v/3")
+        # At V/3 = 0.8 > 0.7 threshold, even unselected cells move.
+        assert report["unselected_motion"] > 0
+
+
+class TestSchemeComparison:
+    def test_energy_vs_margin_tradeoff(self):
+        cmp = scheme_comparison(64, 64, 1.8)
+        # V/3 stresses the whole array and burns more energy...
+        assert cmp["v/3"]["stressed_cells"] > cmp["v/2"]["stressed_cells"]
+        assert cmp["v/3"]["write_energy_J"] > cmp["v/2"]["write_energy_J"]
+        # ...but tolerates a higher write voltage.
+        assert (
+            cmp["v/3"]["max_disturb_free_v"]
+            > cmp["v/2"]["max_disturb_free_v"]
+        )
+
+    def test_half_select_voltage_relation(self):
+        cmp = scheme_comparison(16, 16, 1.8)
+        assert cmp["v/2"]["half_select_voltage"] == pytest.approx(0.9)
+        assert cmp["v/3"]["half_select_voltage"] == pytest.approx(0.6)

@@ -1,0 +1,88 @@
+"""Tests for the FeFET compact model."""
+
+import pytest
+
+from repro.devices.fefet import FeFET, FeFETParams, PolarizationState
+
+
+class TestParams:
+    def test_program_ratio_in_paper_band(self):
+        """'the voltage for programming has to be two to three times larger
+        than the typical operation voltage'."""
+        p = FeFETParams()
+        assert 2.0 <= p.program_voltage_ratio <= 3.0
+
+    def test_coercive_must_exceed_operating(self):
+        with pytest.raises(ValueError, match="coercive"):
+            FeFETParams(coercive_voltage=0.5, operating_voltage=0.8)
+
+
+class TestPolarization:
+    def test_initial_state(self):
+        dev = FeFET(polarization=-1.0)
+        assert dev.polarization_state is PolarizationState.DOWN
+
+    def test_subcoercive_pulse_is_ignored(self):
+        """Normal logic swings must not disturb the stored state."""
+        dev = FeFET(polarization=-1.0)
+        dev.program_pulse(dev.params.operating_voltage)
+        assert dev.polarization == -1.0
+
+    def test_coercive_pulse_switches(self):
+        dev = FeFET(polarization=-1.0)
+        dev.program_pulse(+dev.params.coercive_voltage * 1.2)
+        assert dev.polarization_state is PolarizationState.UP
+
+    def test_short_pulse_partial_switching(self):
+        """Sub-tau pulses give intermediate polarization — the analog
+        synapse behaviour of [109]-[112]."""
+        dev = FeFET(polarization=-1.0)
+        dev.program_pulse(
+            +dev.params.coercive_voltage * 1.2,
+            duration=0.5 * dev.params.switching_time,
+        )
+        assert dev.polarization_state is PolarizationState.INTERMEDIATE
+
+    def test_set_helpers(self):
+        dev = FeFET()
+        dev.set_lrs()
+        assert dev.polarization_state is PolarizationState.UP
+        dev.set_hrs()
+        assert dev.polarization_state is PolarizationState.DOWN
+
+    def test_invalid_polarization_rejected(self):
+        with pytest.raises(ValueError):
+            FeFET(polarization=2.0)
+
+
+class TestCurrent:
+    def test_lrs_conducts_more_than_hrs(self):
+        p = FeFETParams()
+        lrs = FeFET(p, polarization=+1.0)
+        hrs = FeFET(p, polarization=-1.0)
+        v = p.operating_voltage
+        assert lrs.drain_current(v) > 100 * hrs.drain_current(v)
+
+    def test_threshold_shift_direction(self):
+        p = FeFETParams()
+        assert FeFET(p, +1.0).threshold_voltage < FeFET(p, -1.0).threshold_voltage
+
+    def test_on_off_ratio_large(self):
+        assert FeFET().on_off_ratio() > 1e3
+
+    def test_on_off_ratio_preserves_state(self):
+        dev = FeFET(polarization=0.3)
+        dev.on_off_ratio()
+        assert dev.polarization == pytest.approx(0.3)
+
+    def test_is_conducting_switch_view(self):
+        p = FeFETParams()
+        dev = FeFET(p, polarization=+1.0)
+        assert dev.is_conducting(p.operating_voltage)
+        assert not dev.is_conducting(-p.operating_voltage)
+
+    def test_current_increases_with_gate_voltage(self):
+        dev = FeFET(polarization=+1.0)
+        i1 = dev.drain_current(0.4)
+        i2 = dev.drain_current(0.8)
+        assert i2 > i1

@@ -1,0 +1,50 @@
+"""Tests for the ferroelectric P-V hysteresis loop (Fig 9)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.fefet import FeFET, FeFETParams
+
+
+class TestPVLoop:
+    @pytest.fixture
+    def loop(self):
+        return FeFET(polarization=-1.0).polarization_hysteresis()
+
+    def test_loop_is_hysteretic(self, loop):
+        assert loop.is_hysteretic()
+
+    def test_remanence_near_saturation(self, loop):
+        """After saturating pulses the state at V = 0 stays polarized —
+        the non-volatile storage Fig 9 is about."""
+        assert loop.remanent_polarization() > 0.7
+
+    def test_polarization_bounded(self, loop):
+        assert np.all(np.abs(loop.polarization) <= 1.0)
+
+    def test_saturates_at_extremes(self, loop):
+        at_max = loop.polarization[np.argmax(loop.voltage)]
+        at_min = loop.polarization[np.argmin(loop.voltage)]
+        assert at_max > 0.9
+        assert at_min < -0.9
+
+    def test_coercive_switching_location(self):
+        """The polarization sign flip happens beyond the coercive voltage,
+        never inside the sub-coercive window."""
+        dev = FeFET(polarization=-1.0)
+        loop = dev.polarization_hysteresis(points_per_branch=100)
+        vc = dev.params.coercive_voltage
+        sub_coercive = np.abs(loop.voltage) < vc
+        # Within the sub-coercive window the state cannot move, so any
+        # consecutive pair of sub-coercive samples has equal polarization.
+        p = loop.polarization
+        for i in range(1, len(p)):
+            if sub_coercive[i] and sub_coercive[i - 1]:
+                assert p[i] == pytest.approx(p[i - 1])
+
+    def test_validation(self):
+        dev = FeFET()
+        with pytest.raises(ValueError):
+            dev.polarization_hysteresis(points_per_branch=2)
+        with pytest.raises(ValueError):
+            dev.polarization_hysteresis(amplitude=-1.0)

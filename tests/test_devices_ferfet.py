@@ -1,0 +1,114 @@
+"""Tests for the FeRFET compact model (Fig 10)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.ferfet import FeRFET, FeRFETParams, FeRFETState
+from repro.devices.rfet import Polarity
+
+
+class TestStateMachine:
+    def test_four_states_exist(self):
+        assert len(FeRFETState) == 4
+
+    def test_state_components(self):
+        assert FeRFETState.N_LRS.polarity is Polarity.N_TYPE
+        assert FeRFETState.N_LRS.low_resistive
+        assert FeRFETState.P_HRS.polarity is Polarity.P_TYPE
+        assert not FeRFETState.P_HRS.low_resistive
+
+    def test_program_state_round_trip(self):
+        dev = FeRFET()
+        for state in FeRFETState:
+            dev.program_state(state)
+            assert dev.state is state
+
+    def test_subcoercive_voltages_do_not_program(self):
+        """Normal operation must not disturb either ferroelectric layer."""
+        dev = FeRFET(state=FeRFETState.P_HRS)
+        v_op = dev.params.operating_voltage
+        assert not dev.program_polarity(v_op)
+        assert not dev.program_threshold_state(v_op)
+        assert dev.state is FeRFETState.P_HRS
+
+    def test_coercive_programs_polarity(self):
+        dev = FeRFET(state=FeRFETState.P_HRS)
+        assert dev.program_polarity(dev.params.coercive_voltage)
+        assert dev.polarity is Polarity.N_TYPE
+
+    def test_coercive_programs_threshold(self):
+        dev = FeRFET(state=FeRFETState.N_HRS)
+        assert dev.program_threshold_state(dev.params.coercive_voltage)
+        assert dev.low_resistive
+
+    def test_program_voltage_ratio_band(self):
+        """Programming needs 2-3x the operating voltage (Section V-A)."""
+        p = FeRFETParams()
+        assert 2.0 <= p.program_voltage_ratio <= 3.0
+
+    def test_ratio_outside_band_rejected(self):
+        with pytest.raises(ValueError, match="2-3x"):
+            FeRFETParams(coercive_voltage=10.0, operating_voltage=0.8)
+
+
+class TestFourStateCurves:
+    """The Fig 10(b) reproduction: four distinguishable I-V branches."""
+
+    def test_curves_cover_all_states(self):
+        curves = FeRFET.four_state_curves()
+        assert set(curves) == set(FeRFETState)
+
+    def test_states_distinguishable_at_read_voltage(self):
+        params = FeRFETParams()
+        grid = np.linspace(-1.2, 1.2, 121)
+        curves = FeRFET.four_state_curves(params, -1.2, 1.2, 121)
+        assert FeRFET.states_distinguishable(
+            curves, grid, params.operating_voltage
+        )
+
+    def test_n_type_conducts_positive_p_type_negative(self):
+        params = FeRFETParams()
+        v = params.operating_voltage
+        n = FeRFET(params, FeRFETState.N_LRS)
+        p = FeRFET(params, FeRFETState.P_LRS)
+        assert n.drain_current(v) > 100 * n.drain_current(-v)
+        assert p.drain_current(-v) > 100 * p.drain_current(v)
+
+    def test_lrs_hrs_ratio(self):
+        params = FeRFETParams()
+        v = params.operating_voltage
+        lrs = FeRFET(params, FeRFETState.N_LRS).drain_current(v)
+        hrs = FeRFET(params, FeRFETState.N_HRS).drain_current(v)
+        assert lrs > 5 * hrs
+
+    def test_off_current_floor(self):
+        params = FeRFETParams()
+        dev = FeRFET(params, FeRFETState.N_HRS)
+        assert dev.drain_current(-2 * params.operating_voltage) >= params.off_current
+
+    def test_iv_curve_vectorized(self):
+        dev = FeRFET()
+        grid = np.linspace(-1, 1, 11)
+        curve = dev.iv_curve(grid)
+        assert curve.shape == (11,)
+        assert np.all(curve > 0)
+
+
+class TestThresholds:
+    def test_hrs_threshold_above_lrs(self):
+        with pytest.raises(ValueError, match="vth_n_hrs"):
+            FeRFETParams(vth_n_lrs=0.9, vth_n_hrs=0.3)
+
+    def test_depletion_mode_lrs_allowed(self):
+        """Negative LRS threshold (always-on when storing 1) is what the
+        Fig 12(a) OR-type cell needs."""
+        p = FeRFETParams(vth_n_lrs=-0.3, vth_n_hrs=0.5)
+        dev = FeRFET(p, FeRFETState.N_LRS)
+        assert dev.is_conducting(0.0)
+
+    def test_threshold_sign_follows_polarity(self):
+        p = FeRFETParams()
+        n = FeRFET(p, FeRFETState.N_LRS)
+        pp = FeRFET(p, FeRFETState.P_LRS)
+        assert n.threshold_voltage > 0
+        assert pp.threshold_voltage < 0

@@ -1,0 +1,80 @@
+"""Tests for the RFET compact model."""
+
+import pytest
+
+from repro.devices.rfet import RFET, Polarity, RFETParams
+
+
+class TestPolarityProgramming:
+    def test_positive_program_gate_selects_n(self):
+        dev = RFET(polarity=Polarity.P_TYPE)
+        dev.apply_program_gate(+0.5)
+        assert dev.polarity is Polarity.N_TYPE
+
+    def test_negative_program_gate_selects_p(self):
+        dev = RFET(polarity=Polarity.N_TYPE)
+        dev.apply_program_gate(-0.5)
+        assert dev.polarity is Polarity.P_TYPE
+
+    def test_weak_program_voltage_keeps_polarity(self):
+        dev = RFET(polarity=Polarity.N_TYPE)
+        dev.apply_program_gate(0.1)
+        assert dev.polarity is Polarity.N_TYPE
+
+    def test_volatile_reconfiguration_on_the_fly(self):
+        """The RFET selling point: same device, both polarities."""
+        p = RFETParams()
+        dev = RFET(p)
+        dev.apply_program_gate(+1.0)
+        n_current = dev.drain_current(p.operating_voltage)
+        dev.apply_program_gate(-1.0)
+        p_current = dev.drain_current(-p.operating_voltage)
+        assert n_current > 1e-7
+        assert p_current > 1e-7
+
+
+class TestBranchCurrents:
+    def test_n_branch_conducts_on_high_gate(self):
+        p = RFETParams()
+        dev = RFET(p, polarity=Polarity.N_TYPE)
+        assert dev.is_conducting(p.operating_voltage)
+        assert not dev.is_conducting(-p.operating_voltage)
+
+    def test_p_branch_conducts_on_low_gate(self):
+        p = RFETParams()
+        dev = RFET(p, polarity=Polarity.P_TYPE)
+        assert dev.is_conducting(-p.operating_voltage)
+        assert not dev.is_conducting(p.operating_voltage)
+
+    def test_symmetric_design(self):
+        """[94]: symmetric n/p characteristics by design."""
+        p = RFETParams()
+        n = RFET(p, Polarity.N_TYPE).drain_current(p.operating_voltage)
+        pp = RFET(p, Polarity.P_TYPE).drain_current(-p.operating_voltage)
+        assert n == pytest.approx(pp, rel=1e-9)
+
+
+class TestWiredAnd:
+    def test_wired_and_requires_all_gates(self):
+        """[102]: multiple independent gates give intrinsic wired-AND."""
+        p = RFETParams(n_control_gates=2)
+        dev = RFET(p, Polarity.N_TYPE)
+        v = p.operating_voltage
+        assert dev.is_conducting(v, extra_controls=[v])
+        assert not dev.is_conducting(v, extra_controls=[-v])
+        assert not dev.is_conducting(-v, extra_controls=[v])
+
+    def test_wrong_extra_gate_count_rejected(self):
+        dev = RFET(RFETParams(n_control_gates=3))
+        with pytest.raises(ValueError, match="extra control"):
+            dev.drain_current(0.8, extra_controls=[0.8])
+
+
+class TestParamsValidation:
+    def test_vth_p_must_be_negative(self):
+        with pytest.raises(ValueError, match="vth_p"):
+            RFETParams(vth_p=0.2)
+
+    def test_gate_count_positive(self):
+        with pytest.raises(ValueError, match="n_control_gates"):
+            RFETParams(n_control_gates=0)

@@ -1,0 +1,85 @@
+"""Tests for the memory-technology presets."""
+
+import numpy as np
+import pytest
+
+from repro.devices.technologies import (
+    TechnologyProfile,
+    available_technologies,
+    technology_preset,
+)
+
+
+class TestPresets:
+    def test_all_four_technologies(self):
+        assert available_technologies() == ["mram", "pcm", "reram", "sram"]
+
+    def test_lookup_case_insensitive(self):
+        assert technology_preset("ReRAM").name == "reram"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown technology"):
+            technology_preset("dram2")
+
+    def test_nvm_has_zero_leakage(self):
+        """The paper's 'zero leakage' NVM advantage."""
+        for name in ("reram", "pcm", "mram"):
+            profile = technology_preset(name)
+            assert profile.non_volatile
+            assert profile.standby_power(10_000) == 0.0
+
+    def test_sram_pays_leakage(self):
+        sram = technology_preset("sram")
+        assert not sram.non_volatile
+        assert sram.standby_power(10_000) > 0
+
+    def test_mram_is_binary(self):
+        """TMR-limited read window: MRAM stores one bit per cell."""
+        assert technology_preset("mram").levels.n_levels == 2
+
+    def test_reram_pcm_multilevel(self):
+        assert technology_preset("reram").levels.n_levels >= 8
+        assert technology_preset("pcm").levels.n_levels >= 8
+
+    def test_pcm_drifts_most(self):
+        nus = {
+            name: technology_preset(name).drift_nu
+            for name in available_technologies()
+        }
+        assert nus["pcm"] == max(nus.values())
+        assert nus["sram"] == 0.0
+
+    def test_endurance_ordering(self):
+        """ReRAM < PCM << MRAM/SRAM — the wear-out hierarchy."""
+        e = {n: technology_preset(n).endurance for n in available_technologies()}
+        assert e["reram"] < e["pcm"] < e["mram"] <= e["sram"]
+
+
+class TestVariabilityIntegration:
+    def test_variability_stack_built(self):
+        stack = technology_preset("reram").variability()
+        assert stack.write.sigma == 0.05
+
+    def test_sram_writes_are_exact(self):
+        stack = technology_preset("sram").variability()
+        target = np.full(10, 1e-5)
+        assert np.array_equal(stack.write.apply(target, rng=0), target)
+
+    def test_preset_drives_crossbar(self):
+        """A preset plugs straight into the crossbar layer."""
+        from repro.crossbar.array import CrossbarArray, CrossbarConfig
+
+        profile = technology_preset("pcm")
+        array = CrossbarArray(
+            CrossbarConfig(rows=8, cols=8, levels=profile.levels),
+            variability=profile.variability(),
+            rng=0,
+        )
+        targets = np.full((8, 8), profile.levels.g_max / 2)
+        array.program(targets)
+        # PCM write variation spreads the landing values.
+        assert np.std(array.conductances()) > 0
+
+    def test_standby_power_validation(self):
+        with pytest.raises(ValueError):
+            technology_preset("sram").standby_power(-1)

@@ -1,0 +1,90 @@
+"""Tests for the ReRAM variability models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.variability import (
+    DriftModel,
+    ReadNoiseModel,
+    VariabilityStack,
+    WriteVariationModel,
+)
+
+
+class TestWriteVariation:
+    def test_zero_sigma_is_exact(self):
+        model = WriteVariationModel(sigma=0.0)
+        target = np.array([1e-5, 2e-5])
+        assert np.array_equal(model.apply(target, rng=0), target)
+
+    def test_lognormal_centred_on_target(self, rng):
+        model = WriteVariationModel(sigma=0.05)
+        samples = model.apply(np.full(20_000, 1e-5), rng=rng)
+        # Median of a lognormal equals the underlying target.
+        assert np.median(samples) == pytest.approx(1e-5, rel=0.02)
+
+    def test_sigma_controls_spread(self):
+        tight = WriteVariationModel(sigma=0.01).apply(np.full(5000, 1e-5), rng=0)
+        wide = WriteVariationModel(sigma=0.2).apply(np.full(5000, 1e-5), rng=0)
+        assert np.std(wide) > 5 * np.std(tight)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            WriteVariationModel(sigma=-0.1)
+
+    def test_result_positive(self, rng):
+        samples = WriteVariationModel(sigma=0.3).apply(np.full(1000, 1e-5), rng=rng)
+        assert np.all(samples > 0)
+
+
+class TestReadNoise:
+    def test_zero_sigma_is_exact(self):
+        model = ReadNoiseModel(sigma=0.0)
+        g = np.array([3e-5])
+        assert np.array_equal(model.apply(g, rng=0), g)
+
+    def test_mean_preserved(self, rng):
+        model = ReadNoiseModel(sigma=0.02)
+        samples = model.apply(np.full(20_000, 1e-5), rng=rng)
+        assert np.mean(samples) == pytest.approx(1e-5, rel=0.01)
+
+    def test_never_negative(self, rng):
+        samples = ReadNoiseModel(sigma=0.5).apply(np.full(5000, 1e-5), rng=rng)
+        assert np.all(samples >= 0)
+
+
+class TestDrift:
+    def test_zero_time_no_change(self):
+        model = DriftModel(nu=0.01)
+        g = np.array([1e-5])
+        assert np.array_equal(model.apply(g, 0.0), g)
+
+    def test_monotone_decay(self):
+        model = DriftModel(nu=0.01)
+        g = np.array([1e-5])
+        g1 = model.apply(g, 10.0)
+        g2 = model.apply(g, 1000.0)
+        assert g2[0] < g1[0] < g[0]
+
+    def test_nu_zero_disables(self):
+        model = DriftModel(nu=0.0)
+        g = np.array([1e-5])
+        assert np.array_equal(model.apply(g, 1e6), g)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            DriftModel().apply(np.array([1e-5]), -1.0)
+
+
+class TestStack:
+    def test_ideal_has_everything_off(self):
+        stack = VariabilityStack.ideal()
+        assert stack.write.sigma == 0
+        assert stack.read.sigma == 0
+        assert stack.drift.nu == 0
+
+    def test_typical_has_everything_on(self):
+        stack = VariabilityStack.typical()
+        assert stack.write.sigma > 0
+        assert stack.read.sigma > 0
+        assert stack.drift.nu > 0

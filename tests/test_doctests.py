@@ -1,0 +1,32 @@
+"""Execute the doctest examples embedded in public docstrings.
+
+Doc examples that drift from the code are worse than none; this keeps the
+ones we ship executable.
+"""
+
+import doctest
+
+import pytest
+
+import repro.crossbar.array
+import repro.devices.memristor
+import repro.faults.models
+import repro.utils.rng
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.crossbar.array,
+        repro.devices.memristor,
+        repro.faults.models,
+        repro.utils.rng,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    # These modules are expected to actually contain examples.
+    if module in (repro.crossbar.array, repro.faults.models):
+        assert results.attempted > 0

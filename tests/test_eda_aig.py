@@ -1,0 +1,133 @@
+"""Tests for the And-Inverter Graph."""
+
+import pytest
+
+from repro.eda.aig import (
+    AIG,
+    FALSE_LIT,
+    TRUE_LIT,
+    aig_from_truth_table,
+    lit_not,
+)
+from repro.eda.boolean import TruthTable
+
+
+class TestSimplifications:
+    def test_and_with_false(self):
+        aig = AIG(2)
+        assert aig.and_(aig.input_lit(0), FALSE_LIT) == FALSE_LIT
+        assert aig.n_nodes == 0
+
+    def test_and_with_true(self):
+        aig = AIG(2)
+        a = aig.input_lit(0)
+        assert aig.and_(a, TRUE_LIT) == a
+
+    def test_and_idempotent(self):
+        aig = AIG(2)
+        a = aig.input_lit(0)
+        assert aig.and_(a, a) == a
+
+    def test_and_with_complement_is_false(self):
+        aig = AIG(2)
+        a = aig.input_lit(0)
+        assert aig.and_(a, lit_not(a)) == FALSE_LIT
+
+    def test_structural_hashing_shares_nodes(self):
+        aig = AIG(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        n1 = aig.and_(a, b)
+        n2 = aig.and_(b, a)  # commuted
+        assert n1 == n2
+        assert aig.n_nodes == 1
+
+    def test_bad_literal_rejected(self):
+        aig = AIG(1)
+        with pytest.raises(ValueError, match="unknown node"):
+            aig.and_(99, aig.input_lit(0))
+
+
+class TestSemantics:
+    def test_or_xor_mux_maj(self):
+        aig = AIG(3)
+        a, b, c = (aig.input_lit(i) for i in range(3))
+        aig.add_output(aig.or_(a, b))
+        aig.add_output(aig.xor_(a, b))
+        aig.add_output(aig.mux(c, a, b))
+        aig.add_output(aig.maj(a, b, c))
+        for m in range(8):
+            va, vb, vc = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            got = aig.simulate([va, vb, vc])
+            assert got[0] == (va | vb)
+            assert got[1] == (va ^ vb)
+            assert got[2] == (va if vc else vb)
+            assert got[3] == int(va + vb + vc >= 2)
+
+    def test_truth_table_simulation_matches_pointwise(self):
+        aig = AIG(3)
+        a, b, c = (aig.input_lit(i) for i in range(3))
+        aig.add_output(aig.xor_(aig.and_(a, b), c))
+        table = aig.to_truth_tables()[0]
+        for m in range(8):
+            inputs = [(m >> i) & 1 for i in range(3)]
+            assert table.evaluate(inputs) == aig.simulate(inputs)[0]
+
+    def test_levels(self):
+        aig = AIG(4)
+        a, b, c, d = (aig.input_lit(i) for i in range(4))
+        ab = aig.and_(a, b)
+        cd = aig.and_(c, d)
+        aig.add_output(aig.and_(ab, cd))
+        assert aig.levels() == 2
+
+    def test_empty_outputs_zero_levels(self):
+        assert AIG(2).levels() == 0
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("n_vars", [1, 2, 3, 4])
+    def test_random_functions_round_trip(self, n_vars, rng):
+        for _ in range(10):
+            bits = int(rng.integers(0, 1 << (1 << n_vars)))
+            table = TruthTable(n_vars, bits)
+            aig, out = aig_from_truth_table(table)
+            aig.add_output(out)
+            assert aig.to_truth_tables()[0] == table
+
+    def test_constant_functions(self):
+        aig, out = aig_from_truth_table(TruthTable.constant(3, True))
+        assert out == TRUE_LIT
+        aig, out = aig_from_truth_table(TruthTable.constant(3, False))
+        assert out == FALSE_LIT
+
+    def test_shared_synthesis_into_existing_aig(self):
+        table = TruthTable.from_function(2, lambda a, b: a & b)
+        aig = AIG(4)
+        _, out1 = aig_from_truth_table(table, aig)
+        nodes_after_first = aig.n_nodes
+        _, out2 = aig_from_truth_table(table, aig)
+        assert out1 == out2
+        assert aig.n_nodes == nodes_after_first  # fully shared
+
+    def test_too_small_host_rejected(self):
+        table = TruthTable.constant(4, True)
+        with pytest.raises(ValueError, match="inputs"):
+            aig_from_truth_table(table, AIG(2))
+
+
+class TestCleanup:
+    def test_dangling_nodes_removed(self):
+        aig = AIG(3)
+        a, b, c = (aig.input_lit(i) for i in range(3))
+        keep = aig.and_(a, b)
+        aig.and_(b, c)   # dangling
+        aig.add_output(keep)
+        cleaned = aig.cleanup()
+        assert cleaned.n_nodes == 1
+        assert cleaned.to_truth_tables()[0] == aig.to_truth_tables()[0]
+
+    def test_cleanup_preserves_function(self, rng):
+        table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+        aig, out = aig_from_truth_table(table)
+        aig.add_output(out)
+        assert aig.cleanup().to_truth_tables()[0] == table

@@ -1,0 +1,87 @@
+"""Tests for the ROBDD manager."""
+
+import pytest
+
+from repro.eda.bdd import BDD
+from repro.eda.boolean import TruthTable
+
+
+class TestCanonicity:
+    def test_equivalent_builds_share_node(self):
+        """Canonicity: same function -> same node id."""
+        bdd = BDD(2)
+        a, b = bdd.variable(0), bdd.variable(1)
+        f1 = bdd.and_(a, b)
+        f2 = bdd.not_(bdd.or_(bdd.not_(a), bdd.not_(b)))  # De Morgan
+        assert f1 == f2
+
+    def test_constant_reduction(self):
+        bdd = BDD(2)
+        a = bdd.variable(0)
+        assert bdd.and_(a, bdd.not_(a)) == BDD.ZERO
+        assert bdd.or_(a, bdd.not_(a)) == BDD.ONE
+
+    def test_xor_self_is_zero(self):
+        bdd = BDD(3)
+        f = bdd.and_(bdd.variable(0), bdd.variable(2))
+        assert bdd.xor_(f, f) == BDD.ZERO
+
+
+class TestTruthTableRoundTrip:
+    @pytest.mark.parametrize("n_vars", [1, 2, 3, 4, 5])
+    def test_round_trip(self, n_vars, rng):
+        bdd = BDD(n_vars)
+        for _ in range(5):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            node = bdd.from_truth_table(table)
+            assert bdd.to_truth_table(node) == table
+
+    def test_mismatched_vars_rejected(self):
+        with pytest.raises(ValueError):
+            BDD(2).from_truth_table(TruthTable.constant(3, True))
+
+
+class TestEvaluation:
+    def test_evaluate_majority(self):
+        bdd = BDD(3)
+        table = TruthTable.from_function(3, lambda a, b, c: int(a + b + c >= 2))
+        node = bdd.from_truth_table(table)
+        for m in range(8):
+            inputs = [(m >> i) & 1 for i in range(3)]
+            assert bdd.evaluate(node, inputs) == table.evaluate(inputs)
+
+    def test_sat_count(self, rng):
+        for _ in range(10):
+            table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+            bdd = BDD(4)
+            node = bdd.from_truth_table(table)
+            assert bdd.sat_count(node) == table.count_ones()
+
+    def test_count_nodes_parity_linear(self):
+        """Parity has a linear-size BDD — the classic structure result."""
+        sizes = []
+        for n in (4, 6, 8):
+            table = TruthTable.from_function(n, lambda *xs: sum(xs) % 2)
+            bdd = BDD(n)
+            sizes.append(bdd.count_nodes(bdd.from_truth_table(table)))
+        assert sizes[1] - sizes[0] == sizes[2] - sizes[1]  # linear growth
+
+    def test_terminal_counts(self):
+        bdd = BDD(2)
+        assert bdd.count_nodes(BDD.ZERO) == 0
+        assert bdd.sat_count(BDD.ONE) == 4
+
+
+class TestIte:
+    def test_ite_is_mux(self, rng):
+        bdd = BDD(3)
+        ta = TruthTable(3, int(rng.integers(0, 256)))
+        tb = TruthTable(3, int(rng.integers(0, 256)))
+        sel = TruthTable.variable(3, 2)
+        f = bdd.ite(
+            bdd.from_truth_table(sel),
+            bdd.from_truth_table(ta),
+            bdd.from_truth_table(tb),
+        )
+        expected = (sel & ta) | (~sel & tb)
+        assert bdd.to_truth_table(f) == expected

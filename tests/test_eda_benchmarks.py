@@ -1,0 +1,107 @@
+"""Tests for the EDA benchmark circuit generators."""
+
+import pytest
+
+from repro.eda.benchmarks import (
+    array_multiplier,
+    comparator,
+    majority_n,
+    multiplexer,
+    parity,
+    random_function,
+    ripple_carry_adder,
+    standard_suite,
+)
+
+
+def _as_int(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+class TestAdder:
+    @pytest.mark.parametrize("n_bits", [1, 2, 4])
+    def test_exhaustive_addition(self, n_bits):
+        aig = ripple_carry_adder(n_bits)
+        for a in range(1 << n_bits):
+            for b in range(1 << n_bits):
+                inputs = [(a >> i) & 1 for i in range(n_bits)] + [
+                    (b >> i) & 1 for i in range(n_bits)
+                ]
+                outputs = aig.simulate(inputs)
+                assert _as_int(outputs) == a + b
+
+    def test_output_count(self):
+        assert len(ripple_carry_adder(4).outputs) == 5
+
+
+class TestParity:
+    @pytest.mark.parametrize("n_bits", [2, 5, 8])
+    def test_exhaustive(self, n_bits):
+        aig = parity(n_bits)
+        for m in range(1 << n_bits):
+            inputs = [(m >> i) & 1 for i in range(n_bits)]
+            assert aig.simulate(inputs)[0] == sum(inputs) % 2
+
+
+class TestMajority:
+    @pytest.mark.parametrize("n_bits", [3, 5, 7])
+    def test_exhaustive(self, n_bits):
+        aig = majority_n(n_bits)
+        for m in range(1 << n_bits):
+            inputs = [(m >> i) & 1 for i in range(n_bits)]
+            assert aig.simulate(inputs)[0] == int(sum(inputs) > n_bits // 2)
+
+    def test_even_rejected(self):
+        with pytest.raises(ValueError):
+            majority_n(4)
+
+
+class TestMux:
+    def test_4_to_1(self):
+        aig = multiplexer(2)
+        for data in range(16):
+            for sel in range(4):
+                inputs = [(data >> i) & 1 for i in range(4)] + [
+                    sel & 1,
+                    (sel >> 1) & 1,
+                ]
+                assert aig.simulate(inputs)[0] == (data >> sel) & 1
+
+
+class TestComparator:
+    @pytest.mark.parametrize("n_bits", [2, 3])
+    def test_exhaustive_greater_than(self, n_bits):
+        aig = comparator(n_bits)
+        for a in range(1 << n_bits):
+            for b in range(1 << n_bits):
+                inputs = [(a >> i) & 1 for i in range(n_bits)] + [
+                    (b >> i) & 1 for i in range(n_bits)
+                ]
+                assert aig.simulate(inputs)[0] == int(a > b)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("n_bits", [2, 3])
+    def test_exhaustive_product(self, n_bits):
+        aig = array_multiplier(n_bits)
+        for a in range(1 << n_bits):
+            for b in range(1 << n_bits):
+                inputs = [(a >> i) & 1 for i in range(n_bits)] + [
+                    (b >> i) & 1 for i in range(n_bits)
+                ]
+                assert _as_int(aig.simulate(inputs)) == a * b
+
+
+class TestRandomAndSuite:
+    def test_random_function_deterministic(self):
+        assert random_function(4, rng=5) == random_function(4, rng=5)
+
+    def test_random_function_bounds(self):
+        with pytest.raises(ValueError):
+            random_function(0)
+
+    def test_standard_suite_contents(self):
+        suite = standard_suite()
+        assert "adder8" in suite
+        assert "majority5" in suite
+        assert all(aig.outputs for aig in suite.values())

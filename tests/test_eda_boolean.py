@@ -1,0 +1,101 @@
+"""Tests for the truth-table Boolean core."""
+
+import pytest
+
+from repro.eda.boolean import TruthTable
+
+
+class TestConstruction:
+    def test_from_function_xor(self):
+        tt = TruthTable.from_function(2, lambda a, b: a ^ b)
+        assert tt.evaluate([0, 0]) == 0
+        assert tt.evaluate([1, 0]) == 1
+        assert tt.evaluate([0, 1]) == 1
+        assert tt.evaluate([1, 1]) == 0
+
+    def test_constants(self):
+        assert TruthTable.constant(3, False).bits == 0
+        assert TruthTable.constant(3, True).count_ones() == 8
+
+    def test_variable_projection(self):
+        x1 = TruthTable.variable(3, 1)
+        for m in range(8):
+            assert x1.evaluate([(m >> i) & 1 for i in range(3)]) == (m >> 1) & 1
+
+    def test_from_bitstring(self):
+        tt = TruthTable.from_bitstring("0110")
+        assert tt.n_vars == 2
+        assert tt == TruthTable.from_function(2, lambda a, b: a ^ b)
+
+    def test_from_bitstring_validates(self):
+        with pytest.raises(ValueError, match="power of two"):
+            TruthTable.from_bitstring("011")
+        with pytest.raises(ValueError, match="binary"):
+            TruthTable.from_bitstring("01x0")
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 16)
+
+
+class TestOperators:
+    def test_de_morgan(self):
+        a = TruthTable.variable(3, 0)
+        b = TruthTable.variable(3, 1)
+        assert (~(a & b)) == ((~a) | (~b))
+
+    def test_xor_identity(self):
+        a = TruthTable.variable(2, 0)
+        b = TruthTable.variable(2, 1)
+        assert (a ^ b) == ((a & ~b) | (~a & b))
+
+    def test_majority_definition(self):
+        a, b, c = (TruthTable.variable(3, i) for i in range(3))
+        maj = TruthTable.majority(a, b, c)
+        assert maj == ((a & b) | (b & c) | (a & c))
+
+    def test_majority_median_property(self):
+        a, b, c = (TruthTable.variable(3, i) for i in range(3))
+        # M(a, b, 0) = a AND b; M(a, b, 1) = a OR b.
+        zero = TruthTable.constant(3, False)
+        one = TruthTable.constant(3, True)
+        assert TruthTable.majority(a, b, zero) == (a & b)
+        assert TruthTable.majority(a, b, one) == (a | b)
+
+    def test_implies(self):
+        p = TruthTable.variable(2, 0)
+        q = TruthTable.variable(2, 1)
+        imp = TruthTable.implies(p, q)
+        assert imp.evaluate([1, 0]) == 0
+        assert imp.evaluate([0, 0]) == 1
+        assert imp.evaluate([1, 1]) == 1
+
+    def test_incompatible_sizes_rejected(self):
+        with pytest.raises(ValueError, match="variable counts"):
+            TruthTable.variable(2, 0) & TruthTable.variable(3, 0)
+
+
+class TestStructure:
+    def test_cofactor_shannon_expansion(self):
+        tt = TruthTable.from_function(3, lambda a, b, c: (a & b) | c)
+        x0 = TruthTable.variable(3, 0)
+        recombined = (x0 & tt.cofactor(0, 1)) | (~x0 & tt.cofactor(0, 0))
+        assert recombined == tt
+
+    def test_support_detects_dependence(self):
+        tt = TruthTable.from_function(3, lambda a, b, c: a & c)
+        assert tt.support() == [0, 2]
+        assert tt.depends_on(0)
+        assert not tt.depends_on(1)
+
+    def test_is_constant(self):
+        assert TruthTable.constant(2, True).is_constant
+        assert not TruthTable.variable(2, 0).is_constant
+
+    def test_minterms(self):
+        tt = TruthTable.from_function(2, lambda a, b: a & b)
+        assert tt.minterms() == [3]
+
+    def test_str_representation(self):
+        tt = TruthTable.from_function(2, lambda a, b: a & b)
+        assert str(tt) == "1000"

@@ -1,0 +1,105 @@
+"""Tests for ESOP / Reed-Muller expansions."""
+
+import pytest
+
+from repro.eda.boolean import TruthTable
+from repro.eda.esop import (
+    Esop,
+    EsopCube,
+    esop_from_truth_table,
+    fprm_from_truth_table,
+    minimize_esop,
+)
+
+
+class TestCubes:
+    def test_cube_evaluation(self):
+        # x0 * ~x1
+        cube = EsopCube(care=0b11, polarity=0b01)
+        assert cube.evaluate(0b01) == 1
+        assert cube.evaluate(0b11) == 0
+        assert cube.evaluate(0b00) == 0
+
+    def test_constant_cube(self):
+        one = EsopCube(care=0, polarity=0)
+        assert all(one.evaluate(m) == 1 for m in range(4))
+        assert str(one) == "1"
+
+    def test_polarity_subset_enforced(self):
+        with pytest.raises(ValueError):
+            EsopCube(care=0b01, polarity=0b10)
+
+    def test_literal_count_and_str(self):
+        cube = EsopCube(care=0b101, polarity=0b100)
+        assert cube.n_literals == 2
+        assert str(cube) == "~x0*x2"
+
+
+class TestPPRM:
+    @pytest.mark.parametrize("n_vars", [1, 2, 3, 4, 5])
+    def test_round_trip(self, n_vars, rng):
+        for _ in range(8):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            esop = esop_from_truth_table(table)
+            assert esop.to_truth_table() == table
+
+    def test_pprm_positive_polarity_only(self, rng):
+        table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+        esop = esop_from_truth_table(table)
+        assert all(c.polarity == c.care for c in esop.cubes)
+
+    def test_xor_is_two_cubes(self):
+        table = TruthTable.from_function(2, lambda a, b: a ^ b)
+        esop = esop_from_truth_table(table)
+        assert esop.n_cubes == 2
+
+    def test_and_is_one_cube(self):
+        table = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        assert esop_from_truth_table(table).n_cubes == 1
+
+    def test_constant_zero_empty(self):
+        assert esop_from_truth_table(TruthTable.constant(3, False)).n_cubes == 0
+
+
+class TestFPRM:
+    @pytest.mark.parametrize("polarity", range(8))
+    def test_all_polarities_correct(self, polarity, rng):
+        table = TruthTable(3, int(rng.integers(0, 256)))
+        esop = fprm_from_truth_table(table, polarity)
+        assert esop.to_truth_table() == table
+
+    def test_polarity_matches_literal_phases(self):
+        table = TruthTable.from_function(2, lambda a, b: (1 - a) & b)
+        esop = fprm_from_truth_table(table, polarity=0b10)  # x0 negative
+        # ~x0 * x1 under this polarity is a single cube.
+        assert esop.n_cubes == 1
+
+    def test_minimize_never_worse_than_pprm(self, rng):
+        for _ in range(10):
+            table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+            assert (
+                minimize_esop(table).n_cubes
+                <= esop_from_truth_table(table).n_cubes
+            )
+
+    def test_minimize_correct(self, rng):
+        for _ in range(10):
+            table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+            assert minimize_esop(table).to_truth_table() == table
+
+    def test_polarity_bounds(self):
+        with pytest.raises(ValueError):
+            fprm_from_truth_table(TruthTable.constant(2, True), 4)
+
+
+class TestCrossbarBound:
+    def test_building_block_is_3x2(self):
+        """[69]: 3 wordlines x 2 bitlines suffice for ESOP evaluation."""
+        table = TruthTable.from_function(3, lambda a, b, c: a ^ (b & c))
+        esop = esop_from_truth_table(table)
+        assert esop.crossbar_building_block() == (3, 2)
+
+    def test_delay_linear_in_cubes(self):
+        table = TruthTable.from_function(4, lambda *xs: sum(xs) % 2)
+        esop = esop_from_truth_table(table)
+        assert esop.mapping_delay_estimate() == esop.n_cubes + 1

@@ -1,0 +1,138 @@
+"""Tests for MAGIC execution on physical crossbar arrays."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.eda.aig import aig_from_truth_table
+from repro.eda.boolean import TruthTable
+from repro.eda.execution import CrossbarLogicExecutor, array_for_program
+from repro.eda.magic_mapping import (
+    map_netlist_to_magic_crossbar,
+    map_netlist_to_magic_single_row,
+)
+from repro.eda.netlist import nor_netlist_from_aig
+
+
+def _program_for(table, single_row=False):
+    aig, out = aig_from_truth_table(table)
+    aig.add_output(out)
+    netlist = nor_netlist_from_aig(aig.cleanup())
+    if single_row:
+        return map_netlist_to_magic_single_row(netlist)
+    return map_netlist_to_magic_crossbar(netlist)
+
+
+class TestHealthyExecution:
+    @pytest.mark.parametrize("n_vars", [2, 3, 4])
+    def test_crossbar_matches_ideal(self, n_vars, rng):
+        for _ in range(4):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            program = _program_for(table)
+            array = array_for_program(program, rng=0)
+            executor = CrossbarLogicExecutor(array, program)
+            for m in range(1 << n_vars):
+                inputs = [(m >> i) & 1 for i in range(n_vars)]
+                assert executor.matches_ideal(inputs)
+
+    def test_single_row_program_executes(self, rng):
+        table = TruthTable.from_function(3, lambda a, b, c: (a ^ b) | c)
+        program = _program_for(table, single_row=True)
+        array = array_for_program(program, rng=1)
+        executor = CrossbarLogicExecutor(array, program)
+        for m in range(8):
+            inputs = [(m >> i) & 1 for i in range(3)]
+            assert executor.execute(inputs).outputs == [
+                table.evaluate(inputs)
+            ]
+
+    def test_report_counts(self):
+        table = TruthTable.from_function(2, lambda a, b: a & b)
+        program = _program_for(table)
+        array = array_for_program(program, rng=2)
+        report = CrossbarLogicExecutor(array, program).execute([1, 1])
+        assert report.gate_evaluations > 0
+        assert report.cell_writes > report.gate_evaluations
+
+    def test_write_endurance_accounted(self):
+        """Running logic in memory consumes write endurance — the CIM-A
+        wear concern."""
+        table = TruthTable.from_function(2, lambda a, b: a ^ b)
+        program = _program_for(table)
+        array = array_for_program(program, rng=3)
+        executor = CrossbarLogicExecutor(array, program)
+        executor.execute([1, 0])
+        assert array.write_counts().sum() > 0
+
+
+class TestFaultyExecution:
+    def test_stuck_cell_corrupts_logic(self):
+        """A stuck output device makes some input vector compute wrong —
+        the reason logic-in-memory needs manufacturing test."""
+        table = TruthTable.from_function(2, lambda a, b: a & b)
+        program = _program_for(table)
+        array = array_for_program(program, rng=4)
+        # Stick the final output device at HRS (logic 0).
+        out_device = program.output_devices[0]
+        r, c = program.placement[out_device]
+        array.stick_cell(r, c, array.config.levels.g_min)
+        executor = CrossbarLogicExecutor(array, program)
+        wrong = sum(
+            executor.execute([a, b]).outputs != [table.evaluate([a, b])]
+            for a in (0, 1)
+            for b in (0, 1)
+        )
+        assert wrong > 0
+
+    def test_screen_then_deploy(self):
+        """March-style screening predicts functional failure: arrays that
+        fail a write/read check also miscompute; clean arrays compute."""
+        table = TruthTable.from_function(3, lambda a, b, c: (a & b) ^ c)
+        program = _program_for(table)
+
+        def screen(array):
+            """Write/read every used cell at both levels (1N march-ish)."""
+            levels = array.config.levels
+            for device, (r, c) in program.placement.items():
+                for target, expected in (
+                    (levels.g_max, 1),
+                    (levels.g_min, 0),
+                ):
+                    array.write_cell(r, c, target)
+                    midpoint = 0.5 * (levels.g_min + levels.g_max)
+                    got = int(array.conductances()[r, c] >= midpoint)
+                    if got != expected:
+                        return False
+            return True
+
+        # A clean die passes the screen and computes correctly.
+        clean = array_for_program(program, rng=5)
+        assert screen(clean)
+        executor = CrossbarLogicExecutor(clean, program)
+        assert all(
+            executor.matches_ideal([(m >> i) & 1 for i in range(3)])
+            for m in range(8)
+        )
+
+        # A faulty die fails the screen.
+        faulty = array_for_program(program, rng=6)
+        some_device = program.input_devices[0]
+        r, c = program.placement[some_device]
+        faulty.stick_cell(r, c, faulty.config.levels.g_max)
+        assert not screen(faulty)
+
+
+class TestValidation:
+    def test_placement_bounds_checked(self):
+        table = TruthTable.from_function(2, lambda a, b: a | b)
+        program = _program_for(table)
+        tiny = CrossbarArray(CrossbarConfig(rows=1, cols=1), rng=0)
+        with pytest.raises(ValueError, match="outside"):
+            CrossbarLogicExecutor(tiny, program)
+
+    def test_input_length_checked(self):
+        table = TruthTable.from_function(2, lambda a, b: a | b)
+        program = _program_for(table)
+        array = array_for_program(program, rng=7)
+        with pytest.raises(ValueError, match="expected 2 inputs"):
+            CrossbarLogicExecutor(array, program).execute([1])

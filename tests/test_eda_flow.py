@@ -1,0 +1,76 @@
+"""Tests for the end-to-end EDA flow (Fig 8)."""
+
+import pytest
+
+from repro.eda.benchmarks import parity, ripple_carry_adder
+from repro.eda.boolean import TruthTable
+from repro.eda.flow import EdaFlow
+
+
+class TestFlowOnAdder:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return EdaFlow().run(ripple_carry_adder(4))
+
+    def test_all_families_present(self, results):
+        assert set(results) == {
+            "imply",
+            "majority",
+            "magic",
+            "magic_single_row",
+        }
+
+    def test_every_mapping_verified(self, results):
+        """The flow's defining property: mapped programs are functionally
+        equivalent to the synthesized circuit."""
+        for family, result in results.items():
+            assert result.verified, f"{family} mapping failed verification"
+
+    def test_majority_is_fastest(self, results):
+        """One-pulse majority + level parallelism beats 2-pulse MAGIC and
+        sequential IMPLY on arithmetic circuits."""
+        assert results["majority"].delay < results["magic"].delay
+        assert results["magic"].delay < results["imply"].delay
+
+    def test_majority_delay_optimality_flag(self, results):
+        assert results["majority"].detail["delay_optimal"] == 1.0
+
+    def test_area_delay_product_computed(self, results):
+        for result in results.values():
+            assert result.area_delay_product == result.delay * result.area
+
+    def test_single_row_trades_delay_for_area(self, results):
+        assert (
+            results["magic_single_row"].area <= results["magic"].area
+        )
+        assert (
+            results["magic_single_row"].delay >= results["magic"].delay
+        )
+
+
+class TestFlowFromTruthTable:
+    def test_run_table(self):
+        table = TruthTable.from_function(3, lambda a, b, c: (a ^ b) & c)
+        results = EdaFlow().run_table(table)
+        assert all(r.verified for r in results.values())
+
+    def test_synthesize_produces_equivalent_aig(self, rng):
+        table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+        aig = EdaFlow.synthesize(table)
+        assert aig.to_truth_tables()[0] == table
+
+
+class TestMigRewriteEffect:
+    def test_rewrite_never_hurts_majority_delay(self):
+        flow = EdaFlow()
+        circuit = parity(8)
+        with_rewrite = flow.run(circuit, mig_rewrite=True)["majority"]
+        without = flow.run(circuit, mig_rewrite=False)["majority"]
+        assert with_rewrite.delay <= without.delay
+        assert with_rewrite.verified and without.verified
+
+
+class TestValidation:
+    def test_bad_verify_limit(self):
+        with pytest.raises(ValueError):
+            EdaFlow(exhaustive_verify_limit=0)

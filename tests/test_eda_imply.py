@@ -1,0 +1,117 @@
+"""Tests for IMPLY technology mapping."""
+
+import pytest
+
+from repro.eda.aig import AIG, aig_from_truth_table
+from repro.eda.boolean import TruthTable
+from repro.eda.imply_mapping import ImplyProgram, map_aig_to_imply
+
+
+def _exhaustive_check(aig, program):
+    n = aig.n_inputs
+    for m in range(1 << n):
+        inputs = [(m >> i) & 1 for i in range(n)]
+        if program.execute(inputs) != aig.simulate(inputs):
+            return False
+    return True
+
+
+class TestImplyProgram:
+    def test_imply_semantics(self):
+        # q <- p -> q over all four state combinations.
+        for p_val in (0, 1):
+            for q_val in (0, 1):
+                prog = ImplyProgram(n_inputs=2, n_devices=2,
+                                    input_devices=[0, 1], output_devices=[1])
+                prog.imply(0, 1)
+                result = prog.execute([p_val, q_val])[0]
+                assert result == ((1 - p_val) | q_val)
+
+    def test_false_resets(self):
+        prog = ImplyProgram(n_inputs=1, n_devices=1,
+                            input_devices=[0], output_devices=[0])
+        prog.false(0)
+        assert prog.execute([1]) == [0]
+
+    def test_self_imply_rejected(self):
+        prog = ImplyProgram(n_inputs=1, n_devices=1, input_devices=[0])
+        with pytest.raises(ValueError):
+            prog.imply(0, 0)
+
+    def test_nand_gadget_three_steps(self):
+        """FALSE(w); IMPLY(a, w); IMPLY(b, w) computes NAND in 3 steps."""
+        prog = ImplyProgram(n_inputs=2, n_devices=3,
+                            input_devices=[0, 1], output_devices=[2])
+        prog.false(2)
+        prog.imply(0, 2)
+        prog.imply(1, 2)
+        assert prog.delay == 3
+        for a in (0, 1):
+            for b in (0, 1):
+                assert prog.execute([a, b]) == [1 - (a & b)]
+
+
+class TestMapping:
+    @pytest.mark.parametrize("n_vars", [1, 2, 3, 4])
+    def test_random_functions_verified(self, n_vars, rng):
+        for _ in range(6):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            aig, out = aig_from_truth_table(table)
+            aig.add_output(out)
+            aig = aig.cleanup()
+            program = map_aig_to_imply(aig)
+            assert _exhaustive_check(aig, program)
+
+    def test_multi_output_circuit(self):
+        aig = AIG(3)
+        a, b, c = (aig.input_lit(i) for i in range(3))
+        aig.add_output(aig.and_(a, b))
+        aig.add_output(aig.xor_(b, c))
+        program = map_aig_to_imply(aig)
+        assert _exhaustive_check(aig, program)
+
+    def test_complemented_output(self):
+        aig = AIG(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        aig.add_output(aig.and_(a, b) ^ 1)  # NAND
+        program = map_aig_to_imply(aig)
+        assert _exhaustive_check(aig, program)
+
+    def test_device_reuse_reduces_area(self):
+        aig = AIG(8)
+        acc = aig.input_lit(0)
+        for i in range(1, 8):
+            acc = aig.and_(acc, aig.input_lit(i))
+        aig.add_output(acc)
+        with_reuse = map_aig_to_imply(aig, reuse_devices=True)
+        without = map_aig_to_imply(aig, reuse_devices=False)
+        assert with_reuse.area < without.area
+        assert _exhaustive_check(aig, with_reuse)
+        assert _exhaustive_check(aig, without)
+
+    def test_reuse_does_not_change_delay(self):
+        aig = AIG(6)
+        acc = aig.input_lit(0)
+        for i in range(1, 6):
+            acc = aig.xor_(acc, aig.input_lit(i))
+        aig.add_output(acc)
+        assert (
+            map_aig_to_imply(aig, reuse_devices=True).delay
+            == map_aig_to_imply(aig, reuse_devices=False).delay
+        )
+
+    def test_delay_scales_with_node_count(self):
+        """Each AND costs at most ~5 IMPLY/FALSE steps."""
+        aig = AIG(4)
+        a, b, c, d = (aig.input_lit(i) for i in range(4))
+        aig.add_output(aig.and_(aig.and_(a, b), aig.and_(c, d)))
+        program = map_aig_to_imply(aig)
+        assert program.delay <= 5 * aig.n_nodes + 2
+
+    def test_constant_outputs(self):
+        aig = AIG(1)
+        aig.add_output(0)  # constant false
+        aig.add_output(1)  # constant true
+        program = map_aig_to_imply(aig)
+        assert program.execute([0]) == [0, 1]
+        assert program.execute([1]) == [0, 1]

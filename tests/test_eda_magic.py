@@ -1,0 +1,125 @@
+"""Tests for MAGIC technology mapping."""
+
+import pytest
+
+from repro.eda.aig import AIG, aig_from_truth_table
+from repro.eda.boolean import TruthTable
+from repro.eda.magic_mapping import (
+    MagicOp,
+    MagicProgram,
+    map_netlist_to_magic_crossbar,
+    map_netlist_to_magic_single_row,
+)
+from repro.eda.netlist import NorNetlist, nor_netlist_from_aig
+
+
+def _netlist_for(table):
+    aig, out = aig_from_truth_table(table)
+    aig.add_output(out)
+    return aig.cleanup(), nor_netlist_from_aig(aig.cleanup())
+
+
+def _exhaustive_check(netlist, program):
+    n = netlist.n_inputs
+    for m in range(1 << n):
+        inputs = [(m >> i) & 1 for i in range(n)]
+        if program.execute(inputs) != netlist.simulate(inputs):
+            return False
+    return True
+
+
+class TestMagicOps:
+    def test_nor_requires_inputs(self):
+        with pytest.raises(ValueError):
+            MagicOp("NOR", 0, 1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MagicOp("XOR", 0, 1, (0,))
+
+    def test_nor_execution(self):
+        prog = MagicProgram(n_inputs=2, n_devices=3,
+                            input_devices=[0, 1], output_devices=[2])
+        prog.ops = [MagicOp("INIT", 0, 2), MagicOp("NOR", 1, 2, (0, 1))]
+        assert prog.execute([0, 0]) == [1]
+        assert prog.execute([1, 0]) == [0]
+
+    def test_causality_violation_detected(self):
+        prog = MagicProgram(n_inputs=1, n_devices=3,
+                            input_devices=[0], output_devices=[2])
+        prog.ops = [
+            MagicOp("INIT", 0, 1),
+            MagicOp("NOR", 1, 1, (0,)),
+            MagicOp("INIT", 0, 2),
+            MagicOp("NOR", 1, 2, (1,)),  # reads device 1 in the same cycle
+        ]
+        with pytest.raises(RuntimeError, match="causality"):
+            prog.execute([0])
+
+
+class TestSingleRow:
+    @pytest.mark.parametrize("n_vars", [1, 2, 3, 4])
+    def test_random_functions_verified(self, n_vars, rng):
+        for _ in range(6):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            _, netlist = _netlist_for(table)
+            program = map_netlist_to_magic_single_row(netlist)
+            assert _exhaustive_check(netlist, program)
+
+    def test_delay_two_cycles_per_gate(self):
+        table = TruthTable.from_function(3, lambda a, b, c: (a & b) | c)
+        _, netlist = _netlist_for(table)
+        program = map_netlist_to_magic_single_row(netlist)
+        assert program.delay == 2 * netlist.n_gates
+
+    def test_single_row_placement(self):
+        table = TruthTable.from_function(2, lambda a, b: a ^ b)
+        _, netlist = _netlist_for(table)
+        program = map_netlist_to_magic_single_row(netlist)
+        rows, _ = program.crossbar_extent()
+        assert rows == 1
+
+    def test_reuse_shrinks_row(self, rng):
+        table = TruthTable.from_function(4, lambda *xs: sum(xs) % 2)
+        _, netlist = _netlist_for(table)
+        base = map_netlist_to_magic_single_row(netlist, reuse_devices=False)
+        reused = map_netlist_to_magic_single_row(netlist, reuse_devices=True)
+        assert reused.area <= base.area
+        assert _exhaustive_check(netlist, reused)
+
+
+class TestCrossbar:
+    @pytest.mark.parametrize("n_vars", [2, 3, 4])
+    def test_random_functions_verified(self, n_vars, rng):
+        for _ in range(6):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            _, netlist = _netlist_for(table)
+            program = map_netlist_to_magic_crossbar(netlist)
+            assert _exhaustive_check(netlist, program)
+
+    def test_delay_two_cycles_per_level(self):
+        table = TruthTable.from_function(3, lambda a, b, c: (a & b) | c)
+        _, netlist = _netlist_for(table)
+        program = map_netlist_to_magic_crossbar(netlist)
+        assert program.delay == 2 * netlist.levels()
+
+    def test_crossbar_faster_than_single_row(self):
+        """Level parallelism pays when the netlist is wide."""
+        table = TruthTable.from_function(4, lambda *xs: sum(xs) % 2)
+        _, netlist = _netlist_for(table)
+        single = map_netlist_to_magic_single_row(netlist)
+        crossbar = map_netlist_to_magic_crossbar(netlist)
+        assert crossbar.delay < single.delay
+
+    def test_area_delay_product(self):
+        table = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        _, netlist = _netlist_for(table)
+        program = map_netlist_to_magic_crossbar(netlist)
+        assert program.area_delay_product == program.area * program.delay
+
+    def test_placement_columns_follow_levels(self):
+        table = TruthTable.from_function(3, lambda a, b, c: (a & b) | c)
+        _, netlist = _netlist_for(table)
+        program = map_netlist_to_magic_crossbar(netlist)
+        _, cols = program.crossbar_extent()
+        assert cols == netlist.levels() + 1  # inputs in column 0

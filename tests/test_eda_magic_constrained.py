@@ -1,0 +1,128 @@
+"""Tests for the area-constrained MAGIC mapping and SIMD execution."""
+
+import numpy as np
+import pytest
+
+from repro.eda.aig import aig_from_truth_table
+from repro.eda.boolean import TruthTable
+from repro.eda.execution import SimdRowExecutor, array_for_program
+from repro.eda.magic_mapping import (
+    map_netlist_to_magic_constrained,
+    map_netlist_to_magic_crossbar,
+    map_netlist_to_magic_single_row,
+)
+from repro.eda.netlist import nor_netlist_from_aig
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+
+
+def _netlist_for(table):
+    aig, out = aig_from_truth_table(table)
+    aig.add_output(out)
+    return nor_netlist_from_aig(aig.cleanup())
+
+
+def _check(netlist, program):
+    n = netlist.n_inputs
+    for m in range(1 << n):
+        inputs = [(m >> i) & 1 for i in range(n)]
+        if program.execute(inputs) != netlist.simulate(inputs):
+            return False
+    return True
+
+
+class TestConstrainedMapping:
+    @pytest.mark.parametrize("max_rows", [1, 2, 4, 8])
+    def test_function_preserved_any_budget(self, max_rows, rng):
+        for _ in range(4):
+            table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+            netlist = _netlist_for(table)
+            program = map_netlist_to_magic_constrained(netlist, max_rows)
+            assert _check(netlist, program)
+
+    def test_row_budget_respected(self, rng):
+        table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+        netlist = _netlist_for(table)
+        for max_rows in (1, 2, 3):
+            program = map_netlist_to_magic_constrained(netlist, max_rows)
+            rows, _ = program.crossbar_extent()
+            assert rows <= max_rows
+
+    def test_area_delay_tradeoff_curve(self, rng):
+        """Shrinking the row budget can only increase delay; the curve is
+        monotone — the [73] trade-off."""
+        table = TruthTable.from_function(4, lambda *xs: sum(xs) % 2)
+        netlist = _netlist_for(table)
+        delays = []
+        for max_rows in (8, 4, 2, 1):
+            program = map_netlist_to_magic_constrained(netlist, max_rows)
+            assert _check(netlist, program)
+            delays.append(program.delay)
+        assert delays == sorted(delays)
+
+    def test_unconstrained_matches_crossbar_mapping(self, rng):
+        table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+        netlist = _netlist_for(table)
+        wide = map_netlist_to_magic_constrained(netlist, max_rows=64)
+        crossbar = map_netlist_to_magic_crossbar(netlist)
+        assert wide.delay == crossbar.delay
+
+    def test_budget_validated(self):
+        table = TruthTable.from_function(2, lambda a, b: a & b)
+        with pytest.raises(ValueError):
+            map_netlist_to_magic_constrained(_netlist_for(table), 0)
+
+
+class TestSimdExecution:
+    def _single_row_setup(self, table, lanes=4):
+        netlist = _netlist_for(table)
+        program = map_netlist_to_magic_single_row(netlist)
+        array = CrossbarArray(
+            CrossbarConfig(rows=lanes, cols=max(program.n_devices, 1)),
+            rng=0,
+        )
+        return netlist, program, array
+
+    def test_lanes_compute_independently(self):
+        table = TruthTable.from_function(3, lambda a, b, c: (a & b) ^ c)
+        netlist, program, array = self._single_row_setup(table, lanes=8)
+        executor = SimdRowExecutor(array, program)
+        lane_inputs = [
+            [(m >> i) & 1 for i in range(3)] for m in range(8)
+        ]
+        outputs = executor.execute(lane_inputs)
+        for inputs, output in zip(lane_inputs, outputs):
+            assert output == netlist.simulate(inputs)
+
+    def test_throughput_is_rows_per_program(self):
+        table = TruthTable.from_function(2, lambda a, b: a | b)
+        _, program, array = self._single_row_setup(table, lanes=16)
+        executor = SimdRowExecutor(array, program)
+        assert executor.lanes == 16  # 16 results per pulse sequence
+
+    def test_rejects_multi_row_program(self):
+        table = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        netlist = _netlist_for(table)
+        program = map_netlist_to_magic_crossbar(netlist)
+        array = array_for_program(program, rng=0)
+        if {r for r, _ in program.placement.values()} - {0}:
+            with pytest.raises(ValueError, match="single-row"):
+                SimdRowExecutor(array, program)
+
+    def test_lane_count_checked(self):
+        table = TruthTable.from_function(2, lambda a, b: a ^ b)
+        _, program, array = self._single_row_setup(table, lanes=4)
+        executor = SimdRowExecutor(array, program)
+        with pytest.raises(ValueError, match="lane"):
+            executor.execute([[0, 0]])
+
+    def test_faulty_lane_only_corrupts_itself(self):
+        """A stuck device in one lane leaves the other lanes' results
+        intact — SIMD fault containment."""
+        table = TruthTable.from_function(2, lambda a, b: a & b)
+        netlist, program, array = self._single_row_setup(table, lanes=4)
+        out_col = program.placement[program.output_devices[0]][1]
+        array.stick_cell(2, out_col, array.config.levels.g_min)
+        executor = SimdRowExecutor(array, program)
+        outputs = executor.execute([[1, 1]] * 4)
+        assert outputs[0] == outputs[1] == outputs[3] == [1]
+        assert outputs[2] == [0]  # the faulty lane

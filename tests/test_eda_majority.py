@@ -1,0 +1,106 @@
+"""Tests for majority-logic (ReVAMP-style) technology mapping."""
+
+import pytest
+
+from repro.eda.aig import aig_from_truth_table
+from repro.eda.boolean import TruthTable
+from repro.eda.majority_mapping import map_mig_to_majority
+from repro.eda.mig import MIG, mig_from_truth_table
+
+
+def _exhaustive_check(mig, mapping):
+    n = mig.n_inputs
+    for m in range(1 << n):
+        inputs = [(m >> i) & 1 for i in range(n)]
+        if mapping.execute(inputs) != mig.simulate(inputs):
+            return False
+    return True
+
+
+class TestDelayOptimal:
+    @pytest.mark.parametrize("n_vars", [2, 3, 4])
+    def test_random_functions_verified(self, n_vars, rng):
+        for _ in range(6):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            mig = mig_from_truth_table(table)
+            mapping = map_mig_to_majority(mig)
+            assert _exhaustive_check(mig, mapping)
+
+    def test_delay_equals_levels_plus_one(self, rng):
+        """[67]: delay-optimal mapping achieves MIG levels + 1 when the
+        device count is unconstrained."""
+        for _ in range(8):
+            table = TruthTable(4, int(rng.integers(1, (1 << 16) - 1)))
+            mig = mig_from_truth_table(table)
+            mapping = map_mig_to_majority(mig)
+            assert mapping.delay == mig.levels() + 1
+
+    def test_nodes_at_same_level_share_a_step(self):
+        mig = MIG(4)
+        a, b, c, d = (mig.input_lit(i) for i in range(4))
+        mig.add_output(mig.and_(a, b))
+        mig.add_output(mig.or_(c, d))
+        mapping = map_mig_to_majority(mig)
+        times = {s.time for s in mapping.steps}
+        assert times == {1}
+        assert mapping.delay == 2
+
+    def test_device_per_signal(self):
+        mig = mig_from_truth_table(
+            TruthTable.from_function(3, lambda a, b, c: (a & b) | c)
+        )
+        mapping = map_mig_to_majority(mig)
+        assert mapping.area == 1 + mig.n_inputs + mig.n_nodes
+
+
+class TestDeviceConstrained:
+    def test_sequential_mapping_verified(self, rng):
+        for _ in range(5):
+            table = TruthTable(3, int(rng.integers(0, 256)))
+            mig = mig_from_truth_table(table)
+            mapping = map_mig_to_majority(mig, max_devices=mig.n_inputs + 8)
+            assert _exhaustive_check(mig, mapping)
+
+    def test_reuse_reduces_devices(self):
+        mig = MIG(8)
+        acc = mig.input_lit(0)
+        for i in range(1, 8):
+            acc = mig.and_(acc, mig.input_lit(i))
+        mig.add_output(acc)
+        unconstrained = map_mig_to_majority(mig)
+        constrained = map_mig_to_majority(mig, max_devices=12)
+        assert constrained.area < unconstrained.area
+        assert _exhaustive_check(mig, constrained)
+
+    def test_constrained_is_slower(self):
+        mig = MIG(4)
+        a, b, c, d = (mig.input_lit(i) for i in range(4))
+        mig.add_output(mig.and_(a, b))
+        mig.add_output(mig.and_(c, d))
+        fast = map_mig_to_majority(mig)
+        slow = map_mig_to_majority(mig, max_devices=10)
+        assert slow.delay > fast.delay
+
+    def test_infeasible_budget_rejected(self):
+        mig = mig_from_truth_table(
+            TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        )
+        with pytest.raises(ValueError, match="max_devices"):
+            map_mig_to_majority(mig, max_devices=2)
+
+
+class TestScheduleValidation:
+    def test_causality_enforced(self):
+        """Tampering with a step's time trips the execution check."""
+        mig = mig_from_truth_table(
+            TruthTable.from_function(3, lambda a, b, c: (a & b) | c)
+        )
+        mapping = map_mig_to_majority(mig)
+        deep_step = max(mapping.steps, key=lambda s: s.time)
+        if deep_step.time > 1:
+            from dataclasses import replace
+
+            bad = replace(deep_step, time=1)
+            mapping.steps[mapping.steps.index(deep_step)] = bad
+            with pytest.raises(RuntimeError, match="schedule violation"):
+                mapping.execute([0, 0, 0])

@@ -1,0 +1,129 @@
+"""Tests for the Majority-Inverter Graph."""
+
+import pytest
+
+from repro.eda.aig import FALSE_LIT, TRUE_LIT, lit_not
+from repro.eda.boolean import TruthTable
+from repro.eda.mig import MIG, mig_from_aig, mig_from_truth_table
+from repro.eda.aig import AIG, aig_from_truth_table
+
+
+class TestAxioms:
+    def test_majority_rule_two_equal(self):
+        mig = MIG(2)
+        a = mig.input_lit(0)
+        c = mig.input_lit(1)
+        assert mig.maj(a, a, c) == a
+        assert mig.n_nodes == 0
+
+    def test_complementary_rule(self):
+        mig = MIG(2)
+        a = mig.input_lit(0)
+        c = mig.input_lit(1)
+        assert mig.maj(a, lit_not(a), c) == c
+        assert mig.n_nodes == 0
+
+    def test_and_or_via_constants(self):
+        mig = MIG(2)
+        a, b = mig.input_lit(0), mig.input_lit(1)
+        mig.add_output(mig.and_(a, b))
+        mig.add_output(mig.or_(a, b))
+        tables = mig.to_truth_tables()
+        assert tables[0] == TruthTable.from_function(2, lambda x, y: x & y)
+        assert tables[1] == TruthTable.from_function(2, lambda x, y: x | y)
+
+    def test_structural_hashing(self):
+        mig = MIG(3)
+        a, b, c = (mig.input_lit(i) for i in range(3))
+        n1 = mig.maj(a, b, c)
+        n2 = mig.maj(c, a, b)
+        assert n1 == n2
+        assert mig.n_nodes == 1
+
+    def test_self_duality_normalization(self):
+        """M(NOT a, NOT b, NOT c) = NOT M(a, b, c): both directions hash
+        to the same node."""
+        mig = MIG(3)
+        a, b, c = (mig.input_lit(i) for i in range(3))
+        pos = mig.maj(a, b, c)
+        neg = mig.maj(lit_not(a), lit_not(b), lit_not(c))
+        assert neg == lit_not(pos)
+        assert mig.n_nodes == 1
+
+
+class TestSemantics:
+    def test_majority_simulation(self):
+        mig = MIG(3)
+        a, b, c = (mig.input_lit(i) for i in range(3))
+        mig.add_output(mig.maj(a, b, c))
+        for m in range(8):
+            inputs = [(m >> i) & 1 for i in range(3)]
+            assert mig.simulate(inputs)[0] == int(sum(inputs) >= 2)
+
+    def test_xor_construction(self):
+        mig = MIG(2)
+        a, b = mig.input_lit(0), mig.input_lit(1)
+        mig.add_output(mig.xor_(a, b))
+        assert mig.to_truth_tables()[0] == TruthTable.from_function(
+            2, lambda x, y: x ^ y
+        )
+
+
+class TestConversion:
+    @pytest.mark.parametrize("n_vars", [2, 3, 4])
+    def test_aig_conversion_preserves_function(self, n_vars, rng):
+        for _ in range(5):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            aig, out = aig_from_truth_table(table)
+            aig.add_output(out)
+            mig = mig_from_aig(aig)
+            assert mig.to_truth_tables()[0] == table
+
+    def test_direct_synthesis(self):
+        table = TruthTable.from_function(3, lambda a, b, c: (a & b) ^ c)
+        mig = mig_from_truth_table(table)
+        assert mig.to_truth_tables()[0] == table
+
+
+class TestDepthOptimization:
+    def test_preserves_function(self, rng):
+        for seed in range(10):
+            table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+            mig = mig_from_truth_table(table)
+            optimized = mig.depth_optimize()
+            assert optimized.to_truth_tables()[0] == table
+
+    def test_never_increases_depth(self, rng):
+        for _ in range(10):
+            table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+            mig = mig_from_truth_table(table)
+            assert mig.depth_optimize().levels() <= mig.levels()
+
+    def test_reduces_depth_on_chain(self):
+        """An unbalanced AND chain rebalances: depth n-1 -> ~log n."""
+        mig = MIG(8)
+        acc = mig.input_lit(0)
+        for i in range(1, 8):
+            acc = mig.and_(acc, mig.input_lit(i))
+        mig.add_output(acc)
+        optimized = mig.depth_optimize(rounds=5)
+        assert optimized.levels() < mig.levels()
+        table = TruthTable.from_function(8, lambda *xs: all(xs))
+        assert optimized.to_truth_tables()[0] == table
+
+
+class TestMetrics:
+    def test_levels_counting(self):
+        mig = MIG(4)
+        a, b, c, d = (mig.input_lit(i) for i in range(4))
+        ab = mig.and_(a, b)
+        abc = mig.and_(ab, c)
+        mig.add_output(mig.and_(abc, d))
+        assert mig.levels() == 3
+
+    def test_input_validation(self):
+        mig = MIG(1)
+        with pytest.raises(ValueError):
+            mig.input_lit(1)
+        with pytest.raises(ValueError):
+            mig.simulate([0, 1])

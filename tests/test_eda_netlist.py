@@ -1,0 +1,85 @@
+"""Tests for NOR/NOT netlists and AIG conversion."""
+
+import pytest
+
+from repro.eda.aig import AIG, aig_from_truth_table
+from repro.eda.boolean import TruthTable
+from repro.eda.netlist import NorNetlist, nor_netlist_from_aig
+
+
+class TestNetlistBasics:
+    def test_nor_semantics(self):
+        net = NorNetlist(2)
+        out = net.add_gate([0, 1])
+        net.add_output(out)
+        assert net.simulate([0, 0]) == [1]
+        assert net.simulate([1, 0]) == [0]
+        assert net.simulate([0, 1]) == [0]
+        assert net.simulate([1, 1]) == [0]
+
+    def test_not_via_single_input(self):
+        net = NorNetlist(1)
+        net.add_output(net.add_not(0))
+        assert net.simulate([0]) == [1]
+        assert net.simulate([1]) == [0]
+
+    def test_constants(self):
+        net = NorNetlist(1)
+        out = net.add_gate([NorNetlist.CONST0, 0])
+        net.add_output(out)
+        assert net.simulate([0]) == [1]  # NOR(0, 0) = 1
+        assert net.simulate([1]) == [0]
+
+    def test_levels(self):
+        net = NorNetlist(2)
+        n1 = net.add_not(0)
+        n2 = net.add_gate([n1, 1])
+        net.add_output(n2)
+        assert net.levels() == 2
+
+    def test_unknown_signal_rejected(self):
+        net = NorNetlist(2)
+        with pytest.raises(ValueError, match="unknown signal"):
+            net.add_gate([5])
+
+    def test_empty_gate_rejected(self):
+        with pytest.raises(ValueError):
+            NorNetlist(1).add_gate([])
+
+
+class TestAigConversion:
+    @pytest.mark.parametrize("n_vars", [1, 2, 3, 4])
+    def test_function_preserved(self, n_vars, rng):
+        for _ in range(8):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            aig, out = aig_from_truth_table(table)
+            aig.add_output(out)
+            net = nor_netlist_from_aig(aig.cleanup())
+            for m in range(1 << n_vars):
+                inputs = [(m >> i) & 1 for i in range(n_vars)]
+                assert net.simulate(inputs) == aig.simulate(inputs)
+
+    def test_inverter_sharing(self):
+        """An inverter needed by several gates is created exactly once.
+
+        ``AND(x, b) = NOR(NOT x, NOT b)``, so every AND with fanin ``b``
+        (positive) needs ``NOT b``; two such ANDs must share one NOT gate.
+        """
+        aig = AIG(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        n1 = aig.and_(a, b)
+        n2 = aig.and_(a ^ 1, b)
+        aig.add_output(n1)
+        aig.add_output(n2)
+        net = nor_netlist_from_aig(aig)
+        nots_on_b = [g for g in net.gates if g.is_not and g.inputs[0] == 1]
+        assert len(nots_on_b) == 1
+
+    def test_multi_output(self):
+        aig = AIG(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        aig.add_output(aig.and_(a, b))
+        aig.add_output(aig.or_(a, b))
+        net = nor_netlist_from_aig(aig)
+        assert net.simulate([1, 0]) == [0, 1]
+        assert net.simulate([1, 1]) == [1, 1]

@@ -1,0 +1,122 @@
+"""Tests for AIG balancing and BDD sifting."""
+
+import pytest
+
+from repro.eda.aig import AIG, aig_from_truth_table
+from repro.eda.boolean import TruthTable
+from repro.eda.optimization import (
+    aig_balance,
+    bdd_size_for_order,
+    permute_truth_table,
+    sift_variable_order,
+)
+
+
+class TestAigBalance:
+    def test_chain_becomes_logarithmic(self):
+        """AND-chain of 8 inputs: depth 7 -> depth 3."""
+        aig = AIG(8)
+        acc = aig.input_lit(0)
+        for i in range(1, 8):
+            acc = aig.and_(acc, aig.input_lit(i))
+        aig.add_output(acc)
+        assert aig.levels() == 7
+        balanced = aig_balance(aig)
+        assert balanced.levels() == 3
+        assert balanced.to_truth_tables()[0] == aig.to_truth_tables()[0]
+
+    @pytest.mark.parametrize("n_vars", [2, 3, 4])
+    def test_function_preserved(self, n_vars, rng):
+        for _ in range(8):
+            table = TruthTable(n_vars, int(rng.integers(0, 1 << (1 << n_vars))))
+            aig, out = aig_from_truth_table(table)
+            aig.add_output(out)
+            balanced = aig_balance(aig)
+            assert balanced.to_truth_tables()[0] == table
+
+    def test_never_deepens(self, rng):
+        for _ in range(8):
+            table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+            aig, out = aig_from_truth_table(table)
+            aig.add_output(out)
+            assert aig_balance(aig).levels() <= aig.cleanup().levels()
+
+    def test_multi_output(self):
+        aig = AIG(4)
+        a, b, c, d = (aig.input_lit(i) for i in range(4))
+        aig.add_output(aig.and_(aig.and_(aig.and_(a, b), c), d))
+        aig.add_output(aig.or_(a, d))
+        balanced = aig_balance(aig)
+        originals = aig.to_truth_tables()
+        rebuilt = balanced.to_truth_tables()
+        assert originals == rebuilt
+
+    def test_balancing_improves_mapped_delay(self):
+        """Depth reduction propagates into technology mapping."""
+        from repro.eda.majority_mapping import map_mig_to_majority
+        from repro.eda.mig import mig_from_aig
+
+        aig = AIG(8)
+        acc = aig.input_lit(0)
+        for i in range(1, 8):
+            acc = aig.and_(acc, aig.input_lit(i))
+        aig.add_output(acc)
+        before = map_mig_to_majority(mig_from_aig(aig)).delay
+        after = map_mig_to_majority(mig_from_aig(aig_balance(aig))).delay
+        assert after < before
+
+
+class TestPermutation:
+    def test_identity(self, rng):
+        table = TruthTable(3, int(rng.integers(0, 256)))
+        assert permute_truth_table(table, [0, 1, 2]) == table
+
+    def test_swap_consistency(self):
+        table = TruthTable.from_function(2, lambda a, b: a & ~b & 1)
+        swapped = permute_truth_table(table, [1, 0])
+        # new x0 = old x1, new x1 = old x0: f'(a, b) = f(b, a).
+        for a in (0, 1):
+            for b in (0, 1):
+                assert swapped.evaluate([a, b]) == table.evaluate([b, a])
+
+    def test_involution(self, rng):
+        table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+        order = [2, 0, 3, 1]
+        inverse = [order.index(i) for i in range(4)]
+        assert permute_truth_table(
+            permute_truth_table(table, order), inverse
+        ) == table
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            permute_truth_table(TruthTable.constant(3, True), [0, 1, 1])
+
+
+class TestSifting:
+    def test_order_dependent_function(self):
+        """f = x0 x3 + x1 x4 + x2 x5: interleaved order is exponentially
+        worse than the paired order — sifting must find a small one."""
+        table = TruthTable.from_function(
+            6, lambda a, b, c, d, e, f: (a & d) | (b & e) | (c & f)
+        )
+        bad = bdd_size_for_order(table, [0, 1, 2, 3, 4, 5])
+        good = bdd_size_for_order(table, [0, 3, 1, 4, 2, 5])
+        assert good < bad
+        order, size = sift_variable_order(table)
+        assert size <= good
+
+    def test_sifted_size_never_worse_than_initial(self, rng):
+        for _ in range(5):
+            table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+            initial = bdd_size_for_order(table, [0, 1, 2, 3])
+            _, sifted = sift_variable_order(table)
+            assert sifted <= initial
+
+    def test_result_order_is_valid_permutation(self, rng):
+        table = TruthTable(4, int(rng.integers(0, 1 << 16)))
+        order, _ = sift_variable_order(table)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_max_passes_validated(self):
+        with pytest.raises(ValueError):
+            sift_variable_order(TruthTable.constant(2, True), max_passes=0)

@@ -1,0 +1,128 @@
+"""Edge-case and failure-injection coverage across subsystems.
+
+Small, boundary and degenerate configurations that production users hit
+first: 1x1 arrays, empty circuits, saturated devices, single-level
+ladders, zero-probability processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cim_core import CIMCore, CIMCoreParams
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.crossbar.solver import NodalCrossbarSolver, sneak_path_read_current
+from repro.devices.memristor import LinearIonDriftMemristor
+from repro.devices.reram import ConductanceLevels, ReRAMCell
+from repro.eda.aig import AIG, aig_from_truth_table
+from repro.eda.boolean import TruthTable
+from repro.eda.flow import EdaFlow
+from repro.eda.imply_mapping import map_aig_to_imply
+from repro.faults.injection import FaultInjector
+from repro.testing.march import FaultyBitMemory, MarchTestRunner, march_c_star
+
+
+class TestOneByOneCrossbar:
+    def test_vmm_single_cell(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=1, cols=1), rng=0)
+        xbar.program(np.array([[5e-5]]))
+        assert xbar.vmm(np.array([0.2]))[0] == pytest.approx(1e-5)
+
+    def test_nodal_solver_single_cell(self):
+        solver = NodalCrossbarSolver(wire_resistance=1.0)
+        result = solver.solve(np.array([[5e-5]]), np.array([0.2]))
+        ideal = 0.2 * 5e-5
+        assert result.column_currents[0] == pytest.approx(ideal, rel=0.01)
+
+    def test_sneak_path_single_cell_equals_ideal(self):
+        measured, ideal = sneak_path_read_current(np.array([[5e-5]]), 0, 0)
+        assert measured == pytest.approx(ideal)
+
+    def test_fault_injection_full_array(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=1, cols=1), rng=0)
+        xbar.program(np.array([[5e-5]]))
+        FaultInjector(xbar, rng=1).inject_exact_count(1)
+        assert xbar.fault_count() == 1
+
+
+class TestDegenerateCircuits:
+    def test_constant_only_aig_through_flow(self):
+        aig = AIG(1)
+        aig.add_output(0)
+        results = EdaFlow().run(aig)
+        assert all(r.verified for r in results.values())
+
+    def test_identity_function(self):
+        aig = AIG(1)
+        aig.add_output(aig.input_lit(0))
+        program = map_aig_to_imply(aig)
+        assert program.execute([0]) == [0]
+        assert program.execute([1]) == [1]
+
+    def test_single_variable_truth_tables(self):
+        for bits in range(4):
+            table = TruthTable(1, bits)
+            aig, out = aig_from_truth_table(table)
+            aig.add_output(out)
+            assert aig.to_truth_tables()[0] == table
+
+    def test_zero_input_truth_table(self):
+        true_table = TruthTable(0, 1)
+        assert true_table.evaluate([]) == 1
+        false_table = TruthTable(0, 0)
+        assert false_table.evaluate([]) == 0
+
+
+class TestDeviceBoundaries:
+    def test_memristor_saturated_lrs_stays(self):
+        dev = LinearIonDriftMemristor(x0=1.0)
+        dev.apply_voltage(2.0, duration=1e-3)
+        assert dev.state == 1.0
+
+    def test_memristor_saturated_hrs_recovers(self):
+        """The Biolek window's point: boundaries are not sticky for the
+        opposite drive direction."""
+        dev = LinearIonDriftMemristor(x0=0.0)
+        dev.apply_voltage(1.0, duration=1e-3)
+        assert dev.state > 0.0
+
+    def test_two_level_ladder(self):
+        levels = ConductanceLevels(n_levels=2)
+        assert levels.quantize(levels.g_min) == 0
+        assert levels.quantize(levels.g_max) == 1
+
+    def test_cell_read_count_tracks(self):
+        cell = ReRAMCell(rng=0)
+        cell.form()
+        for _ in range(5):
+            cell.read()
+        assert cell.read_count == 5
+
+
+class TestSingleCellMemoryMarch:
+    def test_one_cell_memory(self):
+        memory = FaultyBitMemory(1)
+        result = MarchTestRunner(march_c_star()).run(memory)
+        assert not result.fail
+        assert len(result.signatures[0]) == 6
+
+
+class TestCimCoreMinimal:
+    def test_one_by_one_logical_core(self, rng):
+        core = CIMCore(CIMCoreParams(rows=1, logical_cols=1), rng=0)
+        core.program_weights(np.array([[0.5]]))
+        y = core.vmm(np.array([1.0]), noisy=False)
+        assert y[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_all_zero_input(self, rng):
+        core = CIMCore(CIMCoreParams(rows=8, logical_cols=4), rng=1)
+        core.program_weights(rng.uniform(-1, 1, (8, 4)))
+        y = core.vmm(np.zeros(8), noisy=False)
+        assert np.allclose(y, 0.0, atol=0.05)
+
+    def test_extreme_weights(self):
+        core = CIMCore(CIMCoreParams(rows=4, logical_cols=2), rng=2)
+        w = np.array([[1.0, -1.0]] * 4)
+        core.program_weights(w)
+        y = core.vmm(np.ones(4), noisy=False)
+        assert y[0] == pytest.approx(4.0, rel=0.05)
+        assert y[1] == pytest.approx(-4.0, rel=0.05)

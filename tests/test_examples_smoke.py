@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run here (the full set runs in seconds each; the
+estimator-training one is exercised by its benchmark instead).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "CIM core VMM" in out
+    assert "ADC dominates" in out
+
+
+def test_eda_flow_example_runs(capsys):
+    _run("eda_flow_adder.py")
+    out = capsys.readouterr().out
+    assert "verified" in out
+    assert "IMPLY program for NAND" in out
+
+
+def test_technology_explorer_runs(capsys):
+    _run("technology_explorer.py")
+    out = capsys.readouterr().out
+    assert "chip dimensioning" in out
+    assert "write scheme comparison" in out
+
+
+def test_ferfet_bnn_example_runs(capsys):
+    _run("ferfet_bnn.py")
+    out = capsys.readouterr().out
+    assert "Fig 10(b)" in out
+    assert "bit-exact vs software: True" in out
+
+
+def test_dnn_fault_tolerance_example_runs(capsys):
+    _run("dnn_inference_fault_tolerance.py")
+    out = capsys.readouterr().out
+    assert "X-ABFT demonstration" in out

@@ -1,0 +1,72 @@
+"""Tests for the defect-to-fault mapping ([45])."""
+
+import pytest
+
+from repro.faults.defects import (
+    Defect,
+    DefectType,
+    defect_to_fault,
+    sample_defects,
+)
+from repro.faults.models import FaultType
+
+
+class TestMapping:
+    def test_pinhole_causes_sa1(self):
+        faults = defect_to_fault(Defect(DefectType.OXIDE_PINHOLE, 2, 3), 8, 8)
+        assert len(faults) == 1
+        assert faults[0].fault_type is FaultType.STUCK_AT_1
+        assert (faults[0].row, faults[0].col) == (2, 3)
+
+    def test_broken_wordline_fans_out_sa1(self):
+        """'a broken word-line ... leads to the SA1 behavior' for every
+        cell on the row."""
+        faults = defect_to_fault(Defect(DefectType.BROKEN_WORDLINE, 5, -1), 8, 8)
+        assert len(faults) == 8
+        assert all(f.fault_type is FaultType.STUCK_AT_1 for f in faults)
+        assert all(f.row == 5 for f in faults)
+        assert {f.col for f in faults} == set(range(8))
+
+    def test_broken_bitline_fans_out_sa0(self):
+        faults = defect_to_fault(Defect(DefectType.BROKEN_BITLINE, -1, 2), 8, 8)
+        assert len(faults) == 8
+        assert all(f.fault_type is FaultType.STUCK_AT_0 for f in faults)
+        assert all(f.col == 2 for f in faults)
+
+    def test_under_forming_causes_sa0(self):
+        faults = defect_to_fault(Defect(DefectType.UNDER_FORMING, 0, 0), 4, 4)
+        assert faults[0].fault_type is FaultType.STUCK_AT_0
+
+    def test_contamination_causes_transition_fault(self):
+        faults = defect_to_fault(
+            Defect(DefectType.ELECTRODE_CONTAMINATION, 1, 1), 4, 4
+        )
+        assert faults[0].fault_type is FaultType.TRANSITION
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            defect_to_fault(Defect(DefectType.OXIDE_PINHOLE, 9, 0), 4, 4)
+        with pytest.raises(ValueError):
+            defect_to_fault(Defect(DefectType.BROKEN_WORDLINE, 9, -1), 4, 4)
+
+
+class TestSampling:
+    def test_rates_control_population(self):
+        few = sample_defects(32, 32, cell_defect_rate=0.001,
+                             line_defect_rate=0.0, rng=0)
+        many = sample_defects(32, 32, cell_defect_rate=0.1,
+                              line_defect_rate=0.0, rng=0)
+        assert len(many) > len(few)
+
+    def test_zero_rates_empty(self):
+        assert sample_defects(16, 16, 0.0, 0.0, rng=0) == []
+
+    def test_deterministic_with_seed(self):
+        a = sample_defects(16, 16, 0.05, 0.05, rng=42)
+        b = sample_defects(16, 16, 0.05, 0.05, rng=42)
+        assert a == b
+
+    def test_line_defects_present_at_high_rate(self):
+        defects = sample_defects(16, 16, 0.0, 0.5, rng=1)
+        kinds = {d.defect_type for d in defects}
+        assert DefectType.BROKEN_WORDLINE in kinds or DefectType.BROKEN_BITLINE in kinds

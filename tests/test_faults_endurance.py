@@ -1,0 +1,92 @@
+"""Tests for the endurance wear-out model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.faults.endurance import EnduranceModel, EnduranceSimulator
+
+
+def _array(seed=0, n=16):
+    array = CrossbarArray(CrossbarConfig(rows=n, cols=n), rng=seed)
+    array.program(np.full((n, n), 5e-5))
+    return array
+
+
+class TestEnduranceModel:
+    def test_failure_probability_monotone(self):
+        model = EnduranceModel(characteristic_life=1e4, shape=2.0)
+        probs = [model.failure_probability(w) for w in (0, 1e3, 1e4, 1e5)]
+        assert probs == sorted(probs)
+        assert probs[0] == 0.0
+
+    def test_characteristic_life_definition(self):
+        """At the characteristic life, 63.2% of cells have failed."""
+        model = EnduranceModel(characteristic_life=1e4, shape=2.0)
+        assert model.failure_probability(1e4) == pytest.approx(
+            1 - math.exp(-1), rel=1e-9
+        )
+
+    def test_sample_lifetimes_positive(self):
+        model = EnduranceModel()
+        lifetimes = model.sample_lifetimes(1000, rng=0)
+        assert np.all(lifetimes >= 0)
+        assert lifetimes.shape == (1000,)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EnduranceModel(characteristic_life=0)
+        with pytest.raises(ValueError):
+            EnduranceModel(shape=-1)
+
+
+class TestEnduranceSimulator:
+    def test_deaths_accumulate_monotonically(self):
+        sim = EnduranceSimulator(
+            _array(), EnduranceModel(characteristic_life=1000, shape=2.0), rng=1
+        )
+        series = sim.run_until(total_writes=3000, step=500)
+        dead = [row["dead_cells"] for row in series]
+        assert dead == sorted(dead)
+        assert dead[-1] > 0
+
+    def test_all_cells_eventually_die(self):
+        sim = EnduranceSimulator(
+            _array(n=8), EnduranceModel(characteristic_life=100, shape=2.0), rng=2
+        )
+        sim.run_until(total_writes=10_000, step=1000)
+        assert sim.dead_cell_count == 64
+
+    def test_dead_cells_are_stuck_at_extremes(self):
+        array = _array(n=8)
+        sim = EnduranceSimulator(
+            array, EnduranceModel(characteristic_life=100, shape=2.0), rng=3
+        )
+        sim.run_until(total_writes=10_000, step=1000)
+        levels = array.config.levels
+        g = array.conductances()
+        assert np.all(
+            (np.isclose(g, levels.g_min)) | (np.isclose(g, levels.g_max))
+        )
+
+    def test_death_fraction_tracks_weibull(self):
+        """Empirical dead fraction ~ the analytic CDF."""
+        model = EnduranceModel(characteristic_life=1000, shape=2.0)
+        sim = EnduranceSimulator(_array(n=32), model, rng=4)
+        sim.run_until(total_writes=1000, step=1000)
+        expected = model.failure_probability(1000)
+        actual = sim.dead_cell_count / (32 * 32)
+        assert actual == pytest.approx(expected, abs=0.05)
+
+    def test_new_faults_returned_once(self):
+        sim = EnduranceSimulator(
+            _array(n=8), EnduranceModel(characteristic_life=10, shape=2.0), rng=5
+        )
+        first = sim.cycle(1000)
+        second = sim.cycle(1000)
+        assert len(first) > 0
+        first_cells = {(f.row, f.col) for f in first}
+        second_cells = {(f.row, f.col) for f in second}
+        assert not first_cells & second_cells

@@ -1,0 +1,128 @@
+"""Tests for the fault taxonomy (Fig 6) and behavioural fault processes."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.faults.models import (
+    Fault,
+    FaultClass,
+    FaultPersistence,
+    FaultType,
+    ReadDisturbProcess,
+    WriteDisturbProcess,
+    fault_taxonomy,
+)
+
+
+class TestTaxonomy:
+    """The Fig 6 matrix, quadrant by quadrant."""
+
+    def test_dynamic_hard_is_endurance(self):
+        taxonomy = fault_taxonomy()
+        quadrant = taxonomy[(FaultClass.HARD, FaultPersistence.DYNAMIC)]
+        assert quadrant == [FaultType.ENDURANCE_WEAROUT]
+
+    def test_dynamic_soft_mechanisms(self):
+        taxonomy = fault_taxonomy()
+        quadrant = set(taxonomy[(FaultClass.SOFT, FaultPersistence.DYNAMIC)])
+        assert {
+            FaultType.READ_DISTURB,
+            FaultType.WRITE_DISTURB,
+            FaultType.WRITE_VARIATION,
+        }.issubset(quadrant)
+
+    def test_static_hard_includes_fabrication_defects(self):
+        taxonomy = fault_taxonomy()
+        quadrant = set(taxonomy[(FaultClass.HARD, FaultPersistence.STATIC)])
+        assert {FaultType.STUCK_AT_0, FaultType.STUCK_AT_1}.issubset(quadrant)
+
+    def test_static_soft_is_fabrication_variation(self):
+        taxonomy = fault_taxonomy()
+        quadrant = taxonomy[(FaultClass.SOFT, FaultPersistence.STATIC)]
+        assert quadrant == [FaultType.FABRICATION_VARIATION]
+
+    def test_every_mechanism_classified(self):
+        classified = [t for types in fault_taxonomy().values() for t in types]
+        assert set(classified) == set(FaultType)
+        assert len(classified) == len(FaultType)
+
+    def test_fault_instance_properties(self):
+        fault = Fault(FaultType.STUCK_AT_0, 1, 2)
+        assert fault.is_hard
+        assert fault.fault_class is FaultClass.HARD
+        assert fault.persistence is FaultPersistence.STATIC
+        soft = Fault(FaultType.READ_DISTURB, 0, 0)
+        assert not soft.is_hard
+
+
+def _fresh_array(seed=0, n=16):
+    array = CrossbarArray(CrossbarConfig(rows=n, cols=n), rng=seed)
+    array.program(np.full((n, n), 3e-5))
+    return array
+
+
+class TestReadDisturb:
+    def test_reads_shift_toward_lrs(self):
+        array = _fresh_array()
+        proc = ReadDisturbProcess(array, disturb_probability=0.5,
+                                  shift_fraction=0.2, rng=1)
+        g0 = array.conductances().mean()
+        for _ in range(10):
+            proc.read()
+        assert array.conductances().mean() > g0
+        assert proc.disturb_events > 0
+
+    def test_zero_probability_no_disturb(self):
+        array = _fresh_array()
+        proc = ReadDisturbProcess(array, disturb_probability=0.0, rng=1)
+        g0 = array.conductances().copy()
+        proc.read()
+        assert np.array_equal(array.conductances(), g0)
+
+    def test_vmm_also_disturbs(self):
+        array = _fresh_array()
+        proc = ReadDisturbProcess(array, disturb_probability=1.0,
+                                  shift_fraction=0.1, rng=1)
+        proc.vmm(np.full(16, 0.2))
+        assert proc.disturb_events == 16 * 16
+
+    def test_stuck_cells_immune(self):
+        array = _fresh_array()
+        array.stick_cell(0, 0, 1e-6)
+        proc = ReadDisturbProcess(array, disturb_probability=1.0,
+                                  shift_fraction=0.5, rng=1)
+        proc.read()
+        assert array.conductances()[0, 0] == 1e-6
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            ReadDisturbProcess(_fresh_array(), disturb_probability=1.5)
+
+
+class TestWriteDisturb:
+    def test_neighbours_on_row_and_column_shift(self):
+        array = _fresh_array()
+        proc = WriteDisturbProcess(array, disturb_probability=1.0,
+                                   shift_fraction=0.3, rng=2)
+        g0 = array.conductances().copy()
+        proc.write_cell(4, 4, 9e-5)
+        g1 = array.conductances()
+        # Cells sharing row 4 or column 4 moved toward LRS.
+        assert g1[4, 0] > g0[4, 0]
+        assert g1[0, 4] > g0[0, 4]
+        # Cells sharing neither line are untouched.
+        assert g1[0, 0] == pytest.approx(g0[0, 0])
+
+    def test_written_cell_gets_target(self):
+        array = _fresh_array()
+        proc = WriteDisturbProcess(array, disturb_probability=0.0, rng=2)
+        proc.write_cell(2, 3, 8e-5)
+        assert array.conductances()[2, 3] == pytest.approx(8e-5)
+
+    def test_disturb_events_counted(self):
+        array = _fresh_array()
+        proc = WriteDisturbProcess(array, disturb_probability=1.0, rng=2)
+        proc.write_cell(0, 0, 9e-5)
+        # Full row (15 others) + full column (15 others).
+        assert proc.disturb_events == 30

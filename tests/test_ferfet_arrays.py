@@ -1,0 +1,144 @@
+"""Tests for the Fig 12 Logic-In-Memory array cells and in-array adder."""
+
+import pytest
+
+from repro.devices.ferfet import FeRFETParams
+from repro.ferfet.arrays import (
+    AndTypeCell,
+    LogicInMemoryAdder,
+    NorArray,
+    OrTypeCell,
+)
+
+
+class TestOrTypeCell:
+    """Fig 12(a): stored A + volatile B at the same WL -> (N)OR."""
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_or_truth_table(self, a, b):
+        cell = OrTypeCell()
+        cell.store(a)
+        assert cell.or_(b) == (a | b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_nor_is_inverted_sense(self, a, b):
+        cell = OrTypeCell()
+        cell.store(a)
+        assert cell.nor(b) == 1 - (a | b)
+
+    def test_requires_depletion_mode(self):
+        enhancement = FeRFETParams(vth_n_lrs=0.3, vth_n_hrs=1.0)
+        with pytest.raises(ValueError, match="depletion"):
+            OrTypeCell(enhancement)
+
+    def test_stored_bit_nonvolatile_across_reads(self):
+        cell = OrTypeCell()
+        cell.store(1)
+        for _ in range(20):
+            cell.conducts(0)
+            cell.conducts(1)
+        assert cell.stored == 1
+
+    def test_input_validation(self):
+        cell = OrTypeCell()
+        with pytest.raises(ValueError):
+            cell.store(2)
+        cell.store(1)
+        with pytest.raises(ValueError):
+            cell.conducts(2)
+
+
+class TestAndTypeCell:
+    """Wired-AND cell: conduction = stored A AND volatile B AND select."""
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_and_conduction(self, a, b):
+        cell = AndTypeCell()
+        cell.store(a)
+        assert int(cell.conducts(b)) == (a & b)
+
+    def test_select_gate_blocks(self):
+        cell = AndTypeCell()
+        cell.store(1)
+        assert not cell.conducts(1, select=0)
+
+    def test_requires_enhancement_mode(self):
+        depletion = FeRFETParams(vth_n_lrs=-0.3, vth_n_hrs=0.5)
+        with pytest.raises(ValueError, match="enhancement"):
+            AndTypeCell(depletion)
+
+
+class TestNorArray:
+    def test_aoi_two_products(self):
+        """AND-OR-INVERT over two stored/applied operand pairs ([104])."""
+        array = NorArray(rows=2, cols=1)
+        for a1 in (0, 1):
+            for a2 in (0, 1):
+                array.store([[a1], [a2]])
+                for b1 in (0, 1):
+                    for b2 in (0, 1):
+                        out = array.aoi([b1, b2])[0]
+                        assert out == 1 - ((a1 & b1) | (a2 & b2))
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_dynamic_xnor(self, a, b):
+        array = NorArray(rows=2, cols=1)
+        assert array.xnor_column(a, b) == 1 - (a ^ b)
+
+    def test_multi_column(self):
+        array = NorArray(rows=2, cols=3)
+        array.store([[1, 0, 1], [0, 1, 1]])
+        out = array.aoi([1, 1])
+        assert out == [0, 0, 0]
+        out = array.aoi([0, 0])
+        assert out == [1, 1, 1]
+
+    def test_select_line_masks_rows(self):
+        array = NorArray(rows=2, cols=1)
+        array.store([[1], [1]])
+        assert array.aoi([1, 1], select=[0, 0]) == [1]
+
+    def test_shape_validation(self):
+        array = NorArray(rows=2, cols=2)
+        with pytest.raises(ValueError):
+            array.store([[1, 0]])
+        with pytest.raises(ValueError):
+            array.aoi([1])
+
+
+class TestLogicInMemoryAdder:
+    """The in-array half/full adder of [103]."""
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_half_adder(self, a, b):
+        adder = LogicInMemoryAdder()
+        s, c = adder.half_add(a, b)
+        assert s == a ^ b
+        assert c == a & b
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    @pytest.mark.parametrize("cin", [0, 1])
+    def test_full_adder(self, a, b, cin):
+        adder = LogicInMemoryAdder()
+        s, cout = adder.full_add(a, b, cin)
+        total = a + b + cin
+        assert s == total % 2
+        assert cout == total // 2
+
+    @pytest.mark.parametrize("a,b", [(5, 3), (7, 7), (0, 15), (9, 6)])
+    def test_word_addition(self, a, b):
+        adder = LogicInMemoryAdder()
+        a_bits = [(a >> i) & 1 for i in range(4)]
+        b_bits = [(b >> i) & 1 for i in range(4)]
+        result = adder.add_words(a_bits, b_bits)
+        assert sum(bit << i for i, bit in enumerate(result)) == a + b
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LogicInMemoryAdder().add_words([1, 0], [1])

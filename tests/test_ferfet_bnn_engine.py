@@ -1,0 +1,68 @@
+"""Tests for the FeRFET XNOR-popcount BNN engine."""
+
+import numpy as np
+import pytest
+
+from repro.ferfet.bnn_engine import XnorPopcountEngine
+
+
+@pytest.fixture
+def engine(rng):
+    weights = rng.choice([-1, 1], size=(12, 5))
+    return XnorPopcountEngine(weights)
+
+
+class TestConstruction:
+    def test_cell_count(self, engine):
+        assert engine.n_cells == 12 * 5
+
+    def test_non_binary_weights_rejected(self):
+        with pytest.raises(ValueError, match="\\+/-1"):
+            XnorPopcountEngine(np.array([[0.5, 1.0]]))
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="2-D"):
+            XnorPopcountEngine(np.array([1, -1]))
+
+
+class TestDotProduct:
+    def test_matches_reference_exactly(self, engine, rng):
+        """Digital in-memory computation: bit-exact, no analog error."""
+        for _ in range(10):
+            x = rng.choice([-1, 1], size=12)
+            assert np.array_equal(engine.dot(x), engine.reference_dot(x))
+
+    def test_all_ones_input(self, engine):
+        x = np.ones(12, dtype=int)
+        assert np.array_equal(engine.dot(x), engine.weights.sum(axis=0))
+
+    def test_sign_activation(self, engine, rng):
+        x = rng.choice([-1, 1], size=12)
+        raw = engine.dot(x)
+        out = engine.forward(x)
+        assert np.array_equal(out, np.where(raw >= 0, 1, -1))
+
+    def test_output_parity(self, engine, rng):
+        """XNOR-popcount outputs have the parity of the fan-in."""
+        x = rng.choice([-1, 1], size=12)
+        assert np.all((engine.dot(x) - 12) % 2 == 0)
+
+    def test_non_binary_activation_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.dot([0] * 12)
+
+    def test_wrong_length_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.dot([1] * 11)
+
+
+class TestWeightEncoding:
+    def test_single_weight_plus_one(self):
+        engine = XnorPopcountEngine(np.array([[1]]))
+        assert engine.dot([1])[0] == 1
+        assert engine.dot([-1])[0] == -1
+
+    def test_single_weight_minus_one(self):
+        engine = XnorPopcountEngine(np.array([[-1]]))
+        assert engine.dot([1])[0] == -1
+        assert engine.dot([-1])[0] == 1

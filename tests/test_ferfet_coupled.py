@@ -1,0 +1,78 @@
+"""Tests for inter-coupled FeFET arrays ([108])."""
+
+import pytest
+
+from repro.ferfet.coupled_arrays import CoupledArrayPipeline, two_stage_and
+
+
+class TestPipelineConstruction:
+    def test_shape_chaining_enforced(self):
+        with pytest.raises(ValueError, match="width"):
+            CoupledArrayPipeline([(2, 3), (4, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CoupledArrayPipeline([])
+
+    def test_stage_count(self):
+        pipeline = CoupledArrayPipeline([(2, 2), (2, 1)])
+        assert pipeline.n_stages == 2
+
+
+class TestBitPassing:
+    def test_single_stage_is_aoi(self):
+        pipeline = CoupledArrayPipeline([(2, 1)])
+        pipeline.store_plane(0, [[1], [1]])
+        for b0 in (0, 1):
+            for b1 in (0, 1):
+                trace = pipeline.evaluate([b0, b1])
+                assert trace.final == [1 - (b0 | b1)]
+
+    def test_trace_records_every_stage(self):
+        pipeline = CoupledArrayPipeline([(2, 2), (2, 1)])
+        pipeline.store_plane(0, [[1, 0], [0, 1]])
+        pipeline.store_plane(1, [[1], [1]])
+        trace = pipeline.evaluate([1, 0])
+        assert len(trace.stage_inputs) == 2
+        assert trace.stage_inputs[1] == trace.stage_outputs[0]
+
+    def test_input_width_checked(self):
+        pipeline = CoupledArrayPipeline([(2, 1)])
+        pipeline.store_plane(0, [[1], [1]])
+        with pytest.raises(ValueError, match="inputs"):
+            pipeline.evaluate([1, 0, 1])
+
+    def test_store_plane_stage_bounds(self):
+        pipeline = CoupledArrayPipeline([(2, 1)])
+        with pytest.raises(ValueError):
+            pipeline.store_plane(1, [[1], [1]])
+
+
+class TestTwoStageAnd:
+    """De Morgan across two physical arrays: NOT gates then NOR."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_computes_and_of_all_inputs(self, n):
+        pipeline = two_stage_and([0] * n)
+        for m in range(1 << n):
+            inputs = [(m >> i) & 1 for i in range(n)]
+            trace = pipeline.evaluate(inputs)
+            assert trace.final == [int(all(inputs))], inputs
+
+    def test_intermediate_stage_is_inverters(self):
+        pipeline = two_stage_and([0, 0, 0])
+        trace = pipeline.evaluate([1, 0, 1])
+        assert trace.stage_outputs[0] == [0, 1, 0]
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            two_stage_and([1])
+
+    def test_nonvolatile_planes_survive_evaluations(self):
+        """The arrays store while they compute — mixed logic/memory."""
+        pipeline = two_stage_and([0, 0])
+        for _ in range(20):
+            pipeline.evaluate([1, 1])
+        # The stored planes are unchanged: the function still holds.
+        assert pipeline.evaluate([1, 1]).final == [1]
+        assert pipeline.evaluate([1, 0]).final == [0]

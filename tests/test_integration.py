@@ -1,0 +1,158 @@
+"""Cross-module integration tests: full pipelines spanning subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import gaussian_blobs
+from repro.apps.nn import MLP, CrossbarMLP
+from repro.core.cim_core import CIMCore, CIMCoreParams
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.eda.benchmarks import ripple_carry_adder
+from repro.eda.flow import EdaFlow
+from repro.faults.endurance import EnduranceModel, EnduranceSimulator
+from repro.faults.injection import FaultInjector
+from repro.testing.abft import AbftProtectedVMM
+from repro.testing.changepoint import CusumDetector, OnlinePowerTestbench
+from repro.testing.march import MarchTestRunner, march_c_star
+from repro.testing.online_voltage import VoltageComparisonTester
+from repro.testing.sneak_path_test import SneakPathTester
+
+
+class TestManufactureTestDeployPipeline:
+    """Fabricate (with defects) -> screen (sneak-path) -> deploy (only if
+    clean) — the production flow Section III implies."""
+
+    def test_defective_array_screened_out(self):
+        reference = np.full((16, 16), 5e-5)
+        screened = {"clean": 0, "rejected": 0}
+        for seed in range(10):
+            array = CrossbarArray(CrossbarConfig(rows=16, cols=16), rng=seed)
+            array.program(reference)
+            injector = FaultInjector(array, rng=seed + 100)
+            # Half the dies get faults.
+            if seed % 2 == 0:
+                injector.inject_exact_count(4)
+            report = SneakPathTester(array).run(reference)
+            if report.fault_detected:
+                screened["rejected"] += 1
+            else:
+                screened["clean"] += 1
+        assert screened["rejected"] == 5
+        assert screened["clean"] == 5
+
+
+class TestFieldMonitoringPipeline:
+    """Deploy -> monitor power -> detect wear-out -> locate -> repair."""
+
+    def test_detect_then_localize_then_repair(self):
+        bench = OnlinePowerTestbench(
+            rows=32, cols=32, fault_rate=0.08, inject_at=300,
+            activity=0.85, rng=21,
+        )
+        trace = bench.run(600)
+        detected_at = bench.detect(trace, CusumDetector())
+        assert detected_at is not None and detected_at >= 300
+
+        # On detection, run the voltage-comparison localization.
+        tester = VoltageComparisonTester(bench.array)
+        report = tester.detect("sa1")
+        true_cells = bench.array.stuck_mask
+        true_set = {tuple(map(int, c)) for c in zip(*np.nonzero(true_cells))}
+        recall, precision = report.localization_precision(true_set)
+        assert recall > 0.8
+
+        # "Repair" = release the located cells (remap model) and verify
+        # the power signature returns toward baseline.
+        for row, col in report.localized_cells:
+            if true_cells[row, col]:
+                bench.array.release_cell(row, col)
+        assert bench.array.fault_count() < len(true_set) * 0.2
+
+
+class TestEnduranceAbftPipeline:
+    """Wear-out accumulates during operation; ABFT keeps the VMM honest
+    until the fault density defeats it."""
+
+    def test_abft_tracks_growing_fault_population(self, rng):
+        weights = rng.uniform(0.1, 1.0, (12, 8))
+        engine = AbftProtectedVMM(weights, rng=0)
+        x = rng.uniform(0.3, 1.0, 12)
+        reference = engine.reference_multiply(x)
+
+        sim = EnduranceSimulator(
+            engine.array,
+            EnduranceModel(characteristic_life=500, shape=2.0),
+            rng=1,
+        )
+        sim.cycle(200)  # age the array
+        if engine.array.fault_count() == 0:
+            sim.cycle(300)
+        assert engine.array.fault_count() > 0
+
+        engine.periodic_test()
+        corrected, _ = engine.multiply(x)
+        uncorrected = x @ (
+            engine.array.conductances()[:, :-1] / engine.g_unit
+        )
+        assert np.abs(corrected - reference).max() < np.abs(
+            uncorrected - reference
+        ).max()
+
+
+class TestEdaToCrossbarPipeline:
+    """Synthesize a circuit, map with MAGIC, and cross-check the mapped
+    program against a software adder — logic-in-memory end to end."""
+
+    def test_adder_through_full_flow(self):
+        aig = ripple_carry_adder(3)
+        results = EdaFlow().run(aig)
+        assert all(r.verified for r in results.values())
+
+    def test_march_screen_before_logic_deployment(self):
+        """Logic-in-memory needs fault-free devices: march-test first."""
+        from repro.testing.march import FaultyBitMemory
+
+        memory = FaultyBitMemory(64)
+        assert not MarchTestRunner(march_c_star()).run(memory).fail
+
+
+class TestTrainDeployInjectPipeline:
+    """Software training -> CIM deployment -> fault injection -> accuracy,
+    all through public APIs."""
+
+    def test_end_to_end_accuracy_chain(self):
+        x, y = gaussian_blobs(
+            n_samples=240, n_features=16, n_classes=4, separation=2.0, rng=30
+        )
+        mlp = MLP([16, 12, 4], rng=31)
+        mlp.train(x[:160], y[:160], epochs=40, rng=32)
+        sw_acc = mlp.accuracy(x[160:], y[160:])
+        assert sw_acc > 0.85
+
+        deployed = CrossbarMLP(mlp, calibration=x[:160], rng=33)
+        hw_acc = deployed.accuracy(x[160:], y[160:], noisy=False)
+        assert hw_acc > sw_acc - 0.1
+
+        deployed.inject_yield_faults(0.5, rng=34)
+        faulty_acc = deployed.accuracy(x[160:], y[160:], noisy=False)
+        assert faulty_acc < hw_acc
+
+
+class TestCimCoreWithScreening:
+    def test_core_accuracy_after_screen_and_repair(self, rng):
+        core = CIMCore(CIMCoreParams(rows=16, logical_cols=8), rng=40)
+        w = rng.uniform(-1, 1, (16, 8))
+        core.program_weights(w)
+        injector = FaultInjector(core.array, rng=41)
+        injector.inject_exact_count(3)
+
+        tester = VoltageComparisonTester(core.array)
+        sa0, sa1 = tester.detect_bidirectional()
+        located = sa0.localized_cells | sa1.localized_cells
+        for row, col in located:
+            core.array.release_cell(row, col)
+        core.program_weights(w)
+
+        x = rng.uniform(0, 1, 16)
+        y = core.vmm(x, noisy=False)
+        assert np.corrcoef(y, x @ w)[0, 1] > 0.99

@@ -1,0 +1,98 @@
+"""Tests for the SAR ADC model."""
+
+import numpy as np
+import pytest
+
+from repro.periphery.adc import ADC, ADCConfig
+
+
+class TestQuantization:
+    def test_full_scale_codes(self):
+        adc = ADC(ADCConfig(bits=4, v_min=0, v_max=1))
+        assert adc.quantize(0.0) == 0
+        assert adc.quantize(1.0) == adc.levels - 1
+
+    def test_clipping(self):
+        adc = ADC(ADCConfig(bits=4))
+        assert adc.quantize(-5.0) == 0
+        assert adc.quantize(5.0) == adc.levels - 1
+
+    def test_monotonic(self):
+        adc = ADC(ADCConfig(bits=6))
+        codes = adc.quantize_array(np.linspace(0, 1, 200))
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_vectorized_matches_scalar(self):
+        adc = ADC(ADCConfig(bits=8))
+        values = np.linspace(0, 1, 37)
+        vec = adc.quantize_array(values)
+        scalar = np.array([adc.quantize(v) for v in values])
+        assert np.array_equal(vec, scalar)
+
+    def test_reconstruction_error_bounded_by_lsb(self):
+        adc = ADC(ADCConfig(bits=8))
+        values = np.linspace(0, 1 - 1e-9, 1000)
+        errors = np.abs(adc.quantization_error(values))
+        assert np.max(errors) <= adc.lsb / 2 + 1e-12
+
+    def test_rms_error_matches_theory(self):
+        """In-range uniform input: RMS error = LSB / sqrt(12)."""
+        adc = ADC(ADCConfig(bits=8))
+        values = np.linspace(0, 1 - 1e-9, 100_000)
+        assert adc.rms_quantization_error(values) == pytest.approx(
+            adc.lsb / np.sqrt(12), rel=0.02
+        )
+
+    def test_error_shrinks_with_resolution(self):
+        """Section II-E: quantization error grows as resolution drops."""
+        values = np.linspace(0, 1, 10_001)
+        e4 = ADC(ADCConfig(bits=4)).rms_quantization_error(values)
+        e8 = ADC(ADCConfig(bits=8)).rms_quantization_error(values)
+        assert e8 < e4 / 10
+
+
+class TestSarTrace:
+    def test_trace_assembles_to_code(self):
+        adc = ADC(ADCConfig(bits=8))
+        for value in (0.0, 0.123, 0.5, 0.87, 1.0):
+            trace = adc.sar_trace(value)
+            code = sum(1 << bit for bit, _, kept in trace if kept)
+            assert code == adc.quantize(value)
+
+    def test_trace_length_equals_bits(self):
+        adc = ADC(ADCConfig(bits=6))
+        assert len(adc.sar_trace(0.3)) == 6
+
+    def test_trace_msb_first(self):
+        adc = ADC(ADCConfig(bits=4))
+        bits = [b for b, _, _ in adc.sar_trace(0.5)]
+        assert bits == [3, 2, 1, 0]
+
+
+class TestCostScaling:
+    def test_power_doubles_per_bit(self):
+        """Walden FoM scaling: energy ~ 2^bits."""
+        p6 = ADC(ADCConfig(bits=6)).power
+        p7 = ADC(ADCConfig(bits=7)).power
+        assert p7 == pytest.approx(2 * p6)
+
+    def test_area_doubles_per_bit(self):
+        a6 = ADC(ADCConfig(bits=6)).area
+        a7 = ADC(ADCConfig(bits=7)).area
+        assert a7 == pytest.approx(2 * a6)
+
+    def test_isaac_calibration_point(self):
+        """8-bit 1.28 GS/s ~ 2 mW / 0.0012 mm^2 (the ISAAC table entry)."""
+        adc = ADC(ADCConfig(bits=8))
+        assert adc.power == pytest.approx(2e-3, rel=0.05)
+        assert adc.area == pytest.approx(1.2e-3, rel=0.05)
+
+    def test_latency_from_sample_rate(self):
+        adc = ADC(ADCConfig(sample_rate=1e9))
+        assert adc.latency == pytest.approx(1e-9)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ADCConfig(bits=0)
+        with pytest.raises(ValueError):
+            ADCConfig(v_min=1.0, v_max=0.5)

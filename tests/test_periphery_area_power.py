@@ -1,0 +1,86 @@
+"""Tests for the area/power budget — the Fig 5 claims."""
+
+import pytest
+
+from repro.periphery.area_power import (
+    Component,
+    TileBudget,
+    adc_resolution_sweep,
+    isaac_tile_budget,
+)
+
+
+class TestComponent:
+    def test_totals(self):
+        c = Component("adc", count=8, unit_power=2e-3, unit_area=1.2e-3)
+        assert c.total_power == pytest.approx(16e-3)
+        assert c.total_area == pytest.approx(9.6e-3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Component("x", count=-1, unit_power=1, unit_area=1)
+
+
+class TestTileBudget:
+    def test_fractions_sum_to_one(self):
+        budget = isaac_tile_budget()
+        assert sum(budget.power_fractions().values()) == pytest.approx(1.0)
+        assert sum(budget.area_fractions().values()) == pytest.approx(1.0)
+
+    def test_duplicate_names_rejected(self):
+        c = Component("adc", 1, 1e-3, 1e-3)
+        with pytest.raises(ValueError, match="duplicate"):
+            TileBudget([c, c])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TileBudget([])
+
+    def test_table_rows(self):
+        rows = isaac_tile_budget().table()
+        names = {r["name"] for r in rows}
+        assert {"adc", "dac", "crossbar"}.issubset(names)
+
+
+class TestFig5Claims:
+    """'the ADC alone typically dominates CIM die area (>90%) and power
+    consumption (>65%)' — Fig 5."""
+
+    def test_adc_area_share_over_90_percent(self):
+        share = isaac_tile_budget().share("adc")
+        assert share["area"] > 0.90
+
+    def test_adc_power_share_over_65_percent(self):
+        share = isaac_tile_budget().share("adc")
+        assert share["power"] > 0.65
+
+    def test_adc_dominates_every_other_component(self):
+        budget = isaac_tile_budget()
+        pf = budget.power_fractions()
+        af = budget.area_fractions()
+        for name in pf:
+            if name != "adc":
+                assert pf["adc"] > pf[name]
+                assert af["adc"] > af[name]
+
+    def test_registers_ablation_reduces_share(self):
+        base = isaac_tile_budget().share("adc")
+        with_regs = isaac_tile_budget(include_registers=True).share("adc")
+        assert with_regs["area"] < base["area"]
+
+
+class TestResolutionSweep:
+    def test_error_decreases_cost_increases(self):
+        """The Section II-E trade-off in one sweep."""
+        rows = adc_resolution_sweep((4, 6, 8, 10))
+        errors = [r["rms_quantization_error"] for r in rows]
+        powers = [r["adc_power_mW"] for r in rows]
+        areas = [r["adc_area_mm2"] for r in rows]
+        assert errors == sorted(errors, reverse=True)
+        assert powers == sorted(powers)
+        assert areas == sorted(areas)
+
+    def test_share_grows_with_resolution(self):
+        rows = adc_resolution_sweep((4, 8, 10))
+        shares = [r["adc_area_share"] for r in rows]
+        assert shares == sorted(shares)

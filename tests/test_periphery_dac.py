@@ -1,0 +1,48 @@
+"""Tests for the DAC model."""
+
+import numpy as np
+import pytest
+
+from repro.periphery.dac import DAC, DACConfig
+
+
+class TestConversion:
+    def test_one_bit_levels(self):
+        dac = DAC(DACConfig(bits=1, v_min=0.0, v_max=0.2))
+        assert np.allclose(dac.convert(np.array([0, 1])), [0.0, 0.2])
+
+    def test_multibit_uniform_steps(self):
+        dac = DAC(DACConfig(bits=2, v_min=0.0, v_max=0.3))
+        out = dac.convert(np.array([0, 1, 2, 3]))
+        assert np.allclose(np.diff(out), 0.1)
+
+    def test_out_of_range_code_rejected(self):
+        dac = DAC(DACConfig(bits=2))
+        with pytest.raises(ValueError, match="codes"):
+            dac.convert(np.array([4]))
+        with pytest.raises(ValueError, match="codes"):
+            dac.convert(np.array([-1]))
+
+
+class TestCosts:
+    def test_levels(self):
+        assert DAC(DACConfig(bits=3)).levels == 8
+
+    def test_energy_scales_with_levels(self):
+        e1 = DAC(DACConfig(bits=1)).energy_per_conversion
+        e3 = DAC(DACConfig(bits=3)).energy_per_conversion
+        assert e3 == pytest.approx(4 * e1)
+
+    def test_area_linear_in_levels(self):
+        a1 = DAC(DACConfig(bits=1)).area
+        a2 = DAC(DACConfig(bits=2)).area
+        assert a2 == pytest.approx(2 * a1)
+
+    def test_power_positive(self):
+        assert DAC().power > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DACConfig(bits=0)
+        with pytest.raises(ValueError):
+            DACConfig(v_min=0.5, v_max=0.2)

@@ -1,0 +1,77 @@
+"""Tests for the read/write voltage-domain overhead model."""
+
+import pytest
+
+from repro.periphery.voltage_regulation import (
+    ChargePump,
+    VoltageDomain,
+    reram_voltage_domains,
+    voltage_domain_overhead,
+)
+
+
+class TestChargePump:
+    def test_no_stages_within_supply(self):
+        pump = ChargePump(v_supply=0.9)
+        assert pump.stages_for(0.5) == 0
+        assert pump.efficiency(0.5) == 1.0
+
+    def test_stage_count_grows_with_boost(self):
+        pump = ChargePump(v_supply=0.9)
+        assert pump.stages_for(2.0) < pump.stages_for(3.5)
+
+    def test_efficiency_falls_with_boost(self):
+        pump = ChargePump(v_supply=0.9, stage_efficiency=0.85)
+        assert pump.efficiency(3.5) < pump.efficiency(2.0) < 1.0
+
+    def test_input_power_exceeds_load(self):
+        pump = ChargePump()
+        domain = VoltageDomain("write", 2.0, 0.1, 2e-3)
+        load = 2.0 * 2e-3 * 0.1
+        assert pump.input_power(domain) > load
+
+    def test_area_grows_with_stages(self):
+        pump = ChargePump()
+        assert pump.area(3.5) > pump.area(2.0) > 0
+        assert pump.area(0.5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChargePump(stage_efficiency=0)
+        with pytest.raises(ValueError):
+            VoltageDomain("x", 1.0, 1.5, 1e-3)
+
+
+class TestDomainOverhead:
+    def test_reram_domain_set(self):
+        domains = reram_voltage_domains()
+        names = [d.name for d in domains]
+        assert names == ["read", "write", "forming"]
+        voltages = [d.voltage for d in domains]
+        assert voltages == sorted(voltages)  # read < write < forming
+
+    def test_overhead_report(self):
+        report = voltage_domain_overhead(reram_voltage_domains())
+        assert report["supply_power"] > report["load_power"]
+        assert 0 < report["loss_fraction"] < 1
+        assert report["boosted_domains"] == 2  # write + forming
+        assert report["regulation_area_mm2"] > 0
+
+    def test_single_domain_cmos_pays_nothing(self):
+        """A logic-voltage-only design (the CMOS baseline the conclusion
+        contrasts with) has zero conversion loss and no extra drivers."""
+        domains = [VoltageDomain("logic", 0.8, 1.0, 1e-3)]
+        report = voltage_domain_overhead(domains)
+        assert report["conversion_loss"] == pytest.approx(0.0)
+        assert report["boosted_domains"] == 0
+        assert report["regulation_area_mm2"] == 0.0
+
+    def test_higher_write_voltage_costs_more(self):
+        low = voltage_domain_overhead(
+            reram_voltage_domains(write_voltage=1.5)
+        )
+        high = voltage_domain_overhead(
+            reram_voltage_domains(write_voltage=3.0)
+        )
+        assert high["loss_fraction"] >= low["loss_fraction"]
+        assert high["supply_power"] > low["supply_power"]

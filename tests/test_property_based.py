@@ -1,0 +1,256 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.crossbar.mapping import DifferentialPairMapping, OffsetColumnMapping
+from repro.devices.memristor import LinearIonDriftMemristor
+from repro.devices.reram import ConductanceLevels
+from repro.eda.aig import aig_from_truth_table
+from repro.eda.boolean import TruthTable
+from repro.eda.esop import esop_from_truth_table, fprm_from_truth_table
+from repro.eda.imply_mapping import map_aig_to_imply
+from repro.eda.magic_mapping import map_netlist_to_magic_crossbar
+from repro.eda.majority_mapping import map_mig_to_majority
+from repro.eda.mig import mig_from_truth_table
+from repro.eda.netlist import nor_netlist_from_aig
+from repro.periphery.adc import ADC, ADCConfig
+from repro.testing.ecc import HammingSecDed
+from repro.testing.march import (
+    FaultyBitMemory,
+    MarchTestRunner,
+    MemoryFault,
+    MemoryFaultKind,
+    march_c_star,
+)
+
+
+def truth_tables(max_vars=4):
+    """Strategy producing random truth tables with 1..max_vars inputs."""
+    return st.integers(1, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable,
+            st.just(n),
+            st.integers(0, (1 << (1 << n)) - 1),
+        )
+    )
+
+
+def truth_table_groups(count, max_vars=3):
+    """Strategy producing ``count`` tables that share one variable count
+    (avoids assume-based filtering in multi-operand properties)."""
+    return st.integers(1, max_vars).flatmap(
+        lambda n: st.tuples(
+            *[
+                st.builds(
+                    TruthTable,
+                    st.just(n),
+                    st.integers(0, (1 << (1 << n)) - 1),
+                )
+                for _ in range(count)
+            ]
+        )
+    )
+
+
+class TestBooleanProperties:
+    @given(truth_tables())
+    def test_double_negation(self, tt):
+        assert ~(~tt) == tt
+
+    @given(truth_table_groups(2))
+    def test_de_morgan(self, tables):
+        a, b = tables
+        assert ~(a & b) == (~a | ~b)
+
+    @given(truth_table_groups(3))
+    def test_majority_self_dual(self, tables):
+        a, b, c = tables
+        lhs = ~TruthTable.majority(a, b, c)
+        rhs = TruthTable.majority(~a, ~b, ~c)
+        assert lhs == rhs
+
+    @given(truth_tables())
+    def test_shannon_expansion(self, tt):
+        for var in tt.support():
+            x = TruthTable.variable(tt.n_vars, var)
+            recombined = (x & tt.cofactor(var, 1)) | (~x & tt.cofactor(var, 0))
+            assert recombined == tt
+
+    @given(truth_tables())
+    def test_count_ones_complement(self, tt):
+        assert tt.count_ones() + (~tt).count_ones() == 1 << tt.n_vars
+
+
+class TestSynthesisProperties:
+    @given(truth_tables())
+    @settings(max_examples=40)
+    def test_aig_synthesis_exact(self, tt):
+        aig, out = aig_from_truth_table(tt)
+        aig.add_output(out)
+        assert aig.to_truth_tables()[0] == tt
+
+    @given(truth_tables())
+    @settings(max_examples=30)
+    def test_mig_synthesis_and_rewrite_exact(self, tt):
+        mig = mig_from_truth_table(tt)
+        assert mig.to_truth_tables()[0] == tt
+        assert mig.depth_optimize().to_truth_tables()[0] == tt
+
+    @given(truth_tables())
+    @settings(max_examples=30)
+    def test_esop_round_trip(self, tt):
+        assert esop_from_truth_table(tt).to_truth_table() == tt
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    @settings(max_examples=30)
+    def test_fprm_any_polarity(self, bits, polarity):
+        tt = TruthTable(3, bits)
+        assert fprm_from_truth_table(tt, polarity).to_truth_table() == tt
+
+
+class TestMappingProperties:
+    @given(truth_tables(3))
+    @settings(max_examples=15, deadline=None)
+    def test_all_three_mappings_equivalent(self, tt):
+        """Every technology mapping computes the same function."""
+        aig, out = aig_from_truth_table(tt)
+        aig.add_output(out)
+        aig = aig.cleanup()
+        imply_prog = map_aig_to_imply(aig)
+        mig = mig_from_truth_table(tt)
+        maj = map_mig_to_majority(mig)
+        magic = map_netlist_to_magic_crossbar(nor_netlist_from_aig(aig))
+        for m in range(1 << tt.n_vars):
+            inputs = [(m >> i) & 1 for i in range(tt.n_vars)]
+            expected = [tt.evaluate(inputs)]
+            assert imply_prog.execute(inputs) == expected
+            assert maj.execute(inputs) == expected
+            assert magic.execute(inputs) == expected
+
+    @given(truth_tables(4))
+    @settings(max_examples=15, deadline=None)
+    def test_majority_delay_bound(self, tt):
+        """Mapped delay never beats the proven optimum of levels + 1."""
+        mig = mig_from_truth_table(tt)
+        mapping = map_mig_to_majority(mig)
+        assert mapping.delay == mig.levels() + 1
+
+
+class TestCrossbarMappingProperties:
+    @given(
+        st.integers(2, 10),
+        st.integers(1, 6),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30)
+    def test_differential_decode_inverts_map(self, rows, cols, seed):
+        gen = np.random.default_rng(seed)
+        w = gen.uniform(-1, 1, (rows, cols))
+        x = gen.uniform(0, 1, rows)
+        mapping = DifferentialPairMapping()
+        v = x * 0.2
+        decoded = mapping.decode(v @ mapping.map(w), v, v_scale=0.2)
+        assert np.allclose(decoded, x @ w, atol=1e-9)
+
+    @given(
+        st.integers(2, 10),
+        st.integers(1, 6),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30)
+    def test_offset_decode_inverts_map(self, rows, cols, seed):
+        gen = np.random.default_rng(seed)
+        w = gen.uniform(-1, 1, (rows, cols))
+        x = gen.uniform(0, 1, rows)
+        mapping = OffsetColumnMapping()
+        v = x * 0.2
+        decoded = mapping.decode(v @ mapping.map(w), v, v_scale=0.2)
+        assert np.allclose(decoded, x @ w, atol=1e-9)
+
+
+class TestDeviceProperties:
+    @given(st.floats(0.0, 1.0))
+    def test_memristor_resistance_bounds(self, x0):
+        dev = LinearIonDriftMemristor(x0=x0)
+        assert dev.params.r_on <= dev.resistance <= dev.params.r_off
+
+    @given(st.floats(-2.0, 2.0), st.floats(0.0, 1.0))
+    @settings(max_examples=50)
+    def test_memristor_state_invariant_under_any_drive(self, voltage, x0):
+        dev = LinearIonDriftMemristor(x0=x0)
+        for _ in range(50):
+            dev.step(voltage, dt=1e-5)
+        assert 0.0 <= dev.state <= 1.0
+
+    @given(st.integers(2, 16), st.floats(min_value=1e-6, max_value=9e-5))
+    def test_quantize_returns_nearest_level(self, n_levels, g):
+        levels = ConductanceLevels(g_min=1e-6, g_max=1e-4, n_levels=n_levels)
+        level = levels.quantize(g)
+        distances = np.abs(levels.targets() - g)
+        assert distances[level] == distances.min()
+
+
+class TestAdcProperties:
+    @given(st.integers(2, 12), st.floats(0.0, 1.0))
+    def test_reconstruction_within_half_lsb(self, bits, value):
+        adc = ADC(ADCConfig(bits=bits))
+        reconstructed = adc.reconstruct(adc.quantize(value))
+        assert abs(reconstructed - value) <= adc.lsb / 2 + 1e-12
+
+    @given(st.integers(2, 10), st.floats(0.0, 1.0))
+    def test_sar_trace_consistent(self, bits, value):
+        adc = ADC(ADCConfig(bits=bits))
+        code = sum(1 << b for b, _, kept in adc.sar_trace(value) if kept)
+        assert code == adc.quantize(value)
+
+
+class TestEccProperties:
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 23))
+    def test_single_error_always_corrected(self, data_int, flip_pos):
+        code = HammingSecDed(16)
+        assume(flip_pos < code.codeword_bits)
+        data = np.array([(data_int >> i) & 1 for i in range(16)], dtype=np.int8)
+        codeword = code.encode(data)
+        codeword[flip_pos] ^= 1
+        decoded, status = code.decode(codeword)
+        assert status == "corrected"
+        assert np.array_equal(decoded, data)
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_clean_decode_identity(self, data_int):
+        code = HammingSecDed(16)
+        data = np.array([(data_int >> i) & 1 for i in range(16)], dtype=np.int8)
+        decoded, status = code.decode(code.encode(data))
+        assert status == "ok"
+        assert np.array_equal(decoded, data)
+
+
+class TestMarchProperties:
+    @given(
+        st.integers(4, 32),
+        st.sampled_from(
+            [
+                MemoryFaultKind.SA0,
+                MemoryFaultKind.SA1,
+                MemoryFaultKind.TF_UP,
+                MemoryFaultKind.TF_DOWN,
+                MemoryFaultKind.READ1_DISTURB,
+                MemoryFaultKind.ADF_NO_ACCESS,
+            ]
+        ),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_march_c_star_detects_any_single_fault(self, n_cells, kind, data):
+        cell = data.draw(st.integers(0, n_cells - 1))
+        memory = FaultyBitMemory(n_cells)
+        memory.inject(MemoryFault(kind, cell))
+        assert MarchTestRunner(march_c_star()).run(memory).fail
+
+    @given(st.integers(1, 64))
+    def test_clean_memory_never_fails(self, n_cells):
+        assert not MarchTestRunner(march_c_star()).run(
+            FaultyBitMemory(n_cells)
+        ).fail

@@ -1,0 +1,158 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.revamp import ReVAMPMachine, compile_mig_to_revamp
+from repro.crossbar.write_schemes import (
+    max_disturb_free_voltage,
+    stress_profile,
+)
+from repro.devices.memristor import VTEAMMemristor, VTEAMParams
+from repro.eda.boolean import TruthTable
+from repro.eda.mig import mig_from_truth_table
+from repro.eda.optimization import (
+    aig_balance,
+    permute_truth_table,
+    sift_variable_order,
+)
+from repro.eda.aig import aig_from_truth_table
+from repro.testing.ecc import HammingSecDed
+
+
+def truth_tables(max_vars=4):
+    return st.integers(1, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable, st.just(n), st.integers(0, (1 << (1 << n)) - 1)
+        )
+    )
+
+
+class TestReVAMPProperties:
+    @given(truth_tables(3))
+    @settings(max_examples=20, deadline=None)
+    def test_compiled_program_equivalent_to_mig(self, table):
+        mig = mig_from_truth_table(table)
+        program = compile_mig_to_revamp(mig)
+        machine = ReVAMPMachine(cols=max(program.columns_used, 1))
+        for m in range(1 << table.n_vars):
+            inputs = [(m >> i) & 1 for i in range(table.n_vars)]
+            assert machine.execute(program, inputs) == mig.simulate(inputs)
+
+    @given(truth_tables(4))
+    @settings(max_examples=20, deadline=None)
+    def test_program_length_bounded(self, table):
+        mig = mig_from_truth_table(table)
+        program = compile_mig_to_revamp(mig)
+        # 2 input-load instructions + at most 4 per node + 2 per output.
+        bound = 2 + 4 * mig.n_nodes + 2 * len(mig.outputs)
+        assert program.instruction_count <= bound
+
+
+class TestBalanceProperties:
+    @given(truth_tables(4))
+    @settings(max_examples=25, deadline=None)
+    def test_balance_preserves_function_and_depth(self, table):
+        aig, out = aig_from_truth_table(table)
+        aig.add_output(out)
+        balanced = aig_balance(aig)
+        assert balanced.to_truth_tables()[0] == table
+        assert balanced.levels() <= aig.cleanup().levels()
+
+
+class TestPermutationProperties:
+    @given(
+        st.integers(0, (1 << 16) - 1),
+        st.permutations(list(range(4))),
+    )
+    @settings(max_examples=40)
+    def test_permutation_preserves_weight(self, bits, order):
+        table = TruthTable(4, bits)
+        permuted = permute_truth_table(table, list(order))
+        assert permuted.count_ones() == table.count_ones()
+
+    @given(
+        st.integers(0, (1 << 16) - 1),
+        st.permutations(list(range(4))),
+    )
+    @settings(max_examples=30)
+    def test_permutation_invertible(self, bits, order):
+        table = TruthTable(4, bits)
+        order = list(order)
+        inverse = [order.index(i) for i in range(4)]
+        round_trip = permute_truth_table(
+            permute_truth_table(table, order), inverse
+        )
+        assert round_trip == table
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_sifting_never_hurts(self, bits):
+        table = TruthTable(3, bits)
+        from repro.eda.optimization import bdd_size_for_order
+
+        initial = bdd_size_for_order(table, [0, 1, 2])
+        _, sifted = sift_variable_order(table)
+        assert sifted <= initial
+
+
+class TestWriteSchemeProperties:
+    @given(st.floats(0.1, 5.0))
+    def test_v3_margin_is_3_over_2_of_v2(self, threshold):
+        params = VTEAMParams(v_off=threshold, v_on=-threshold)
+        v2 = max_disturb_free_voltage(params, "v/2")
+        v3 = max_disturb_free_voltage(params, "v/3")
+        assert abs(v3 / v2 - 1.5) < 1e-9
+
+    @given(st.floats(0.1, 10.0))
+    def test_stress_never_exceeds_write_voltage(self, v_write):
+        for scheme in ("v/2", "v/3"):
+            profile = stress_profile(v_write, scheme)
+            assert profile.half_selected < profile.selected
+            assert profile.unselected <= profile.half_selected
+
+    @given(st.integers(2, 64), st.integers(2, 64))
+    def test_populations_partition_the_array(self, rows, cols):
+        profile = stress_profile(2.0, "v/2")
+        pops = profile.populations(rows, cols)
+        assert sum(pops.values()) == rows * cols
+
+
+class TestVteamProperties:
+    @given(
+        st.floats(0.0, 1.0),
+        st.floats(-0.69, 0.69),
+        st.integers(1, 200),
+    )
+    @settings(max_examples=40)
+    def test_subthreshold_never_moves_state(self, x0, voltage, steps):
+        dev = VTEAMMemristor(x0=x0)
+        for _ in range(steps):
+            dev.step(voltage, dt=1e-4)
+        assert dev.state == x0
+
+    @given(st.floats(0.0, 1.0), st.floats(0.71, 3.0))
+    @settings(max_examples=30)
+    def test_state_monotone_under_set(self, x0, voltage):
+        dev = VTEAMMemristor(x0=x0)
+        previous = dev.state
+        for _ in range(50):
+            dev.step(voltage, dt=1e-5)
+            assert dev.state >= previous - 1e-12
+            previous = dev.state
+
+
+class TestEccWidthProperties:
+    @given(st.integers(1, 120))
+    @settings(max_examples=30, deadline=None)
+    def test_code_construction_any_width(self, data_bits):
+        code = HammingSecDed(data_bits)
+        # Hamming bound: 2^r >= data + r + 1.
+        r = code.parity_bits
+        assert (1 << r) >= data_bits + r + 1
+        assert code.codeword_bits == data_bits + r + 1
+        data = np.zeros(data_bits, dtype=np.int8)
+        decoded, status = code.decode(code.encode(data))
+        assert status == "ok"
+        assert np.array_equal(decoded, data)

@@ -1,0 +1,92 @@
+"""Tests for X-ABFT checksum detection/correction ([49, 50])."""
+
+import numpy as np
+import pytest
+
+from repro.testing.abft import (
+    AbftProtectedVMM,
+    ChecksumEncodedMatrix,
+)
+
+
+@pytest.fixture
+def weights(rng):
+    return rng.uniform(0, 1, (10, 6))
+
+
+class TestChecksumEncoding:
+    def test_checksum_column_is_row_sum(self, weights):
+        encoded = ChecksumEncodedMatrix(weights).encoded
+        assert np.allclose(encoded[:, -1], weights.sum(axis=1))
+        assert encoded.shape == (10, 7)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ChecksumEncodedMatrix(np.array([[-0.1]]))
+
+    def test_output_invariant_holds_for_clean_output(self, weights, rng):
+        x = rng.uniform(0, 1, 10)
+        output = x @ ChecksumEncodedMatrix(weights).encoded
+        assert ChecksumEncodedMatrix.check_output(output, tolerance=1e-9)
+
+    def test_output_invariant_breaks_on_corruption(self, weights, rng):
+        x = rng.uniform(0, 1, 10)
+        output = x @ ChecksumEncodedMatrix(weights).encoded
+        output[2] += 0.5
+        assert not ChecksumEncodedMatrix.check_output(output, tolerance=1e-4)
+
+
+class TestProtectedVMM:
+    def test_clean_multiply_accurate_and_consistent(self, weights, rng):
+        engine = AbftProtectedVMM(weights, rng=0)
+        x = rng.uniform(0, 1, 10)
+        y, ok = engine.multiply(x)
+        assert ok
+        assert np.allclose(y, engine.reference_multiply(x), atol=0.02)
+
+    def test_fault_breaks_checksum_online(self, weights, rng):
+        """Concurrent error detection: the very next VMM flags the fault."""
+        engine = AbftProtectedVMM(weights, rng=0)
+        engine.array.stick_cell(3, 2, 1e-4)
+        x = rng.uniform(0.2, 1, 10)
+        _, ok = engine.multiply(x)
+        assert not ok
+
+    def test_periodic_test_localizes(self, weights):
+        engine = AbftProtectedVMM(weights, rng=0)
+        engine.array.stick_cell(4, 1, 1e-4)
+        report = engine.periodic_test()
+        assert report.fault_detected
+        assert (4, 1) in report.localized_cells
+
+    def test_correction_restores_accuracy(self, weights, rng):
+        engine = AbftProtectedVMM(weights, rng=0)
+        x = rng.uniform(0, 1, 10)
+        reference = engine.reference_multiply(x)
+        engine.array.stick_cell(3, 2, 1e-4)
+        y_faulty, _ = engine.multiply(x)
+        engine.periodic_test()
+        y_corrected, _ = engine.multiply(x)
+        err_faulty = np.max(np.abs(y_faulty - reference))
+        err_corrected = np.max(np.abs(y_corrected - reference))
+        assert err_corrected < err_faulty / 5
+        assert np.allclose(y_corrected, reference, atol=0.05)
+
+    def test_periodic_test_clean_no_flags(self, weights):
+        engine = AbftProtectedVMM(weights, rng=0)
+        report = engine.periodic_test()
+        assert not report.fault_detected
+        assert report.measurements == 10
+
+    def test_input_shape_checked(self, weights):
+        engine = AbftProtectedVMM(weights, rng=0)
+        with pytest.raises(ValueError):
+            engine.multiply(np.zeros(9))
+
+    def test_checksum_column_fault_also_detected(self, weights, rng):
+        engine = AbftProtectedVMM(weights, rng=0)
+        cols = engine.array.cols
+        engine.array.stick_cell(0, cols - 1, 1e-8)
+        x = rng.uniform(0.2, 1, 10)
+        _, ok = engine.multiply(x)
+        assert not ok

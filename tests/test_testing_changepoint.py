@@ -1,0 +1,164 @@
+"""Tests for the power-monitoring changepoint detection (Fig 7, [52])."""
+
+import numpy as np
+import pytest
+
+from repro.testing.changepoint import (
+    CusumDetector,
+    FaultRateEstimator,
+    OnlinePowerTestbench,
+    PageHinkleyDetector,
+    PowerMonitor,
+    power_shift_features,
+)
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+
+
+def _step_series(n=400, change_at=200, shift=5.0, rng_seed=0):
+    gen = np.random.default_rng(rng_seed)
+    series = gen.normal(0.0, 1.0, n)
+    series[change_at:] += shift
+    return series
+
+
+class TestCusum:
+    def test_detects_step_shortly_after_change(self):
+        det = CusumDetector(threshold=8, drift=0.5, warmup=50)
+        idx = det.run(_step_series())
+        assert idx is not None
+        assert 200 <= idx <= 220
+
+    def test_no_false_alarm_on_stationary_series(self):
+        """Default thresholds hold a 1000-sample stationary series without
+        alarming across many seeds."""
+        for seed in range(10):
+            gen = np.random.default_rng(seed)
+            assert CusumDetector().run(gen.normal(0, 1, 1000)) is None
+
+    def test_detects_downward_shift(self):
+        det = CusumDetector(threshold=8, drift=0.5, warmup=50)
+        idx = det.run(_step_series(shift=-5.0))
+        assert idx is not None and idx >= 200
+
+    def test_reset_clears_state(self):
+        det = CusumDetector(warmup=10)
+        det.run(_step_series(n=100, change_at=50))
+        det.reset()
+        assert det.detection_index is None
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            CusumDetector(threshold=0)
+        with pytest.raises(ValueError):
+            CusumDetector(warmup=1)
+
+
+class TestPageHinkley:
+    def test_detects_step(self):
+        det = PageHinkleyDetector(threshold=10, delta=0.2, warmup=50)
+        idx = det.run(_step_series())
+        assert idx is not None
+        assert 200 <= idx <= 230
+
+    def test_agrees_with_cusum_roughly(self):
+        series = _step_series(rng_seed=3)
+        c = CusumDetector(warmup=50).run(series)
+        p = PageHinkleyDetector(warmup=50).run(series)
+        assert abs(c - p) < 30
+
+    def test_stationary_no_alarm(self):
+        gen = np.random.default_rng(4)
+        det = PageHinkleyDetector(threshold=15, delta=0.3, warmup=50)
+        assert det.run(gen.normal(0, 1, 800)) is None
+
+
+class TestPowerMonitor:
+    def test_trace_grows(self):
+        array = CrossbarArray(CrossbarConfig(rows=16, cols=16), rng=0)
+        array.program(np.full((16, 16), 5e-5))
+        monitor = PowerMonitor(array, rng=1)
+        monitor.run(25)
+        assert len(monitor.trace) == 25
+        assert all(p >= 0 for p in monitor.trace)
+
+    def test_power_scale_tracks_conductance(self):
+        low = CrossbarArray(CrossbarConfig(rows=16, cols=16), rng=0)
+        low.program(np.full((16, 16), 1e-5))
+        high = CrossbarArray(CrossbarConfig(rows=16, cols=16), rng=0)
+        high.program(np.full((16, 16), 9e-5))
+        m_low = PowerMonitor(low, rng=2)
+        m_high = PowerMonitor(high, rng=2)
+        assert np.mean(m_high.run(50)) > np.mean(m_low.run(50))
+
+
+class TestFig7Scenario:
+    """Fault burst at cycle 600 -> changepoint detected shortly after."""
+
+    def test_detection_near_injection_cycle(self):
+        bench = OnlinePowerTestbench(
+            rows=32, cols=32, fault_rate=0.1, inject_at=600, rng=9
+        )
+        trace = bench.run(1200)
+        detected = bench.detect(trace)
+        assert detected is not None
+        assert 600 <= detected <= 700
+
+    def test_no_detection_without_faults(self):
+        bench = OnlinePowerTestbench(
+            rows=32, cols=32, fault_rate=0.0, inject_at=600, rng=10
+        )
+        trace = bench.run(1200)
+        assert bench.detect(trace) is None
+
+    def test_power_shifts_up_for_sa1_burst(self):
+        bench = OnlinePowerTestbench(
+            rows=32, cols=32, fault_rate=0.15, sa1_fraction=1.0,
+            inject_at=300, rng=11,
+        )
+        trace = bench.run(600)
+        assert trace[300:].mean() > trace[:300].mean()
+
+    def test_invalid_total_cycles(self):
+        bench = OnlinePowerTestbench(inject_at=600, rng=0)
+        with pytest.raises(ValueError):
+            bench.run(500)
+
+
+class TestFaultRateEstimator:
+    def test_features_shape(self):
+        f = power_shift_features(np.ones(100), np.ones(50) * 1.2)
+        assert f.shape == (4,)
+        assert f[0] == pytest.approx(0.2)
+
+    def test_untrained_predict_rejected(self):
+        with pytest.raises(RuntimeError):
+            FaultRateEstimator().predict(np.zeros(4))
+
+    def test_training_gives_usable_model(self):
+        """[52]'s regression: power statistics -> faulty-cell percentage."""
+        estimator, r2 = FaultRateEstimator.train_on_simulations(
+            rows=32,
+            cols=32,
+            fault_rates=np.linspace(0.02, 0.25, 6),
+            samples_per_rate=3,
+            cycles=80,
+            rng=12,
+        )
+        assert r2 > 0.8
+
+    def test_estimates_held_out_fault_rate(self):
+        estimator, _ = FaultRateEstimator.train_on_simulations(
+            rows=32,
+            cols=32,
+            fault_rates=np.linspace(0.02, 0.25, 6),
+            samples_per_rate=3,
+            cycles=80,
+            rng=13,
+        )
+        bench = OnlinePowerTestbench(
+            rows=32, cols=32, fault_rate=0.12, inject_at=80, rng=99
+        )
+        trace = bench.run(160)
+        features = power_shift_features(trace[:80], trace[80:])
+        estimate = estimator.predict(features)
+        assert estimate == pytest.approx(0.12, abs=0.06)

@@ -1,0 +1,105 @@
+"""Tests for March C* signature-based fault diagnosis ([39])."""
+
+import pytest
+
+from repro.testing.diagnosis import (
+    SignatureDiagnoser,
+    build_fault_dictionary,
+    golden_signature,
+)
+from repro.testing.march import (
+    FaultyBitMemory,
+    MemoryFault,
+    MemoryFaultKind,
+    march_c_star,
+)
+
+
+class TestGoldenSignature:
+    def test_matches_march_c_star_read_expectations(self):
+        """Six reads, in order: r0, r1, r1, r0, r1, r0."""
+        assert golden_signature() == (0, 1, 1, 0, 1, 0)
+
+    def test_six_bits(self):
+        assert len(golden_signature()) == march_c_star().reads_per_cell
+
+
+class TestFaultDictionary:
+    @pytest.fixture(scope="class")
+    def dictionary(self):
+        return build_fault_dictionary()
+
+    def test_golden_not_in_dictionary(self, dictionary):
+        assert golden_signature() not in dictionary
+
+    def test_sa1_signature_unique(self, dictionary):
+        """SA1 reads 1 everywhere: the all-ones signature is its own."""
+        assert dictionary[(1, 1, 1, 1, 1, 1)] == {MemoryFaultKind.SA1}
+
+    def test_read1_disturb_distinct_from_stuck(self, dictionary):
+        """The double read of element 2 isolates read-1 disturbance: the
+        first r1 passes, the second fails — a signature no stuck-at can
+        produce."""
+        sig = (0, 1, 0, 0, 1, 0)
+        assert dictionary[sig] == {MemoryFaultKind.READ1_DISTURB}
+
+    def test_sa0_class_ambiguity_is_faithful(self, dictionary):
+        """SA0, TF-up and ADF-no-access all read 0 on every r1 — they are
+        genuinely indistinguishable from the victim's reads alone."""
+        all_zero = (0, 0, 0, 0, 0, 0)
+        assert dictionary[all_zero] == {
+            MemoryFaultKind.SA0,
+            MemoryFaultKind.TF_UP,
+            MemoryFaultKind.ADF_NO_ACCESS,
+        }
+
+    def test_every_mechanism_has_a_signature(self, dictionary):
+        covered = set()
+        for kinds in dictionary.values():
+            covered |= kinds
+        assert MemoryFaultKind.TF_DOWN in covered
+        assert MemoryFaultKind.SA1 in covered
+        assert MemoryFaultKind.READ1_DISTURB in covered
+
+
+class TestDiagnoser:
+    @pytest.fixture(scope="class")
+    def diagnoser(self):
+        return SignatureDiagnoser()
+
+    def test_healthy_signature(self, diagnoser):
+        diagnosis = diagnoser.diagnose(diagnoser.golden)
+        assert diagnosis.healthy
+        assert diagnosis.candidates == frozenset()
+
+    @pytest.mark.parametrize(
+        "kind,expect_unambiguous",
+        [
+            (MemoryFaultKind.SA1, True),
+            (MemoryFaultKind.TF_DOWN, True),
+            (MemoryFaultKind.READ1_DISTURB, True),
+            (MemoryFaultKind.SA0, False),   # shares class with TF_UP/ADF
+        ],
+        ids=lambda v: v.value if isinstance(v, MemoryFaultKind) else str(v),
+    )
+    def test_end_to_end_diagnosis(self, diagnoser, kind, expect_unambiguous):
+        memory = FaultyBitMemory(8)
+        memory.inject(MemoryFault(kind, 5))
+        verdicts = diagnoser.diagnose_memory(memory)
+        assert 5 in verdicts
+        diagnosis = verdicts[5]
+        assert kind in diagnosis.candidates
+        assert diagnosis.unambiguous == expect_unambiguous
+
+    def test_clean_memory_no_verdicts(self, diagnoser):
+        assert diagnoser.diagnose_memory(FaultyBitMemory(8)) == {}
+
+    def test_signature_length_checked(self, diagnoser):
+        with pytest.raises(ValueError):
+            diagnoser.diagnose((0, 1))
+
+    def test_unknown_signature_flagged_undiagnosed(self, diagnoser):
+        weird = (1, 0, 1, 1, 0, 1)
+        diagnosis = diagnoser.diagnose(weird)
+        if not diagnosis.candidates:
+            assert not diagnosis.diagnosed

@@ -1,0 +1,112 @@
+"""Tests for Hamming SEC-DED ECC and its BER limit ([51])."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults.endurance import EnduranceModel, EnduranceSimulator
+from repro.testing.ecc import EccAnalysis, HammingSecDed
+
+
+class TestCodeConstruction:
+    def test_72_64_memory_code(self):
+        code = HammingSecDed(64)
+        assert code.codeword_bits == 72
+        assert code.parity_bits == 7
+
+    def test_small_codes(self):
+        assert HammingSecDed(4).codeword_bits == 8   # (8,4) extended Hamming
+        assert HammingSecDed(11).codeword_bits == 16
+
+    def test_overhead(self):
+        assert HammingSecDed(64).overhead == pytest.approx(8 / 64)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            HammingSecDed(0)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("data_bits", [4, 16, 64])
+    def test_clean_round_trip(self, data_bits, rng):
+        code = HammingSecDed(data_bits)
+        data = rng.integers(0, 2, data_bits).astype(np.int8)
+        decoded, status = code.decode(code.encode(data))
+        assert status == "ok"
+        assert np.array_equal(decoded, data)
+
+    def test_every_single_error_corrected(self, rng):
+        code = HammingSecDed(16)
+        data = rng.integers(0, 2, 16).astype(np.int8)
+        codeword = code.encode(data)
+        for position in range(code.codeword_bits):
+            received = codeword.copy()
+            received[position] ^= 1
+            decoded, status = code.decode(received)
+            assert status == "corrected"
+            assert np.array_equal(decoded, data), f"failed at bit {position}"
+
+    def test_double_errors_detected(self, rng):
+        code = HammingSecDed(16)
+        data = rng.integers(0, 2, 16).astype(np.int8)
+        codeword = code.encode(data)
+        detections = 0
+        trials = 0
+        for i in range(0, code.codeword_bits, 3):
+            for j in range(i + 1, code.codeword_bits, 5):
+                received = codeword.copy()
+                received[i] ^= 1
+                received[j] ^= 1
+                _, status = code.decode(received)
+                trials += 1
+                if status == "detected":
+                    detections += 1
+        assert detections == trials  # SEC-DED guarantees double detection
+
+    def test_shape_validation(self):
+        code = HammingSecDed(8)
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(7, dtype=np.int8))
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(10, dtype=np.int8))
+
+
+class TestBerAnalysis:
+    def test_failure_probability_tiny_at_1e_5(self):
+        """The paper's operating regime: ECC works when BER < 1e-5."""
+        analysis = EccAnalysis(HammingSecDed(64))
+        assert analysis.word_failure_probability(1e-5) < 1e-6
+
+    def test_failure_probability_large_at_1e_2(self):
+        analysis = EccAnalysis(HammingSecDed(64))
+        assert analysis.word_failure_probability(1e-2) > 0.1
+
+    def test_sweep_monotone(self):
+        analysis = EccAnalysis(HammingSecDed(64))
+        rows = analysis.ber_sweep([1e-6, 1e-5, 1e-4, 1e-3, 1e-2])
+        probs = [r["word_failure_probability"] for r in rows]
+        assert probs == sorted(probs)
+
+    def test_monte_carlo_matches_analytic(self):
+        analysis = EccAnalysis(HammingSecDed(16))
+        ber = 0.02
+        empirical = analysis.monte_carlo_failure_rate(ber, trials=3000, rng=0)
+        analytic = analysis.word_failure_probability(ber)
+        assert empirical == pytest.approx(analytic, rel=0.35)
+
+    def test_endurance_eventually_exceeds_capability(self):
+        """'more devices will be worn out over time and eventually the
+        number of hard faults will exceed the ECCs correction capability'."""
+        from repro.crossbar.array import CrossbarArray, CrossbarConfig
+
+        array = CrossbarArray(CrossbarConfig(rows=16, cols=16), rng=0)
+        array.program(np.full((16, 16), 5e-5))
+        sim = EnduranceSimulator(
+            array, EnduranceModel(characteristic_life=1e4, shape=2.0), rng=1
+        )
+        series = sim.run_until(total_writes=5e4, step=2e3)
+        analysis = EccAnalysis(HammingSecDed(64))
+        exceeded_at = analysis.capability_exceeded_at(series)
+        assert math.isfinite(exceeded_at)
+        assert exceeded_at <= 5e4

@@ -1,0 +1,181 @@
+"""Tests for the march-test engine and March C* ([39])."""
+
+import pytest
+
+from repro.testing.march import (
+    FaultyBitMemory,
+    MarchElement,
+    MarchOp,
+    MarchOrder,
+    MarchTest,
+    MarchTestRunner,
+    MemoryFault,
+    MemoryFaultKind,
+    march_c_minus,
+    march_c_star,
+    random_fault_population,
+)
+
+
+class TestMarchStructure:
+    def test_march_c_star_layout(self):
+        test = march_c_star()
+        assert test.operations_per_cell == 10
+        assert test.reads_per_cell == 6  # the six-bit signature
+        assert len(test.elements) == 5
+
+    def test_march_c_star_notation(self):
+        text = str(march_c_star())
+        assert "UP(r0,w1)" in text
+        assert "UP(r1,r1,w0)" in text
+        assert "DOWN(r0,w1)" in text
+
+    def test_test_time_linear_in_cells(self):
+        test = march_c_star()
+        assert test.test_time(2000) == pytest.approx(2 * test.test_time(1000))
+
+    def test_op_validation(self):
+        with pytest.raises(ValueError):
+            MarchOp("x", 0)
+        with pytest.raises(ValueError):
+            MarchOp("r", 2)
+
+    def test_element_requires_ops(self):
+        with pytest.raises(ValueError):
+            MarchElement(MarchOrder.UP, ())
+
+
+class TestFaultyBitMemory:
+    def test_clean_read_write(self):
+        mem = FaultyBitMemory(8)
+        mem.write(3, 1)
+        assert mem.read(3) == 1
+        assert mem.read(2) == 0
+
+    def test_sa0_behaviour(self):
+        mem = FaultyBitMemory(4)
+        mem.inject(MemoryFault(MemoryFaultKind.SA0, 1))
+        mem.write(1, 1)
+        assert mem.read(1) == 0
+
+    def test_sa1_behaviour(self):
+        mem = FaultyBitMemory(4)
+        mem.inject(MemoryFault(MemoryFaultKind.SA1, 1))
+        mem.write(1, 0)
+        assert mem.read(1) == 1
+
+    def test_transition_up_fault(self):
+        mem = FaultyBitMemory(4)
+        mem.inject(MemoryFault(MemoryFaultKind.TF_UP, 2))
+        mem.write(2, 1)   # fails: 0 -> 1 broken
+        assert mem.read(2) == 0
+
+    def test_transition_down_fault(self):
+        mem = FaultyBitMemory(4)
+        mem.inject(MemoryFault(MemoryFaultKind.TF_DOWN, 2))
+        # Must get to 1 first: TF_DOWN lets 0->1 pass.
+        mem.write(2, 1)
+        mem.write(2, 0)   # fails: 1 -> 0 broken
+        assert mem.read(2) == 1
+
+    def test_coupling_fault(self):
+        mem = FaultyBitMemory(4)
+        mem.inject(MemoryFault(MemoryFaultKind.CF_ST_1, 2, aggressor=0))
+        mem.write(2, 0)
+        mem.write(0, 1)   # aggressor write forces victim to 1
+        assert mem.read(2) == 1
+
+    def test_read1_disturb(self):
+        """Read returns the stored 1 once, then the cell has flipped —
+        the ReRAM-specific fault March C*'s double read targets."""
+        mem = FaultyBitMemory(4)
+        mem.inject(MemoryFault(MemoryFaultKind.READ1_DISTURB, 1))
+        mem.write(1, 1)
+        assert mem.read(1) == 1
+        assert mem.read(1) == 0
+
+    def test_adf_no_access(self):
+        mem = FaultyBitMemory(4)
+        mem.inject(MemoryFault(MemoryFaultKind.ADF_NO_ACCESS, 3))
+        mem.write(3, 1)
+        assert mem.read(3) == 0
+
+    def test_adf_wrong_row(self):
+        mem = FaultyBitMemory(4)
+        mem.inject(MemoryFault(MemoryFaultKind.ADF_WRONG_ROW, 0, alias=2))
+        mem.write(0, 1)
+        # The write landed on the alias.
+        mem2_value = mem.read(2)
+        assert mem2_value == 1
+
+    def test_coupling_needs_aggressor(self):
+        mem = FaultyBitMemory(4)
+        with pytest.raises(ValueError, match="aggressor"):
+            mem.inject(MemoryFault(MemoryFaultKind.CF_ST_0, 1))
+
+
+class TestMarchCoverage:
+    """March C* detects every fault model the paper lists for it."""
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            MemoryFault(MemoryFaultKind.SA0, 5),
+            MemoryFault(MemoryFaultKind.SA1, 5),
+            MemoryFault(MemoryFaultKind.TF_UP, 5),
+            MemoryFault(MemoryFaultKind.TF_DOWN, 5),
+            MemoryFault(MemoryFaultKind.CF_ST_0, 5, aggressor=9),
+            MemoryFault(MemoryFaultKind.CF_ST_1, 5, aggressor=2),
+            MemoryFault(MemoryFaultKind.CF_ST_1, 2, aggressor=5),
+            MemoryFault(MemoryFaultKind.READ1_DISTURB, 5),
+            MemoryFault(MemoryFaultKind.ADF_NO_ACCESS, 5),
+            MemoryFault(MemoryFaultKind.ADF_WRONG_ROW, 5, alias=11),
+        ],
+        ids=lambda f: f.kind.value,
+    )
+    def test_march_c_star_detects(self, fault):
+        memory = FaultyBitMemory(16)
+        memory.inject(fault)
+        result = MarchTestRunner(march_c_star()).run(memory)
+        assert result.fail
+
+    def test_clean_memory_passes(self):
+        result = MarchTestRunner(march_c_star()).run(FaultyBitMemory(32))
+        assert not result.fail
+
+    def test_full_population_coverage(self):
+        runner = MarchTestRunner(march_c_star())
+        faults = random_fault_population(64, 60, rng=0)
+        assert runner.coverage(64, faults) == 1.0
+
+    def test_march_c_minus_also_complete_on_saf_tf(self):
+        runner = MarchTestRunner(march_c_minus())
+        faults = random_fault_population(
+            32,
+            30,
+            kinds=[
+                MemoryFaultKind.SA0,
+                MemoryFaultKind.SA1,
+                MemoryFaultKind.TF_UP,
+                MemoryFaultKind.TF_DOWN,
+            ],
+            rng=1,
+        )
+        assert runner.coverage(32, faults) == 1.0
+
+    def test_localization_points_at_faulty_cell(self):
+        memory = FaultyBitMemory(16)
+        memory.inject(MemoryFault(MemoryFaultKind.SA0, 7))
+        result = MarchTestRunner(march_c_star()).run(memory)
+        assert 7 in result.failing_addresses
+
+    def test_signatures_have_six_bits(self):
+        result = MarchTestRunner(march_c_star()).run(FaultyBitMemory(8))
+        assert all(len(sig) == 6 for sig in result.signatures.values())
+
+    def test_faulty_signature_differs_from_clean(self):
+        clean = MarchTestRunner(march_c_star()).run(FaultyBitMemory(8))
+        faulty_mem = FaultyBitMemory(8)
+        faulty_mem.inject(MemoryFault(MemoryFaultKind.SA1, 3))
+        faulty = MarchTestRunner(march_c_star()).run(faulty_mem)
+        assert faulty.signatures[3] != clean.signatures[3]

@@ -1,0 +1,106 @@
+"""Tests for march testing on physical crossbar arrays."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.devices.variability import (
+    DriftModel,
+    ReadNoiseModel,
+    VariabilityStack,
+    WriteVariationModel,
+)
+from repro.faults.injection import FaultInjector
+from repro.faults.models import Fault, FaultType
+from repro.testing.march import march_c_minus, march_c_star
+from repro.testing.march_crossbar import CrossbarMarchTester
+
+
+def _array(seed=0, n=8, variability=None):
+    kwargs = {}
+    if variability is not None:
+        kwargs["variability"] = variability
+    return CrossbarArray(CrossbarConfig(rows=n, cols=n), rng=seed, **kwargs)
+
+
+class TestCleanDie:
+    def test_clean_array_passes(self):
+        result = CrossbarMarchTester(_array()).run()
+        assert not result.fail
+        assert result.failing_cells == set()
+
+    def test_screen_passes_clean(self):
+        assert CrossbarMarchTester(_array(seed=1)).screen()
+
+    def test_operation_count(self):
+        array = _array(n=4)
+        result = CrossbarMarchTester(array, march_c_star()).run()
+        assert result.operations == march_c_star().operations_per_cell * 16
+
+    def test_moderate_write_variation_tolerated(self):
+        """Healthy variation keeps bits on the right side of midpoint."""
+        stack = VariabilityStack(
+            write=WriteVariationModel(sigma=0.05),
+            read=ReadNoiseModel(sigma=0.01),
+            drift=DriftModel(nu=0.0),
+        )
+        tester = CrossbarMarchTester(_array(seed=2, variability=stack))
+        assert not tester.run().fail
+
+
+class TestFaultyDie:
+    def test_sa0_detected_and_located(self):
+        array = _array(seed=3)
+        FaultInjector(array, rng=4).inject_fault(
+            Fault(FaultType.STUCK_AT_0, 2, 5)
+        )
+        result = CrossbarMarchTester(array).run()
+        assert result.fail
+        assert (2, 5) in result.failing_cells
+
+    def test_sa1_detected(self):
+        array = _array(seed=5)
+        FaultInjector(array, rng=6).inject_fault(
+            Fault(FaultType.STUCK_AT_1, 0, 0)
+        )
+        result = CrossbarMarchTester(array).run()
+        assert result.fail
+        assert (0, 0) in result.failing_cells
+
+    def test_full_population_coverage(self):
+        array = _array(seed=7, n=16)
+        injector = FaultInjector(array, rng=8)
+        fm = injector.inject_exact_count(10)
+        result = CrossbarMarchTester(array).run()
+        assert result.coverage(fm.cells()) == 1.0
+
+    def test_broken_wordline_fails_whole_row(self):
+        from repro.faults.defects import Defect, DefectType
+
+        array = _array(seed=9)
+        FaultInjector(array, rng=10).inject_defects(
+            [Defect(DefectType.BROKEN_WORDLINE, 3, -1)]
+        )
+        result = CrossbarMarchTester(array).run()
+        assert {(3, c) for c in range(8)}.issubset(result.failing_cells)
+
+    def test_march_c_minus_also_works(self):
+        array = _array(seed=11)
+        FaultInjector(array, rng=12).inject_fault(
+            Fault(FaultType.STUCK_AT_0, 1, 1)
+        )
+        result = CrossbarMarchTester(array, march_c_minus()).run()
+        assert result.fail
+        assert result.test_name == "March C-"
+
+
+class TestScreenThenDeploy:
+    def test_screen_separates_good_and_bad_dies(self):
+        verdicts = []
+        for seed in range(8):
+            array = _array(seed=seed, n=8)
+            if seed % 2 == 0:
+                FaultInjector(array, rng=seed + 50).inject_exact_count(2)
+            verdicts.append(CrossbarMarchTester(array).screen())
+        # Even seeds (faulty) rejected, odd seeds (clean) accepted.
+        assert verdicts == [False, True] * 4

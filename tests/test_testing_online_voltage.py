@@ -1,0 +1,84 @@
+"""Tests for the voltage-comparison online test ([38])."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.faults.injection import FaultInjector
+from repro.faults.models import Fault, FaultType
+from repro.testing.online_voltage import VoltageComparisonTester
+
+
+def _array_with_weights(n=16, seed=0):
+    array = CrossbarArray(CrossbarConfig(rows=n, cols=n), rng=seed)
+    gen = np.random.default_rng(seed)
+    levels = array.config.levels
+    array.program(gen.uniform(levels.g_min, levels.g_max * 0.8, (n, n)))
+    return array
+
+
+class TestCleanArray:
+    def test_no_detection_without_faults(self):
+        array = _array_with_weights()
+        report = VoltageComparisonTester(array).detect("sa0")
+        assert not report.fault_detected
+        assert report.localized_cells == set()
+
+    def test_group_measurement_count(self):
+        """One measurement per row group — the test-time saving."""
+        array = _array_with_weights(n=16)
+        report = VoltageComparisonTester(array, group_size=4).detect("sa0")
+        assert report.measurement_count == 4
+
+
+class TestSA0Detection:
+    def test_detects_and_localizes_sa0(self):
+        array = _array_with_weights()
+        injector = FaultInjector(array, rng=1)
+        injector.inject_fault(Fault(FaultType.STUCK_AT_0, 5, 7))
+        report = VoltageComparisonTester(array).detect("sa0")
+        assert report.fault_detected
+        recall, precision = report.localization_precision({(5, 7)})
+        assert recall == 1.0
+        assert precision == 1.0
+
+    def test_detects_multiple_faults(self):
+        array = _array_with_weights(n=24)
+        injector = FaultInjector(array, rng=2)
+        fm = injector.inject_exact_count(6, FaultType.STUCK_AT_0)
+        report = VoltageComparisonTester(array).detect("sa0")
+        recall, _ = report.localization_precision(fm.cells())
+        assert recall >= 0.8
+
+
+class TestSA1Detection:
+    def test_sa1_needs_decrement_direction(self):
+        array = _array_with_weights()
+        injector = FaultInjector(array, rng=3)
+        injector.inject_fault(Fault(FaultType.STUCK_AT_1, 2, 2))
+        report = VoltageComparisonTester(array).detect("sa1")
+        assert report.fault_detected
+        recall, _ = report.localization_precision({(2, 2)})
+        assert recall == 1.0
+
+    def test_bidirectional_covers_both(self):
+        array = _array_with_weights()
+        injector = FaultInjector(array, rng=4)
+        injector.inject_fault(Fault(FaultType.STUCK_AT_0, 1, 1))
+        injector.inject_fault(Fault(FaultType.STUCK_AT_1, 9, 9))
+        tester = VoltageComparisonTester(array)
+        sa0_report, sa1_report = tester.detect_bidirectional()
+        localized = sa0_report.localized_cells | sa1_report.localized_cells
+        assert {(1, 1), (9, 9)}.issubset(localized)
+
+
+class TestValidation:
+    def test_direction_validated(self):
+        array = _array_with_weights(n=4)
+        with pytest.raises(ValueError, match="direction"):
+            VoltageComparisonTester(array).detect("both")
+
+    def test_group_size_validated(self):
+        array = _array_with_weights(n=4)
+        with pytest.raises(ValueError):
+            VoltageComparisonTester(array, group_size=0)

@@ -1,0 +1,90 @@
+"""Tests for scouting-logic testing ([40])."""
+
+import numpy as np
+import pytest
+
+from repro.core.cim_core import CIMCore, CIMCoreParams
+from repro.testing.scouting_test import (
+    ScoutingLogicTester,
+    inject_reference_drift,
+)
+
+
+def _core(seed=0, cols=8):
+    return CIMCore(CIMCoreParams(rows=4, logical_cols=cols // 2), rng=seed)
+
+
+class TestHealthyDatapath:
+    def test_clean_core_passes(self):
+        core = _core()
+        report = ScoutingLogicTester(core).run()
+        assert not report.fault_detected
+        assert report.patterns_applied == 4
+
+    def test_patterns_cover_all_operand_pairs(self):
+        core = _core()
+        tester = ScoutingLogicTester(core)
+        seen = set()
+        for a, b in tester._patterns():
+            for col in range(core.array.cols):
+                seen.add((int(a[col]), int(b[col])))
+        assert seen == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestCellFaults:
+    def test_stuck_cell_detected(self):
+        core = _core(seed=1)
+        # Stick one cell of row 0 at LRS: its stored operand reads as 1.
+        core.array.stick_cell(0, 3, core.params.levels.g_max)
+        report = ScoutingLogicTester(core).run()
+        assert report.fault_detected
+        # The failing columns include the stuck column.
+        failing_cols = {
+            col for fails in report.op_failures.values() for _, col in fails
+        }
+        assert 3 in failing_cols
+
+    def test_stuck_hrs_cell_detected(self):
+        core = _core(seed=2)
+        core.array.stick_cell(1, 5, core.params.levels.g_min)
+        report = ScoutingLogicTester(core).run()
+        assert report.fault_detected
+
+
+class TestReferenceDrift:
+    """The CIM-P-specific fault universe: sense thresholds drift."""
+
+    def test_large_positive_drift_breaks_logic(self):
+        core = _core(seed=3)
+        inject_reference_drift(core, +0.6)
+        report = ScoutingLogicTester(core).run()
+        assert report.fault_detected
+
+    def test_large_negative_drift_breaks_logic(self):
+        core = _core(seed=4)
+        inject_reference_drift(core, -0.6)
+        report = ScoutingLogicTester(core).run()
+        assert report.fault_detected
+
+    def test_small_drift_within_margin_passes(self):
+        """Noise margins absorb small offsets — the guard-band design
+        point of Section II-E."""
+        core = _core(seed=5)
+        inject_reference_drift(core, 0.1)
+        report = ScoutingLogicTester(core).run()
+        assert not report.fault_detected
+
+    def test_drift_direction_selects_failing_ops(self):
+        """+drift lowers thresholds: AND starts accepting (1,0)/(0,1);
+        OR keeps working (it only gets more permissive on inputs already
+        above threshold)."""
+        core = _core(seed=6)
+        inject_reference_drift(core, +0.6)
+        report = ScoutingLogicTester(core).run()
+        assert "and" in report.failing_ops
+
+
+class TestValidation:
+    def test_identical_rows_rejected(self):
+        with pytest.raises(ValueError):
+            ScoutingLogicTester(_core(), rows=(1, 1))

@@ -1,0 +1,111 @@
+"""Tests for sneak-path group testing ([46])."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.faults.injection import FaultInjector
+from repro.testing.march import march_c_star
+from repro.testing.sneak_path_test import SneakPathTester
+
+
+def _programmed_array(n=16, seed=0):
+    array = CrossbarArray(CrossbarConfig(rows=n, cols=n), rng=seed)
+    reference = np.full((n, n), 5e-5)
+    array.program(reference)
+    return array, reference
+
+
+class TestProbePattern:
+    def test_every_row_and_column_probed(self):
+        array, _ = _programmed_array(n=12)
+        probes = SneakPathTester(array).probe_pattern()
+        assert {r for r, _ in probes} == set(range(12))
+        assert {c for _, c in probes} == set(range(12))
+
+    def test_stride_reduces_probes(self):
+        array, _ = _programmed_array(n=16)
+        tester = SneakPathTester(array)
+        assert tester.measurement_count(stride=4) < tester.measurement_count(stride=1)
+
+    def test_stride_validated(self):
+        array, _ = _programmed_array(n=8)
+        with pytest.raises(ValueError, match="stride"):
+            SneakPathTester(array).probe_pattern(stride=0)
+
+
+class TestCleanArray:
+    def test_no_flags_on_fault_free_array(self):
+        array, reference = _programmed_array()
+        report = SneakPathTester(array).run(reference)
+        assert not report.fault_detected
+        assert report.detection_rate(set()) == 1.0
+
+
+class TestFaultDetection:
+    def test_detects_stuck_faults(self):
+        array, reference = _programmed_array()
+        injector = FaultInjector(array, rng=1)
+        injector.inject_exact_count(5)
+        report = SneakPathTester(array).run(reference)
+        assert report.fault_detected
+
+    def test_region_of_detection_catches_all_faults(self):
+        """With every line probed, every fault lies in some region of
+        detection and perturbs at least one probe measurably."""
+        array, reference = _programmed_array(n=24)
+        injector = FaultInjector(array, rng=2)
+        injector.inject_exact_count(8)
+        report = SneakPathTester(array).run(reference)
+        rate = report.detection_rate(injector.fault_map.cells())
+        assert rate == 1.0
+
+    def test_single_fault_region(self):
+        array, reference = _programmed_array(n=8)
+        array.stick_cell(3, 3, 1e-6)
+        report = SneakPathTester(array).run(reference)
+        assert (3, 3) in report.suspect_cells
+
+    def test_group_testing_one_probe_covers_whole_line(self):
+        """A fault far from any probe cell is still seen through the
+        shared wordline — the parallelism the method is built on."""
+        array, reference = _programmed_array(n=8)
+        array.stick_cell(2, 6, 1e-6)   # not a probe cell itself
+        report = SneakPathTester(array).run(reference)
+        assert report.fault_detected
+        assert (2, 6) in report.suspect_cells
+
+
+class TestParallelismAndScaling:
+    def test_fewer_measurements_than_march(self):
+        """The point of the method: group testing beats cell-by-cell."""
+        array, reference = _programmed_array(n=32)
+        tester = SneakPathTester(array)
+        sneak_measurements = tester.measurement_count()
+        march_operations = march_c_star().operations_per_cell * 32 * 32
+        assert sneak_measurements < march_operations / 100
+
+    def test_linear_scaling_with_array_side(self):
+        """Measurements grow linearly with the side length; the paper's
+        complaint is that this is still linear growth, 'remaining
+        unacceptably high for on-line test'."""
+        counts = []
+        for n in (16, 32, 64):
+            array, _ = _programmed_array(n=n)
+            counts.append(SneakPathTester(array).measurement_count())
+        assert counts[1] == pytest.approx(2 * counts[0], rel=0.2)
+        assert counts[2] == pytest.approx(2 * counts[1], rel=0.2)
+
+    def test_test_time_reported(self):
+        array, reference = _programmed_array(n=8)
+        report = SneakPathTester(array).run(reference)
+        assert report.test_time == pytest.approx(
+            len(report.probes) * report.read_time
+        )
+
+
+class TestValidation:
+    def test_reference_shape_checked(self):
+        array, _ = _programmed_array(n=8)
+        with pytest.raises(ValueError, match="reference"):
+            SneakPathTester(array).run(np.zeros((4, 4)))

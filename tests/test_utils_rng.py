@@ -1,0 +1,53 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(7)).random(3)
+        b = ensure_rng(7).random(3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError, match="rng must be"):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match="count"):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        assert not np.array_equal(children[0].random(10), children[1].random(10))
+
+    def test_deterministic_given_seed(self):
+        a = [g.random() for g in spawn_rngs(9, 3)]
+        b = [g.random() for g in spawn_rngs(9, 3)]
+        assert a == b

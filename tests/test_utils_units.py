@@ -1,0 +1,52 @@
+"""Tests for repro.utils.units."""
+
+import math
+
+from repro.utils.units import (
+    FEMTO,
+    GIGA,
+    KILO,
+    MEGA,
+    MICRO,
+    MILLI,
+    NANO,
+    PICO,
+    engineering_format,
+)
+
+
+class TestConstants:
+    def test_scaling_relations(self):
+        assert KILO * MILLI == 1.0
+        assert MEGA * MICRO == 1.0
+        assert GIGA * NANO == 1.0
+
+    def test_small_prefixes(self):
+        assert PICO == 1e-12
+        assert FEMTO == 1e-15
+
+
+class TestEngineeringFormat:
+    def test_nano(self):
+        assert engineering_format(2.5e-9, "s") == "2.5 ns"
+
+    def test_giga(self):
+        assert engineering_format(1.28e9, "Hz") == "1.28 GHz"
+
+    def test_unity(self):
+        assert engineering_format(3.0, "V") == "3 V"
+
+    def test_negative_value(self):
+        assert engineering_format(-2e-3, "A") == "-2 mA"
+
+    def test_zero(self):
+        assert engineering_format(0.0, "J") == "0.0 J"
+
+    def test_nan_passthrough(self):
+        assert "nan" in engineering_format(float("nan"), "s")
+
+    def test_no_unit(self):
+        assert engineering_format(1e6) == "1 M"
+
+    def test_digits_control(self):
+        assert engineering_format(1.23456e-6, "F", digits=2) == "1.2 uF"

@@ -1,0 +1,59 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_non_negative("x", -1)
+
+    def test_probability_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.01)
+
+    def test_in_range(self):
+        assert check_in_range("v", 0.5, 0, 1) == 0.5
+        with pytest.raises(ValueError, match=r"v must be in \[0, 1\]"):
+            check_in_range("v", 2, 0, 1)
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        a = np.zeros((3, 4))
+        assert check_shape("a", a, (3, 4)) is not None
+
+    def test_wildcard_axis(self):
+        a = np.zeros((3, 4))
+        check_shape("a", a, (-1, 4))
+
+    def test_wrong_rank(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("a", np.zeros(3), (3, 1))
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("a", np.zeros((3, 5)), (3, 4))
