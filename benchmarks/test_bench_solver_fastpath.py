@@ -1,0 +1,151 @@
+"""Throughput benchmark for the nodal-solver fast path.
+
+Every IR-drop-aware inference call solves the same crossbar against a new
+input vector.  The fast path separates what depends on the conductance
+state (matrix assembly + LU factorization, done once and cached) from
+what depends on the input (one triangular back-substitution), and batches
+many inputs through a single multi-RHS solve — the CiMLoop/NeuroSim-style
+separation the ROADMAP's "as fast as the hardware allows" goal asks for.
+
+Three regimes are timed across array sizes:
+
+* **cold** — cache cleared before every solve: assembly + factorization
+  per input (what the old per-call solver always paid);
+* **cached** — one factorization, then per-input back-substitution;
+* **batched** — one factorization and one multi-RHS back-substitution
+  for the whole input block.
+
+The acceptance gate: on a 128x128 array, cached+batched solves of a
+64-vector block must beat 64 independent cold solves by >= 5x, while
+matching the uncached solver's currents to 1e-10.
+"""
+
+import time
+
+import numpy as np
+
+from repro.crossbar.solver import NodalCrossbarSolver
+
+from conftest import print_table
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_solver_fastpath_throughput(run_once):
+    """Cold vs cached vs batched solve throughput, 64x64 -> 256x256."""
+
+    n_vectors = 64
+
+    def experiment():
+        rows = []
+        for n in (64, 128, 256):
+            rng = np.random.default_rng(n)
+            g = rng.uniform(1e-6, 1e-4, (n, n))
+            v_block = rng.uniform(0.0, 0.2, (n_vectors, n))
+            solver = NodalCrossbarSolver(wire_resistance=1.0)
+
+            # Cold: every solve pays assembly + factorization.  At the
+            # largest size only a subset is timed and the total is
+            # extrapolated (a 256x256 factorization costs ~1 s and the
+            # per-solve cost is flat across identical solves); the
+            # extrapolation is reported in the table, not hidden.
+            n_cold = n_vectors if n <= 128 else 8
+
+            def cold():
+                out = np.empty((n_cold, n))
+                for k in range(n_cold):
+                    solver.invalidate_cache()
+                    out[k] = solver.solve(g, v_block[k]).column_currents
+                return out
+
+            cold_currents, t_cold_sample = _timed(cold)
+            t_cold = t_cold_sample / n_cold * n_vectors
+
+            # Cached: one factorization, per-vector back-substitution.
+            solver.invalidate_cache()
+            solver.solve(g, v_block[0])  # warm the cache
+
+            def cached():
+                out = np.empty((n_vectors, n))
+                for k in range(n_vectors):
+                    out[k] = solver.solve(g, v_block[k]).column_currents
+                return out
+
+            cached_currents, t_cached = _timed(cached)
+
+            # Batched: one factorization + one multi-RHS solve.  Time the
+            # full cold cost (factorization included) — this is what an
+            # inference batch on a freshly programmed array actually pays.
+            solver.invalidate_cache()
+            batched_result, t_batched = _timed(
+                lambda: solver.solve_batch(g, v_block)
+            )
+            batched_currents = batched_result.column_currents
+
+            # Cached and batched results must match the uncached (cold)
+            # solver to 1e-10 on every vector that was solved cold.
+            scale = np.abs(cold_currents).max()
+            assert (
+                np.max(np.abs(cached_currents[:n_cold] - cold_currents))
+                < 1e-10 * scale
+            )
+            assert (
+                np.max(np.abs(batched_currents[:n_cold] - cold_currents))
+                < 1e-10 * scale
+            )
+
+            rows.append(
+                {
+                    "array": f"{n}x{n}",
+                    "vectors": n_vectors,
+                    "cold_solves_timed": n_cold,
+                    "cold_s": t_cold,
+                    "cached_s": t_cached,
+                    "batched_s": t_batched,
+                    "cached_speedup": t_cold / t_cached,
+                    "batched_speedup": t_cold / t_batched,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("Solver fast path: cold vs cached vs batched", rows)
+
+    # Acceptance gate: >= 5x on the 128x128 array for the batched path
+    # (cold time there is fully measured, not extrapolated).
+    gate = next(r for r in rows if r["array"] == "128x128")
+    assert gate["batched_speedup"] >= 5.0
+    assert gate["cached_speedup"] > 1.0
+
+
+def test_solver_fastpath_scaling(run_once):
+    """Factorization amortization improves with batch size: the marginal
+    cost of one more input is a back-substitution, not a factorization."""
+
+    def experiment():
+        n = 128
+        rng = np.random.default_rng(1)
+        g = rng.uniform(1e-6, 1e-4, (n, n))
+        solver = NodalCrossbarSolver(wire_resistance=1.0)
+        rows = []
+        for batch in (1, 8, 64):
+            v_block = rng.uniform(0.0, 0.2, (batch, n))
+            solver.invalidate_cache()
+            _, elapsed = _timed(lambda: solver.solve_batch(g, v_block))
+            rows.append(
+                {
+                    "batch": batch,
+                    "total_s": elapsed,
+                    "per_vector_ms": elapsed / batch * 1e3,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_table("Solver fast path: batch-size amortization (128x128)", rows)
+    per_vec = [r["per_vector_ms"] for r in rows]
+    assert per_vec[-1] < per_vec[0]

@@ -222,12 +222,12 @@ class CrossbarCNN:
         """Logits for one image, every MAC on the crossbars."""
         image = np.asarray(image, dtype=float)
         patches = im2col(image[None], self.cnn.kernel)[0]
-        conv_out = np.empty((patches.shape[0], self.cnn.filters))
-        for p, patch in enumerate(patches):
-            conv_out[p] = (
-                self.conv_accel.vmm(np.clip(patch, 0, 1), noisy=noisy)
-                * self._conv_scale
-            )
+        # All patches share the stationary kernel bank, so the whole patch
+        # batch runs as one multi-RHS pass over the conv tiles.
+        conv_out = (
+            self.conv_accel.vmm_batch(np.clip(patches, 0, 1), noisy=noisy)
+            * self._conv_scale
+        )
         conv_out += self.cnn.conv_b
         hidden = np.maximum(conv_out, 0.0).reshape(-1)
         scaled = np.clip(hidden / self._dense_in_scale, 0.0, 1.0)

@@ -178,22 +178,33 @@ class CrossbarMLP:
 
     def forward_one(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
         """Logits for one sample, all VMMs on the crossbars."""
+        return self.forward_batch(np.asarray(x, dtype=float)[None], noisy=noisy)[0]
+
+    def forward_batch(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
+        """Logits for a batch ``(n, features)``, all VMMs on the crossbars.
+
+        The whole batch flows through each layer's accelerator in one
+        :meth:`~repro.core.accelerator.CIMAccelerator.vmm_batch` call, so
+        IR-drop-aware tiles factorize their nodal system once per layer
+        per batch instead of once per sample.
+        """
         h = np.asarray(x, dtype=float)
+        if h.ndim != 2:
+            raise ValueError(f"x must be (batch, features), got {h.shape}")
         for layer in self.layers:
             scaled = np.clip(h / layer.input_scale, 0.0, 1.0)
             z = (
-                layer.accelerator.vmm(scaled, noisy=noisy) * layer.weight_scale
+                layer.accelerator.vmm_batch(scaled, noisy=noisy)
+                * layer.weight_scale
                 + layer.bias
             )
             h = z if layer.last else _relu(z)
         return h
 
     def predict(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
-        """Labels for a batch (sample-at-a-time analog inference)."""
+        """Labels for a batch (batched analog inference)."""
         x = np.asarray(x, dtype=float)
-        return np.array(
-            [int(np.argmax(self.forward_one(row, noisy=noisy))) for row in x]
-        )
+        return np.argmax(self.forward_batch(x, noisy=noisy), axis=-1).astype(int)
 
     def accuracy(self, x: np.ndarray, y: np.ndarray, noisy: bool = True) -> float:
         """Classification accuracy of the deployed network."""

@@ -108,6 +108,35 @@ class CIMAccelerator:
                 y[c0 : c0 + p.tile_cols] += partial
         return y[:cols]
 
+    def vmm_batch(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
+        """Batched ``y ~ x @ W``: each row of ``x`` is one input vector.
+
+        Every tile evaluates its whole batch in one pass
+        (:meth:`CIMCore.vmm_batch`), so IR-drop-aware tiles factorize
+        their nodal system once per batch instead of once per sample.
+        """
+        x = np.asarray(x, dtype=float)
+        rows, cols = self.weights.shape
+        if x.ndim != 2 or x.shape[1] != rows:
+            raise ValueError(
+                f"x must have shape (batch, {rows}), got {x.shape}"
+            )
+        if np.any((x < 0) | (x > 1)):
+            raise ValueError("inputs must be in [0, 1]")
+        p = self.params
+        batch = x.shape[0]
+        y = np.zeros((batch, self.n_col_blocks * p.tile_cols))
+        for bi in range(self.n_row_blocks):
+            r0 = bi * p.tile_rows
+            r1 = min(r0 + p.tile_rows, rows)
+            x_block = np.zeros((batch, p.tile_rows))
+            x_block[:, : r1 - r0] = x[:, r0:r1]
+            for bj in range(self.n_col_blocks):
+                c0 = bj * p.tile_cols
+                partial = self.tiles[bi][bj].vmm_batch(x_block, noisy=noisy)
+                y[:, c0 : c0 + p.tile_cols] += partial
+        return y[:, :cols]
+
     def total_costs(self) -> CostAccumulator:
         """Aggregate cost accounting across all tiles."""
         acc = CostAccumulator()
@@ -131,6 +160,7 @@ class CIMAccelerator:
             for core in tile_row:
                 injector = FaultInjector(core.array, rng=rngs[k])
                 fault_map = injector.inject_for_yield(cell_yield)
+                core.invalidate_solver_cache()
                 total_faults += len(fault_map.cells())
                 total_cells += core.array.rows * core.array.cols
                 k += 1

@@ -128,6 +128,18 @@ class CIMCore:
             OperationCost(energy=write_energy, latency=100e-9 * iterations),
         )
         self._programmed = True
+        self.invalidate_solver_cache()
+
+    def invalidate_solver_cache(self) -> None:
+        """Drop the IR-drop solver's cached LU factorizations.
+
+        Called automatically after reprogramming; fault injectors that
+        mutate :attr:`array` directly should call it too.  (Correctness
+        does not depend on it — the cache is keyed on a fingerprint of the
+        conductances — but stale factorizations waste cache slots.)
+        """
+        if self._ir_solver is not None:
+            self._ir_solver.invalidate_cache()
 
     # ------------------------------------------------------------ CIM-A VMM
     def vmm(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
@@ -136,23 +148,46 @@ class CIMCore:
         ``x`` entries must lie in ``[0, 1]``.  The pipeline is
         DAC -> crossbar -> transimpedance -> ADC -> differential decode.
         """
-        if not self._programmed:
-            raise RuntimeError("program_weights must be called before vmm")
         x = np.asarray(x, dtype=float)
         p = self.params
         if x.shape != (p.rows,):
             raise ValueError(f"x must have shape ({p.rows},), got {x.shape}")
+        return self.vmm_batch(x[None, :], noisy=noisy)[0]
 
-        voltages = self.driver.drive_analog(self.encoder.amplitude(x))
+    def vmm_batch(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
+        """Batched analog VMM: each row of ``x`` is one input vector.
+
+        All inputs in the batch see the same conductance snapshot (one
+        read-noise sample), modelling back-to-back evaluations within the
+        noise correlation time.  With ``wire_resistance > 0`` the whole
+        batch is back-substituted against a single cached LU factorization
+        (:meth:`~repro.crossbar.solver.NodalCrossbarSolver.solve_batch`),
+        so the per-input cost is a triangular solve, not a factorization.
+        """
+        if not self._programmed:
+            raise RuntimeError("program_weights must be called before vmm")
+        x = np.asarray(x, dtype=float)
+        p = self.params
+        if x.ndim != 2 or x.shape[1] != p.rows:
+            raise ValueError(
+                f"x must have shape (batch, {p.rows}), got {x.shape}"
+            )
+        batch = x.shape[0]
+        if batch < 1:
+            raise ValueError("batch must contain at least one input vector")
+
+        voltages = np.stack(
+            [self.driver.drive_analog(self.encoder.amplitude(row)) for row in x]
+        )
         if self._ir_solver is not None:
             g = (
                 self.array.read_conductances()
                 if noisy
                 else self.array.conductances()
             )
-            currents = self._ir_solver.solve(g, voltages).column_currents
+            currents = self._ir_solver.solve_batch(g, voltages).column_currents
         else:
-            currents = self.array.vmm(voltages, noisy=noisy)
+            currents = self.array.mvm_batch(voltages, noisy=noisy)
         # Digitize each physical column.
         volts = currents * p.transimpedance
         codes = self.adc.quantize_array(volts)
@@ -160,26 +195,28 @@ class CIMCore:
         y = self.mapping.decode(digitized, voltages, v_scale=p.v_read)
 
         n_cols = self.array.cols
+        settle_power = sum(
+            self.array.dynamic_read_power(voltages[k]) for k in range(batch)
+        )
         self.costs.add(
             "dac",
             OperationCost(
-                energy=self.dac.energy_per_conversion * p.rows,
-                latency=self.dac.latency,
+                energy=self.dac.energy_per_conversion * p.rows * batch,
+                latency=self.dac.latency * batch,
             ),
         )
         self.costs.add(
             "array",
             OperationCost(
-                energy=self.array.dynamic_read_power(voltages)
-                * p.array_settle_time,
-                latency=p.array_settle_time,
+                energy=settle_power * p.array_settle_time,
+                latency=p.array_settle_time * batch,
             ),
         )
         self.costs.add(
             "adc",
             OperationCost(
-                energy=self.adc.energy_per_conversion * n_cols,
-                latency=self.adc.latency,
+                energy=self.adc.energy_per_conversion * n_cols * batch,
+                latency=self.adc.latency * batch,
             ),
         )
         return y
@@ -208,6 +245,7 @@ class CIMCore:
         g[row] = np.where(bits > 0, levels.g_max, levels.g_min)
         self.array.program(g)
         self._programmed = True
+        self.invalidate_solver_cache()
 
     def _scouting(self, rows: Sequence[int], op: str) -> np.ndarray:
         p = self.params

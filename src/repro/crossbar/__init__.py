@@ -16,6 +16,7 @@ currents ``I_j = sum_i V_i * G_ij`` — ``n`` MAC operations in O(1) time
 
 from repro.crossbar.array import CrossbarArray, CrossbarConfig
 from repro.crossbar.solver import (
+    BatchSolverResult,
     NodalCrossbarSolver,
     SolverResult,
     sneak_path_read_current,
@@ -30,6 +31,7 @@ from repro.crossbar.mapping import (
 __all__ = [
     "CrossbarArray",
     "CrossbarConfig",
+    "BatchSolverResult",
     "NodalCrossbarSolver",
     "SolverResult",
     "sneak_path_read_current",
