@@ -6,8 +6,30 @@ the paper reports, and asserts the paper's qualitative *shape* (who wins,
 by roughly what factor, where crossovers fall).
 """
 
+import json
+import os
+
 import numpy as np
 import pytest
+
+# Machine-readable perf records, written to BENCH_sweep.json at session end
+# so the sweep-engine throughput trajectory is tracked across PRs.
+_SWEEP_RECORDS = {}
+
+
+def record_sweep_metrics(name, payload):
+    """Register one benchmark's metrics (e.g. trials/sec serial vs
+    parallel) for the session's ``BENCH_sweep.json``."""
+    _SWEEP_RECORDS[name] = payload
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _SWEEP_RECORDS:
+        return
+    path = os.path.join(os.path.dirname(__file__), "BENCH_sweep.json")
+    with open(path, "w") as fh:
+        json.dump(_SWEEP_RECORDS, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {path}")
 
 
 @pytest.fixture

@@ -1,0 +1,194 @@
+"""Benchmarks: the parallel, deterministic Monte Carlo sweep engine.
+
+Measures trials/sec of the statistical layer's three backends — serial
+scalar, chunked-vectorized, and process-parallel — on the two hottest
+consumers (ECC failure-rate Monte Carlo and the accuracy-vs-yield grid),
+gates the speedup at >= 3x, and proves identical-seed runs are
+bit-identical at any worker count.  Results are also written to
+``BENCH_sweep.json`` (via :func:`conftest.record_sweep_metrics`) so the
+perf trajectory is tracked across PRs.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import print_table, record_sweep_metrics
+
+SPEEDUP_GATE = 3.0
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_ecc_monte_carlo_backends(run_once):
+    """Vectorized/parallel ECC Monte Carlo vs the scalar serial loop.
+
+    The scalar word-at-a-time encode/flip/decode loop is the PR-1-era
+    baseline; the block codec turns it into column reductions.  Gate:
+    the best non-scalar backend is >= 3x the baseline throughput.
+    """
+    from repro.testing.ecc import EccAnalysis, HammingSecDed
+
+    analysis = EccAnalysis(HammingSecDed(64))
+    ber, trials = 0.01, 4000
+
+    def experiment():
+        scalar, t_scalar = _timed(
+            analysis.monte_carlo_failure_rate,
+            ber,
+            trials=trials,
+            rng=0,
+            vectorized=False,
+        )
+        vec, t_vec = _timed(
+            analysis.monte_carlo_failure_rate,
+            ber,
+            trials=trials,
+            rng=0,
+            workers=0,
+        )
+        par, t_par = _timed(
+            analysis.monte_carlo_failure_rate,
+            ber,
+            trials=trials,
+            rng=0,
+            workers=2,
+        )
+        return scalar, vec, par, t_scalar, t_vec, t_par
+
+    scalar, vec, par, t_scalar, t_vec, t_par = run_once(experiment)
+
+    rows = [
+        {
+            "backend": "serial scalar",
+            "seconds": t_scalar,
+            "trials_per_sec": trials / t_scalar,
+            "failure_rate": scalar,
+        },
+        {
+            "backend": "vectorized (workers=0)",
+            "seconds": t_vec,
+            "trials_per_sec": trials / t_vec,
+            "failure_rate": vec,
+        },
+        {
+            "backend": "parallel (workers=2)",
+            "seconds": t_par,
+            "trials_per_sec": trials / t_par,
+            "failure_rate": par,
+        },
+    ]
+    print_table("ECC Monte Carlo backends (72,64 SEC-DED)", rows)
+    record_sweep_metrics(
+        "ecc_monte_carlo",
+        {
+            "trials": trials,
+            "ber": ber,
+            "trials_per_sec_serial": trials / t_scalar,
+            "trials_per_sec_vectorized": trials / t_vec,
+            "trials_per_sec_parallel": trials / t_par,
+            "speedup_vectorized": t_scalar / t_vec,
+            "speedup_parallel": t_scalar / t_par,
+        },
+    )
+
+    # Determinism: same seed, any worker count -> bit-identical rate.
+    assert vec == par
+    # Perf gate: best engine backend >= 3x the serial scalar baseline.
+    best = max(t_scalar / t_vec, t_scalar / t_par)
+    assert best >= SPEEDUP_GATE, (
+        f"sweep engine speedup {best:.1f}x below the {SPEEDUP_GATE}x gate"
+    )
+
+
+def test_yield_sweep_backends(run_once):
+    """Accuracy-vs-yield: batched-serial vs process-parallel grid, with
+    the analytic per-trial work batched through forward_batch either way.
+
+    On multi-core hosts the parallel row shows the fan-out win; on
+    single-core CI it documents the (bounded) process overhead.  Either
+    way the rows must be bit-identical — that is the gate here, the
+    throughput gate lives on the ECC benchmark above.
+    """
+    from repro.apps.nn import accuracy_vs_yield
+
+    kw = dict(
+        yields=(1.0, 0.9, 0.8, 0.6),
+        n_samples=240,
+        trials=3,
+        epochs=30,
+        rng=0,
+    )
+
+    def experiment():
+        serial, t_serial = _timed(accuracy_vs_yield, workers=0, **kw)
+        parallel, t_par = _timed(accuracy_vs_yield, workers=2, **kw)
+        return serial, parallel, t_serial, t_par
+
+    serial, parallel, t_serial, t_par = run_once(experiment)
+    n_jobs = len(kw["yields"]) * kw["trials"]
+
+    print_table(
+        "accuracy_vs_yield grid (12 deployments)",
+        [
+            {
+                "backend": "serial (workers=0)",
+                "seconds": t_serial,
+                "trials_per_sec": n_jobs / t_serial,
+            },
+            {
+                "backend": "parallel (workers=2)",
+                "seconds": t_par,
+                "trials_per_sec": n_jobs / t_par,
+            },
+        ],
+    )
+    record_sweep_metrics(
+        "accuracy_vs_yield",
+        {
+            "grid_jobs": n_jobs,
+            "trials_per_sec_serial": n_jobs / t_serial,
+            "trials_per_sec_parallel": n_jobs / t_par,
+            "speedup_parallel": t_serial / t_par,
+        },
+    )
+    assert serial == parallel, "identical seed must be worker-count invariant"
+    accs = [row["accuracy"] for row in serial]
+    assert accs[-1] < accs[0], "yield sweep lost its degradation shape"
+
+
+def test_bnn_engine_vectorized(run_once):
+    """The satellite XNOR-popcount vectorization: numpy equality path vs
+    the switch-level cell walk."""
+    from repro.ferfet.bnn_engine import XnorPopcountEngine
+
+    rng = np.random.default_rng(0)
+    engine = XnorPopcountEngine(rng.choice([-1, 1], size=(64, 16)))
+    xs = [rng.choice([-1, 1], size=64) for _ in range(20)]
+
+    def experiment():
+        _, t_cells = _timed(lambda: [engine.dot_cells(x) for x in xs])
+        _, t_vec = _timed(lambda: [engine.dot(x) for x in xs])
+        mismatch = any(
+            not np.array_equal(engine.dot(x), engine.dot_cells(x)) for x in xs
+        )
+        return t_cells, t_vec, mismatch
+
+    t_cells, t_vec, mismatch = run_once(experiment)
+    print_table(
+        "BNN XNOR-popcount (64x16 cells, 20 inputs)",
+        [
+            {"path": "cell walk", "seconds": t_cells},
+            {"path": "vectorized", "seconds": t_vec},
+            {"path": "speedup", "seconds": t_cells / t_vec},
+        ],
+    )
+    record_sweep_metrics(
+        "bnn_xnor_popcount", {"speedup_vectorized": t_cells / t_vec}
+    )
+    assert not mismatch
+    assert t_cells / t_vec >= SPEEDUP_GATE

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.accelerator import AcceleratorParams, CIMAccelerator
+from repro.utils.parallel import run_grid, seed_sequence_from
 from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
 from repro.utils.validation import check_positive
 
@@ -221,28 +222,46 @@ class CrossbarCNN:
     def forward_one(self, image: np.ndarray, noisy: bool = False) -> np.ndarray:
         """Logits for one image, every MAC on the crossbars."""
         image = np.asarray(image, dtype=float)
-        patches = im2col(image[None], self.cnn.kernel)[0]
-        # All patches share the stationary kernel bank, so the whole patch
-        # batch runs as one multi-RHS pass over the conv tiles.
+        return self.forward_batch(image[None], noisy=noisy)[0]
+
+    def forward_batch(self, images: np.ndarray, noisy: bool = False) -> np.ndarray:
+        """Logits for a batch of images ``(n, H, W)``.
+
+        All patches of all images share the stationary kernel bank, so
+        the entire ``n * n_patches`` patch set runs as one multi-RHS pass
+        over the conv tiles, and the dense layer sees the whole batch in
+        one :meth:`~repro.core.accelerator.CIMAccelerator.vmm_batch` call
+        — IR-drop-aware tiles factorize their nodal system once per layer
+        per batch instead of once per image.
+        """
+        images = np.asarray(images, dtype=float)
+        if images.ndim != 3:
+            raise ValueError(
+                f"images must be (batch, H, W), got {images.shape}"
+            )
+        batch = images.shape[0]
+        patches = im2col(images, self.cnn.kernel)
+        n_patches = patches.shape[1]
+        flat = patches.reshape(batch * n_patches, -1)
         conv_out = (
-            self.conv_accel.vmm_batch(np.clip(patches, 0, 1), noisy=noisy)
+            self.conv_accel.vmm_batch(np.clip(flat, 0, 1), noisy=noisy)
             * self._conv_scale
+            + self.cnn.conv_b
         )
-        conv_out += self.cnn.conv_b
-        hidden = np.maximum(conv_out, 0.0).reshape(-1)
+        hidden = np.maximum(conv_out, 0.0).reshape(batch, -1)
         scaled = np.clip(hidden / self._dense_in_scale, 0.0, 1.0)
-        logits = (
-            self.dense_accel.vmm(scaled, noisy=noisy)
+        return (
+            self.dense_accel.vmm_batch(scaled, noisy=noisy)
             * self._dense_scale
             * self._dense_in_scale
             + self.cnn.dense_b
         )
-        return logits
 
     def predict(self, images: np.ndarray, noisy: bool = False) -> np.ndarray:
-        """Labels for a batch (one analog pass per patch)."""
-        return np.array(
-            [int(np.argmax(self.forward_one(img, noisy))) for img in images]
+        """Labels for a batch (whole batch through the tiles at once)."""
+        images = np.asarray(images, dtype=float)
+        return np.argmax(self.forward_batch(images, noisy=noisy), axis=-1).astype(
+            int
         )
 
     def accuracy(
@@ -259,3 +278,82 @@ class CrossbarCNN:
         r1 = self.conv_accel.inject_yield_faults(cell_yield, rng=rngs[0])
         r2 = self.dense_accel.inject_yield_faults(cell_yield, rng=rngs[1])
         return float((r1 + r2) / 2)
+
+
+def _cnn_yield_trial(
+    cell_yield: float,
+    trial: int,
+    rng: np.random.Generator,
+    cnn: SimpleCNN,
+    x_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+) -> dict:
+    """One (yield, trial) job for the CNN sweep (picklable, module-level)."""
+    deploy_rng, fault_rng = spawn_rngs(rng, 2)
+    deployed = CrossbarCNN(cnn, calibration=x_train, rng=deploy_rng)
+    rate = 0.0
+    if cell_yield < 1.0:
+        rate = deployed.inject_yield_faults(cell_yield, rng=fault_rng)
+    return {
+        "accuracy": deployed.accuracy(x_test, y_test, noisy=False),
+        "fault_rate": rate,
+    }
+
+
+def cnn_accuracy_vs_yield(
+    yields=(1.0, 0.9, 0.8, 0.7, 0.6),
+    n_samples: int = 240,
+    image_size: int = 8,
+    trials: int = 3,
+    epochs: int = 25,
+    rng: RNGLike = 0,
+    workers=None,
+) -> List[dict]:
+    """Accuracy-vs-yield for the crossbar CNN — the convolutional twin of
+    :func:`repro.apps.nn.accuracy_vs_yield`.
+
+    Trains :class:`SimpleCNN` once (serial), then fans the
+    ``trials x len(yields)`` deployment grid out over the sweep engine;
+    every image batch runs through the tiles via the batched patch path.
+    Rows are bit-identical for a given ``rng`` at any worker count.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    gen = ensure_rng(rng)
+    x, y = synthetic_images(n_samples=n_samples, size=image_size, rng=gen)
+    split = int(0.7 * n_samples)
+    x_train, y_train = x[:split], y[:split]
+    x_test, y_test = x[split:], y[split:]
+    cnn = SimpleCNN(image_size=image_size, rng=gen)
+    cnn.train(x_train, y_train, epochs=epochs, rng=gen)
+
+    root = seed_sequence_from(gen)
+    clean_seq, grid_seq = root.spawn(2)
+    clean = CrossbarCNN(
+        cnn, calibration=x_train, rng=np.random.default_rng(clean_seq)
+    )
+    clean_acc = clean.accuracy(x_test, y_test, noisy=False)
+
+    per_point = run_grid(
+        _cnn_yield_trial,
+        list(yields),
+        trials=trials,
+        seed=grid_seq,
+        workers=workers,
+        task_args=(cnn, x_train, x_test, y_test),
+    )
+    rows = []
+    for cell_yield, trial_rows in zip(yields, per_point):
+        acc = float(np.mean([t["accuracy"] for t in trial_rows]))
+        rate = float(np.mean([t["fault_rate"] for t in trial_rows]))
+        rows.append(
+            {
+                "yield": cell_yield,
+                "fault_rate": rate,
+                "accuracy": acc,
+                "clean_accuracy": clean_acc,
+                "drop": clean_acc - acc,
+            }
+        )
+    return rows

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.apps.datasets import gaussian_blobs
 from repro.core.accelerator import AcceleratorParams, CIMAccelerator
+from repro.utils.parallel import run_grid, seed_sequence_from
 from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
 from repro.utils.validation import check_positive
 
@@ -296,6 +297,29 @@ class CrossbarMLP:
                     core.program_weights(block)
 
 
+def _yield_trial(
+    cell_yield: float,
+    trial: int,
+    rng: np.random.Generator,
+    mlp: MLP,
+    x_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+) -> Dict[str, float]:
+    """One (yield, trial) job: fresh deployment, fault population,
+    accuracy.  Module-level so the sweep engine's process backend can
+    pickle it."""
+    deploy_rng, fault_rng = spawn_rngs(rng, 2)
+    deployed = CrossbarMLP(mlp, calibration=x_train, rng=deploy_rng)
+    rate = 0.0
+    if cell_yield < 1.0:
+        rate = deployed.inject_yield_faults(cell_yield, rng=fault_rng)
+    return {
+        "accuracy": deployed.accuracy(x_test, y_test, noisy=False),
+        "fault_rate": rate,
+    }
+
+
 def accuracy_vs_yield(
     yields: Sequence[float] = (1.0, 0.95, 0.9, 0.85, 0.8, 0.7, 0.6),
     n_samples: int = 400,
@@ -305,6 +329,8 @@ def accuracy_vs_yield(
     separation: float = 1.5,
     trials: int = 3,
     rng: RNGLike = 0,
+    epochs: int = 60,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """The [38] experiment: train once, deploy, sweep yield, measure
     accuracy.  Returns rows of ``{"yield", "fault_rate", "accuracy",
@@ -313,6 +339,12 @@ def accuracy_vs_yield(
     Defaults are calibrated so the clean network is near-perfect and the
     drop at 80% yield lands near the paper's quoted ~35% (the shape, not
     the absolute ImageNet numbers, is the reproduction target).
+
+    Training runs once, serially; the ``trials x len(yields)`` grid of
+    deployments then fans out over the sweep engine
+    (:func:`repro.utils.parallel.run_grid`).  Each grid job gets its own
+    spawned stream, so the rows are bit-identical for a given ``rng`` at
+    any ``workers`` count (``0`` = serial, ``None`` = ``REPRO_WORKERS``).
     """
     gen = ensure_rng(rng)
     x, y = gaussian_blobs(
@@ -326,30 +358,38 @@ def accuracy_vs_yield(
     x_train, y_train = x[:split], y[:split]
     x_test, y_test = x[split:], y[split:]
     mlp = MLP([n_features, hidden, n_classes], rng=gen)
-    mlp.train(x_train, y_train, epochs=60, rng=gen)
+    mlp.train(x_train, y_train, epochs=epochs, rng=gen)
 
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    # Clean reference deployment, then the sweep grid, all off one root
+    # sequence so the whole experiment is a pure function of ``rng``.
+    root = seed_sequence_from(gen)
+    clean_seq, grid_seq = root.spawn(2)
+    clean = CrossbarMLP(
+        mlp, calibration=x_train, rng=np.random.default_rng(clean_seq)
+    )
+    clean_acc = clean.accuracy(x_test, y_test, noisy=False)
+
+    per_point = run_grid(
+        _yield_trial,
+        list(yields),
+        trials=trials,
+        seed=grid_seq,
+        workers=workers,
+        task_args=(mlp, x_train, x_test, y_test),
+    )
     rows: List[Dict[str, float]] = []
-    clean_acc = None
-    for cell_yield in yields:
-        accs, rates = [], []
-        for _ in range(trials):
-            deployed = CrossbarMLP(mlp, calibration=x_train, rng=gen)
-            if clean_acc is None:
-                clean_acc = deployed.accuracy(x_test, y_test, noisy=False)
-            rate = 0.0
-            if cell_yield < 1.0:
-                rate = deployed.inject_yield_faults(cell_yield, rng=gen)
-            accs.append(deployed.accuracy(x_test, y_test, noisy=False))
-            rates.append(rate)
+    for cell_yield, trial_rows in zip(yields, per_point):
+        acc = float(np.mean([t["accuracy"] for t in trial_rows]))
+        rate = float(np.mean([t["fault_rate"] for t in trial_rows]))
         rows.append(
             {
                 "yield": cell_yield,
-                "fault_rate": float(np.mean(rates)),
-                "accuracy": float(np.mean(accs)),
+                "fault_rate": rate,
+                "accuracy": acc,
                 "clean_accuracy": clean_acc,
-                "drop": clean_acc - float(np.mean(accs)),
+                "drop": clean_acc - acc,
             }
         )
     return rows

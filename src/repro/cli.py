@@ -76,7 +76,7 @@ def cmd_fig5(args) -> int:
 def cmd_yield(args) -> int:
     from repro.apps.nn import accuracy_vs_yield
 
-    rows = accuracy_vs_yield(rng=args.seed)
+    rows = accuracy_vs_yield(rng=args.seed, workers=args.workers)
     _print_table("Accuracy vs yield under SA0 faults ([38])", rows)
     at80 = next(r for r in rows if r["yield"] == 0.8)
     print(
@@ -176,7 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig5 = sub.add_parser("fig5", help="CIM tile area/power breakdown")
     fig5.add_argument("--adc-bits", type=int, default=8)
 
-    sub.add_parser("yield", help="accuracy-vs-yield sweep ([38])")
+    yld = sub.add_parser("yield", help="accuracy-vs-yield sweep ([38])")
+    yld.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep-engine workers (0 = serial, default: $REPRO_WORKERS)",
+    )
 
     fig7 = sub.add_parser("fig7", help="power changepoint scenario ([52])")
     fig7.add_argument("--fault-rate", type=float, default=0.1)

@@ -204,35 +204,45 @@ class CrossbarArray:
         self._write_ops += iterations - 1
         return iterations
 
+    def _observed_conductances(self, noisy: bool) -> np.ndarray:
+        """Conductances as one analog evaluation sees them (no counter
+        side effects; callers account for their own read operations)."""
+        g = self.conductances()
+        return self.variability.read.apply(g, self._rng) if noisy else g
+
     def read_conductances(self) -> np.ndarray:
         """One noisy observation of the full conductance matrix."""
         self._read_ops += 1
-        return self.variability.read.apply(self.conductances(), self._rng)
+        return self._observed_conductances(True)
 
     def vmm(self, voltages: np.ndarray, noisy: bool = False) -> np.ndarray:
         """Analog vector-matrix multiply: ``I_j = sum_i V_i G_ij`` (Fig 4a).
 
         With ``noisy=True`` the conductances seen by the operation carry
-        read noise, modelling one analog evaluation.
+        read noise, modelling one analog evaluation.  Counts exactly one
+        read operation either way.
         """
         voltages = np.asarray(voltages, dtype=float)
         if voltages.shape != (self.rows,):
             raise ValueError(
                 f"voltage vector must have shape ({self.rows},), got {voltages.shape}"
             )
-        g = self.read_conductances() if noisy else self.conductances()
+        g = self._observed_conductances(noisy)
         self._read_ops += 1
         return voltages @ g
 
     def mvm_batch(self, voltage_matrix: np.ndarray, noisy: bool = False) -> np.ndarray:
-        """Batched VMM: each row of ``voltage_matrix`` is one input vector."""
+        """Batched VMM: each row of ``voltage_matrix`` is one input vector.
+
+        Counts one read operation per input vector.
+        """
         voltage_matrix = np.asarray(voltage_matrix, dtype=float)
         if voltage_matrix.ndim != 2 or voltage_matrix.shape[1] != self.rows:
             raise ValueError(
                 f"voltage matrix must have shape (batch, {self.rows}), "
                 f"got {voltage_matrix.shape}"
             )
-        g = self.read_conductances() if noisy else self.conductances()
+        g = self._observed_conductances(noisy)
         self._read_ops += voltage_matrix.shape[0]
         return voltage_matrix @ g
 

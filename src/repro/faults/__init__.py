@@ -13,7 +13,10 @@ quadrant (Fig 6).  This subpackage provides:
   :class:`~repro.crossbar.array.CrossbarArray` instances, including the
   yield-driven populations used by the accuracy-vs-yield benchmark;
 * :mod:`repro.faults.endurance` — Weibull wear-out over write cycles,
-  feeding the "hard faults eventually exceed ECC capability" claim.
+  feeding the "hard faults eventually exceed ECC capability" claim;
+* :mod:`repro.faults.sweeps` — parallel Monte Carlo sweeps (yield ->
+  realized fault rate, wear-out -> ECC exhaustion) on the deterministic
+  sweep engine of :mod:`repro.utils.parallel`.
 """
 
 from repro.faults.models import (
@@ -28,6 +31,10 @@ from repro.faults.models import (
 from repro.faults.defects import Defect, DefectType, defect_to_fault, sample_defects
 from repro.faults.injection import FaultInjector, FaultMap, yield_to_fault_rate
 from repro.faults.endurance import EnduranceModel, EnduranceSimulator
+from repro.faults.sweeps import (
+    endurance_capability_sweep,
+    yield_fault_rate_sweep,
+)
 from repro.faults.tolerance import (
     RetrainReport,
     RowRemapRepair,
@@ -52,6 +59,8 @@ __all__ = [
     "yield_to_fault_rate",
     "EnduranceModel",
     "EnduranceSimulator",
+    "endurance_capability_sweep",
+    "yield_fault_rate_sweep",
     "RetrainReport",
     "RowRemapRepair",
     "fault_aware_retrain",

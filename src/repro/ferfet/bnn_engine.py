@@ -58,6 +58,7 @@ class XnorPopcountEngine:
                 )
                 row.append(cell)
             self.cells.append(row)
+        self.sync_from_cells()
 
     @property
     def n_cells(self) -> int:
@@ -70,13 +71,55 @@ class XnorPopcountEngine:
             raise ValueError(f"BNN activations must be +/-1, got {value}")
         return 1 if value > 0 else 0
 
-    def dot(self, x: Sequence[int]) -> np.ndarray:
-        """Integer dot products ``x @ W`` via XNOR-popcount on the cells."""
-        if len(x) != self.n_inputs:
+    def sync_from_cells(self) -> np.ndarray:
+        """Refresh the cached weight-bit matrix from the cells' programmed
+        functions (XNOR -> weight bit 1, XOR -> weight bit 0).
+
+        The vectorized :meth:`dot` reads this cache, so it tracks whatever
+        is *actually* programmed — call again after reprogramming any cell
+        out of band.  Returns the (n_inputs, n_outputs) 0/1 matrix.
+        """
+        self._w_bits = np.array(
+            [
+                [
+                    1 if cell.function is CellFunction.XNOR else 0
+                    for cell in row
+                ]
+                for row in self.cells
+            ],
+            dtype=np.int8,
+        )
+        return self._w_bits
+
+    def _input_bits(self, x: Sequence[int]) -> np.ndarray:
+        x = np.asarray(x)
+        if x.shape != (self.n_inputs,):
             raise ValueError(
                 f"expected {self.n_inputs} inputs, got {len(x)}"
             )
-        bits = [self._to_bit(int(v)) for v in x]
+        if not np.all(np.isin(x, (-1, 1))):
+            raise ValueError(f"BNN activations must be +/-1, got {list(x)}")
+        return (x > 0).astype(np.int8)
+
+    def dot(self, x: Sequence[int]) -> np.ndarray:
+        """Integer dot products ``x @ W`` via XNOR-popcount.
+
+        Vectorized over the whole cell grid: the XNOR of the input bits
+        against the cached programmed weight bits is a single equality
+        comparison, the popcount a column sum.  Bit-identical to the
+        cell-by-cell hardware walk (:meth:`dot_cells`), which remains the
+        switch-level reference.
+        """
+        bits = self._input_bits(x)
+        # XNOR(x_i, w_ij) == (x_i == w_ij); popcount per output column.
+        popcount = (bits[:, None] == self._w_bits).sum(axis=0)
+        return (2 * popcount - self.n_inputs).astype(int)
+
+    def dot_cells(self, x: Sequence[int]) -> np.ndarray:
+        """Reference implementation: evaluate every programmable cell at
+        switch level (the original per-bit double loop).  Slow but honest
+        hardware semantics — used to validate :meth:`dot`."""
+        bits = [int(b) for b in self._input_bits(x)]
         outputs = np.empty(self.n_outputs, dtype=int)
         for j in range(self.n_outputs):
             popcount = 0

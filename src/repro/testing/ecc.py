@@ -18,12 +18,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.utils.parallel import run_blocks
 from repro.utils.rng import RNGLike, ensure_rng
 from repro.utils.validation import check_probability
+
+# Vectorized decode status codes (decode_block); the scalar decode keeps
+# its string statuses for readability.
+STATUS_OK = 0
+STATUS_CORRECTED = 1
+STATUS_DETECTED = 2
 
 
 class HammingSecDed:
@@ -44,6 +51,21 @@ class HammingSecDed:
             r += 1
         self.parity_bits = r
         self.codeword_bits = data_bits + r + 1  # +1 overall parity
+        # Precomputed index sets for the vectorized block codec.  The
+        # codeword layout stores the overall-parity bit at index 0 and the
+        # 1-indexed Hamming positions at 1..n_hamming.
+        n_hamming = data_bits + r
+        positions = np.arange(1, n_hamming + 1)
+        self._data_positions = positions[(positions & (positions - 1)) != 0]
+        # Per parity bit p: the positions it covers (for encode, excluding
+        # the parity position itself; for the syndrome, including it).
+        self._encode_cols = [
+            positions[((positions & (1 << p)) != 0) & (positions != (1 << p))]
+            for p in range(r)
+        ]
+        self._syndrome_cols = [
+            positions[(positions & (1 << p)) != 0] for p in range(r)
+        ]
 
     @property
     def overhead(self) -> float:
@@ -125,6 +147,87 @@ class HammingSecDed:
         )
         return data, status
 
+    # --------------------------------------------------- vectorized block API
+    def encode_block(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``(n_words, data_bits)`` to ``(n_words, codeword_bits)``.
+
+        Bit-identical to :meth:`encode` applied row by row, but all parity
+        computations run as column reductions over the whole block — the
+        backend the Monte Carlo failure-rate sweep batches trials through.
+        """
+        data = np.asarray(data).astype(np.int8)
+        if data.ndim != 2 or data.shape[1] != self.data_bits:
+            raise ValueError(
+                f"data must have shape (n_words, {self.data_bits}), "
+                f"got {data.shape}"
+            )
+        if np.any((data != 0) & (data != 1)):
+            raise ValueError("data must be binary")
+        n_words = data.shape[0]
+        code = np.zeros((n_words, self.codeword_bits), dtype=np.int8)
+        code[:, self._data_positions] = data
+        for p in range(self.parity_bits):
+            code[:, 1 << p] = code[:, self._encode_cols[p]].sum(axis=1) % 2
+        code[:, 0] = code[:, 1:].sum(axis=1) % 2
+        return code
+
+    def decode_block(
+        self, codewords: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Decode ``(n_words, codeword_bits)``; returns ``(data, status)``
+        with ``status`` an int array of :data:`STATUS_OK` /
+        :data:`STATUS_CORRECTED` / :data:`STATUS_DETECTED` per word.
+
+        Mirrors :meth:`decode` exactly (including the aliasing behaviour
+        on >= 3 flips), with the syndrome computed as masked column sums
+        over the block.
+        """
+        code = np.asarray(codewords).astype(np.int8)
+        if code.ndim != 2 or code.shape[1] != self.codeword_bits:
+            raise ValueError(
+                f"codewords must have shape (n_words, {self.codeword_bits}), "
+                f"got {code.shape}"
+            )
+        code = code.copy()
+        n_words = code.shape[0]
+        n_hamming = self.codeword_bits - 1
+        syndrome = np.zeros(n_words, dtype=np.int64)
+        for p in range(self.parity_bits):
+            parity = code[:, self._syndrome_cols[p]].sum(axis=1) % 2
+            syndrome |= parity.astype(np.int64) << p
+        overall = code.sum(axis=1) % 2
+
+        status = np.full(n_words, STATUS_DETECTED, dtype=np.int8)
+        ok = (syndrome == 0) & (overall == 0)
+        corrected = overall == 1
+        status[ok] = STATUS_OK
+        status[corrected] = STATUS_CORRECTED
+        # Odd flip count, zero syndrome: the overall-parity bit itself.
+        flip_overall = corrected & (syndrome == 0)
+        code[flip_overall, 0] ^= 1
+        # Odd flip count, addressable syndrome: flip the indicated bit.
+        flip_pos = corrected & (syndrome > 0) & (syndrome <= n_hamming)
+        rows = np.nonzero(flip_pos)[0]
+        code[rows, syndrome[rows]] ^= 1
+        return code[:, self._data_positions], status
+
+
+def _mc_block(
+    count: int,
+    rng: np.random.Generator,
+    code: HammingSecDed,
+    ber: float,
+) -> np.ndarray:
+    """One Monte Carlo block: ``count`` words encoded, flipped and decoded
+    in vectorized form; returns the per-word failure flags.  Module-level
+    so the sweep engine's process backend can pickle it."""
+    data = rng.integers(0, 2, size=(count, code.data_bits)).astype(np.int8)
+    codewords = code.encode_block(data)
+    flips = rng.random((count, code.codeword_bits)) < ber
+    received = codewords ^ flips.astype(np.int8)
+    decoded, status = code.decode_block(received)
+    return (status == STATUS_DETECTED) | np.any(decoded != data, axis=1)
+
 
 @dataclass
 class EccAnalysis:
@@ -157,26 +260,50 @@ class EccAnalysis:
         ber: float,
         trials: int = 2000,
         rng: RNGLike = None,
+        workers: Optional[int] = None,
+        block_size: int = 512,
+        vectorized: bool = True,
     ) -> float:
         """Empirical fraction of words not decoded back to the original.
 
         A word fails if decode status is ``"detected"`` or if (mis)corrected
         data differs from the original (syndrome aliasing on >= 3 flips).
+
+        The default path batches encode/flip/decode over trial blocks
+        (:meth:`HammingSecDed.encode_block` / :meth:`decode_block`) and
+        fans the blocks out over the sweep engine
+        (:func:`repro.utils.parallel.run_blocks`): one spawned stream per
+        block, so the rate is bit-identical for a given ``rng`` at any
+        ``workers`` count.  ``vectorized=False`` keeps the original
+        word-at-a-time scalar loop as the reference (and benchmark
+        baseline) path.
         """
         check_probability("ber", ber)
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
-        gen = ensure_rng(rng)
-        failures = 0
-        for _ in range(trials):
-            data = gen.integers(0, 2, size=self.code.data_bits).astype(np.int8)
-            codeword = self.code.encode(data)
-            flips = gen.random(self.code.codeword_bits) < ber
-            received = codeword ^ flips.astype(np.int8)
-            decoded, status = self.code.decode(received)
-            if status == "detected" or not np.array_equal(decoded, data):
-                failures += 1
-        return failures / trials
+        if not vectorized:
+            gen = ensure_rng(rng)
+            failures = 0
+            for _ in range(trials):
+                data = gen.integers(0, 2, size=self.code.data_bits).astype(
+                    np.int8
+                )
+                codeword = self.code.encode(data)
+                flips = gen.random(self.code.codeword_bits) < ber
+                received = codeword ^ flips.astype(np.int8)
+                decoded, status = self.code.decode(received)
+                if status == "detected" or not np.array_equal(decoded, data):
+                    failures += 1
+            return failures / trials
+        failed = run_blocks(
+            _mc_block,
+            trials,
+            block_size=block_size,
+            seed=rng,
+            workers=workers,
+            task_args=(self.code, ber),
+        )
+        return float(np.mean(failed))
 
     def capability_exceeded_at(
         self,

@@ -1,4 +1,5 @@
-"""Shared utilities: random-number handling, unit helpers, validation.
+"""Shared utilities: random-number handling, the parallel sweep engine,
+unit helpers, validation.
 
 These helpers are deliberately small and dependency-free so that every
 other subpackage (devices, crossbar, testing, EDA ...) can rely on them
@@ -6,6 +7,15 @@ without import cycles.
 """
 
 from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.parallel import (
+    ENV_WORKERS,
+    resolve_workers,
+    run_blocks,
+    run_grid,
+    run_trials,
+    seed_sequence_from,
+    spawn_trial_seeds,
+)
 from repro.utils.units import (
     KILO,
     MEGA,
@@ -28,6 +38,13 @@ from repro.utils.validation import (
 __all__ = [
     "ensure_rng",
     "spawn_rngs",
+    "ENV_WORKERS",
+    "resolve_workers",
+    "run_blocks",
+    "run_grid",
+    "run_trials",
+    "seed_sequence_from",
+    "spawn_trial_seeds",
     "KILO",
     "MEGA",
     "GIGA",

@@ -1,0 +1,270 @@
+"""Parallel, deterministic Monte Carlo sweep engine.
+
+Every statistical experiment in the library — accuracy-vs-yield, ECC
+failure-rate Monte Carlo, endurance wear-out sweeps — reduces to the same
+shape: a grid of sweep points times a number of independent trials, each
+trial consuming its own random stream.  This module is the one place that
+shape is implemented, with three hard guarantees:
+
+**Determinism.**  Per-trial generators come from
+``numpy.random.SeedSequence.spawn``: the root seed spawns exactly one
+child sequence per *job* (trial or block), indexed by job order.  The
+stream a job sees therefore depends only on the root seed and the job's
+index — never on the worker count, the chunking, or the scheduling order —
+so the same seed yields bit-identical results whether the sweep runs
+serially, on 2 workers, or on 64.
+
+**Ordered collection.**  Results are returned in job order regardless of
+completion order: chunks are submitted contiguously and reassembled by
+position.
+
+**Serial fallback.**  ``workers=0`` (the default, also via the
+``REPRO_WORKERS`` environment variable) runs every job in-process with the
+identical seeding, so test suites stay single-process and the parallel
+path can be validated against the serial one bit-for-bit.
+
+Tasks submitted to the process backend must be picklable — i.e. defined at
+module level, not closures.  Consumers (``repro.apps.nn``,
+``repro.testing.ecc``, ``repro.faults.sweeps``) each define a module-level
+trial function and pass experiment state through ``task_args``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, ensure_rng
+
+#: Environment variable consulted when ``workers`` is not given explicitly.
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit argument, else ``REPRO_WORKERS``,
+    else ``0`` (serial in-process execution).
+
+    ``0`` means *serial*; ``n >= 1`` means a pool of ``n`` processes.
+    """
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "0")
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_WORKERS} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def seed_sequence_from(rng: RNGLike) -> np.random.SeedSequence:
+    """Build the root :class:`~numpy.random.SeedSequence` for a sweep.
+
+    ``None`` gives fresh entropy; an ``int`` seeds directly; an existing
+    ``Generator`` contributes one draw from its stream (so a caller that
+    has already consumed entropy — e.g. for training — hands the sweep a
+    reproducible continuation of that stream).
+    """
+    if rng is None:
+        return np.random.SeedSequence()
+    if isinstance(rng, np.random.SeedSequence):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.SeedSequence(int(rng))
+    if isinstance(rng, np.random.Generator):
+        return np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+    raise TypeError(
+        f"rng must be None, an int seed, a SeedSequence or a Generator, "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_trial_seeds(
+    rng: RNGLike, count: int
+) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` independent child seed sequences, one per job."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return seed_sequence_from(rng).spawn(count)
+
+
+def _run_chunk(
+    task: Callable[..., Any],
+    indices: Sequence[int],
+    seeds: Sequence[np.random.SeedSequence],
+    task_args: Tuple[Any, ...],
+) -> List[Any]:
+    """Worker entry point: run a contiguous chunk of jobs in-process."""
+    return [
+        task(i, np.random.default_rng(ss), *task_args)
+        for i, ss in zip(indices, seeds)
+    ]
+
+
+def _chunk_bounds(n_jobs: int, workers: int, chunk_size: Optional[int]) -> int:
+    if chunk_size is None:
+        # ~4 chunks per worker keeps the pool busy without per-job IPC cost.
+        chunk_size = max(1, -(-n_jobs // (workers * 4)))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return chunk_size
+
+
+def run_trials(
+    task: Callable[..., Any],
+    n_trials: int,
+    *,
+    seed: RNGLike = 0,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    task_args: Tuple[Any, ...] = (),
+) -> List[Any]:
+    """Run ``task(trial_index, rng, *task_args)`` for every trial.
+
+    Results are returned in trial order and are bit-identical for a given
+    ``seed`` at any ``workers``/``chunk_size`` setting (each trial's
+    generator is spawned from the root seed by index, never shared).
+
+    Parameters
+    ----------
+    task:
+        Module-level callable ``task(trial, rng, *task_args)``.  Must be
+        picklable when ``workers >= 1``.
+    n_trials:
+        Number of independent trials (jobs).
+    seed:
+        Root seed (``None`` / int / ``Generator`` / ``SeedSequence``).
+    workers:
+        ``0`` = serial; ``n >= 1`` = process pool of ``n``; ``None`` =
+        consult ``REPRO_WORKERS`` (default serial).
+    chunk_size:
+        Jobs per submitted chunk (parallel backend only); affects
+        scheduling granularity, never results.
+    """
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be >= 0, got {n_trials}")
+    workers = resolve_workers(workers)
+    seeds = spawn_trial_seeds(seed, n_trials)
+    indices = list(range(n_trials))
+    if workers == 0 or n_trials == 0:
+        return _run_chunk(task, indices, seeds, task_args)
+
+    chunk = _chunk_bounds(n_trials, workers, chunk_size)
+    results: List[Any] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _run_chunk,
+                task,
+                indices[lo : lo + chunk],
+                seeds[lo : lo + chunk],
+                task_args,
+            )
+            for lo in range(0, n_trials, chunk)
+        ]
+        for future in futures:  # submit order == job order
+            results.extend(future.result())
+    return results
+
+
+def _grid_job(
+    job: int,
+    rng: np.random.Generator,
+    task: Callable[..., Any],
+    points: Sequence[Any],
+    trials: int,
+    task_args: Tuple[Any, ...],
+) -> Any:
+    point = points[job // trials]
+    trial = job % trials
+    return task(point, trial, rng, *task_args)
+
+
+def run_grid(
+    task: Callable[..., Any],
+    points: Sequence[Any],
+    *,
+    trials: int = 1,
+    seed: RNGLike = 0,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    task_args: Tuple[Any, ...] = (),
+) -> List[List[Any]]:
+    """Fan a trial grid out: ``task(point, trial, rng, *task_args)`` for
+    every ``(point, trial)`` pair, point-major.
+
+    Returns ``results[p][t]`` nested by point then trial, in order.  Job
+    seeding is flat over the ``len(points) * trials`` grid, so adding
+    workers — or re-slicing the same points into separate calls with the
+    same flat indices — never changes any trial's stream.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    points = list(points)
+    flat = run_trials(
+        _grid_job,
+        len(points) * trials,
+        seed=seed,
+        workers=workers,
+        chunk_size=chunk_size,
+        task_args=(task, points, trials, task_args),
+    )
+    return [
+        flat[p * trials : (p + 1) * trials] for p in range(len(points))
+    ]
+
+
+def _block_job(
+    block: int,
+    rng: np.random.Generator,
+    task: Callable[..., Any],
+    n_trials: int,
+    block_size: int,
+    task_args: Tuple[Any, ...],
+) -> Any:
+    lo = block * block_size
+    count = min(block_size, n_trials - lo)
+    return task(count, rng, *task_args)
+
+
+def run_blocks(
+    task: Callable[..., Any],
+    n_trials: int,
+    *,
+    block_size: int = 512,
+    seed: RNGLike = 0,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    task_args: Tuple[Any, ...] = (),
+) -> np.ndarray:
+    """Vectorized-backend variant: trials are partitioned into fixed
+    blocks and ``task(block_count, rng, *task_args)`` evaluates a whole
+    block at once (returning one result per trial in the block, e.g. a
+    boolean failure vector).  Results are concatenated in trial order.
+
+    The unit of determinism is the *block*: one spawned stream per block,
+    so results depend on ``seed`` and ``block_size`` but never on the
+    worker count.  Callers should treat ``block_size`` as part of the
+    experiment configuration, not a tuning knob.
+    """
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be >= 0, got {n_trials}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    n_blocks = -(-n_trials // block_size)
+    per_block = run_trials(
+        _block_job,
+        n_blocks,
+        seed=seed,
+        workers=workers,
+        chunk_size=chunk_size,
+        task_args=(task, n_trials, block_size, task_args),
+    )
+    if not per_block:
+        return np.asarray([])
+    return np.concatenate([np.asarray(b) for b in per_block])

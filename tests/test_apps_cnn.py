@@ -99,3 +99,20 @@ class TestCrossbarDeployment:
         deployed.inject_yield_faults(0.5, rng=6)
         faulty = deployed.accuracy(x[200:250], y[200:250])
         assert faulty < clean
+
+    def test_batched_forward_matches_per_image(self, trained_cnn):
+        """predict/accuracy batch all images through vmm_batch; the
+        result must equal the per-image path exactly (noisy=False)."""
+        cnn, x, _ = trained_cnn
+        deployed = CrossbarCNN(cnn, calibration=x[:200], rng=7)
+        batched = deployed.forward_batch(x[200:220], noisy=False)
+        looped = np.stack(
+            [deployed.forward_one(img, noisy=False) for img in x[200:220]]
+        )
+        assert np.allclose(batched, looped, atol=1e-12)
+
+    def test_forward_batch_shape_validated(self, trained_cnn):
+        cnn, x, _ = trained_cnn
+        deployed = CrossbarCNN(cnn, calibration=x[:200], rng=8)
+        with pytest.raises(ValueError, match="batch"):
+            deployed.forward_batch(x[0])

@@ -96,6 +96,38 @@ class TestVMM:
         batch = np.random.default_rng(3).uniform(0, 0.2, (5, 4))
         assert np.allclose(xbar.mvm_batch(batch), batch @ g)
 
+    def test_noisy_vmm_counts_one_read(self):
+        """Regression: noisy=True used to double-count (read_conductances
+        incremented once, then vmm incremented again)."""
+        xbar = CrossbarArray(CrossbarConfig(rows=8, cols=8), rng=0)
+        xbar.program(np.full((8, 8), 5e-5))
+        before = xbar.read_operations
+        xbar.vmm(np.full(8, 0.2), noisy=True)
+        assert xbar.read_operations == before + 1
+
+    def test_noisy_batch_counts_one_read_per_vector(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=8, cols=8), rng=0)
+        xbar.program(np.full((8, 8), 5e-5))
+        before = xbar.read_operations
+        xbar.mvm_batch(np.full((5, 8), 0.2), noisy=True)
+        assert xbar.read_operations == before + 5
+
+    def test_read_conductances_counts_one_read(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=8, cols=8), rng=0)
+        before = xbar.read_operations
+        xbar.read_conductances()
+        assert xbar.read_operations == before + 1
+
+    def test_noisy_and_clean_vmm_count_equally(self):
+        a = CrossbarArray(CrossbarConfig(rows=8, cols=8), rng=0)
+        b = CrossbarArray(CrossbarConfig(rows=8, cols=8), rng=0)
+        a.program(np.full((8, 8), 5e-5))
+        b.program(np.full((8, 8), 5e-5))
+        v = np.full(8, 0.2)
+        a.vmm(v, noisy=False)
+        b.vmm(v, noisy=True)
+        assert a.read_operations == b.read_operations
+
     def test_noisy_vmm_differs_but_close(self):
         stack = VariabilityStack(
             write=WriteVariationModel(sigma=0.0),

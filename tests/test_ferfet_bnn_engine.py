@@ -56,6 +56,36 @@ class TestDotProduct:
             engine.dot([1] * 11)
 
 
+class TestVectorizedAgainstCellWalk:
+    """The numpy XNOR-popcount path must be bit-identical to evaluating
+    every programmable cell at switch level."""
+
+    def test_dot_matches_cell_walk(self, engine, rng):
+        for _ in range(10):
+            x = rng.choice([-1, 1], size=12)
+            assert np.array_equal(engine.dot(x), engine.dot_cells(x))
+
+    def test_cell_walk_matches_reference(self, engine, rng):
+        x = rng.choice([-1, 1], size=12)
+        assert np.array_equal(engine.dot_cells(x), engine.reference_dot(x))
+
+    def test_sync_tracks_reprogrammed_cell(self, rng):
+        from repro.ferfet.cells import CellFunction
+
+        weights = rng.choice([-1, 1], size=(6, 3))
+        engine = XnorPopcountEngine(weights)
+        # Flip one cell's function out of band (e.g. a programming fault).
+        flipped = (
+            CellFunction.XOR
+            if engine.cells[2][1].function is CellFunction.XNOR
+            else CellFunction.XNOR
+        )
+        engine.cells[2][1].program(flipped)
+        engine.sync_from_cells()
+        x = rng.choice([-1, 1], size=6)
+        assert np.array_equal(engine.dot(x), engine.dot_cells(x))
+
+
 class TestWeightEncoding:
     def test_single_weight_plus_one(self):
         engine = XnorPopcountEngine(np.array([[1]]))

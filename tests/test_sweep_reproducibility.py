@@ -1,0 +1,113 @@
+"""Seed-reproducibility of the ported statistical sweeps.
+
+The acceptance bar for the sweep engine: the same seed yields
+bit-identical results whether a sweep runs serially (``workers=0``, the
+tier-1 default) or fanned out over a process pool — for every consumer
+that was ported onto it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.cnn import cnn_accuracy_vs_yield
+from repro.apps.nn import accuracy_vs_yield
+from repro.faults.sweeps import endurance_capability_sweep, yield_fault_rate_sweep
+from repro.testing.ecc import EccAnalysis, HammingSecDed
+
+# Small configurations: these tests check determinism, not statistics.
+_NN_KW = dict(yields=(1.0, 0.8), trials=2, n_samples=120, epochs=15)
+_CNN_KW = dict(yields=(1.0, 0.7), trials=2, n_samples=90, epochs=8)
+
+
+class TestAccuracyVsYield:
+    def test_same_seed_identical_rows(self):
+        assert accuracy_vs_yield(rng=0, **_NN_KW) == accuracy_vs_yield(
+            rng=0, **_NN_KW
+        )
+
+    def test_serial_vs_parallel_bit_identical(self):
+        serial = accuracy_vs_yield(rng=0, workers=0, **_NN_KW)
+        parallel = accuracy_vs_yield(rng=0, workers=2, **_NN_KW)
+        assert serial == parallel
+
+    def test_different_seed_differs(self):
+        a = accuracy_vs_yield(rng=0, **_NN_KW)
+        b = accuracy_vs_yield(rng=1, **_NN_KW)
+        assert a != b
+
+
+class TestCnnAccuracyVsYield:
+    def test_serial_vs_parallel_bit_identical(self):
+        serial = cnn_accuracy_vs_yield(rng=0, workers=0, **_CNN_KW)
+        parallel = cnn_accuracy_vs_yield(rng=0, workers=2, **_CNN_KW)
+        assert serial == parallel
+
+    def test_row_schema(self):
+        rows = cnn_accuracy_vs_yield(rng=0, **_CNN_KW)
+        assert [r["yield"] for r in rows] == list(_CNN_KW["yields"])
+        for row in rows:
+            assert set(row) == {
+                "yield",
+                "fault_rate",
+                "accuracy",
+                "clean_accuracy",
+                "drop",
+            }
+
+
+class TestEccMonteCarlo:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return EccAnalysis(HammingSecDed(16))
+
+    def test_same_rng_identical_rate(self, analysis):
+        a = analysis.monte_carlo_failure_rate(0.02, trials=2000, rng=7)
+        b = analysis.monte_carlo_failure_rate(0.02, trials=2000, rng=7)
+        assert a == b
+
+    def test_serial_vs_parallel_bit_identical(self, analysis):
+        serial = analysis.monte_carlo_failure_rate(
+            0.02, trials=2000, rng=7, workers=0
+        )
+        parallel = analysis.monte_carlo_failure_rate(
+            0.02, trials=2000, rng=7, workers=2
+        )
+        assert serial == parallel
+
+    def test_vectorized_matches_scalar_statistics(self, analysis):
+        """The vectorized path is a different (blocked) rng consumption
+        order, so rates are not bit-equal to the scalar loop — but both
+        estimate the same probability."""
+        vec = analysis.monte_carlo_failure_rate(0.02, trials=4000, rng=0)
+        scalar = analysis.monte_carlo_failure_rate(
+            0.02, trials=4000, rng=0, vectorized=False
+        )
+        analytic = analysis.word_failure_probability(0.02)
+        assert vec == pytest.approx(analytic, rel=0.35)
+        assert scalar == pytest.approx(analytic, rel=0.35)
+
+
+class TestFaultSweeps:
+    def test_yield_sweep_serial_vs_parallel(self):
+        kw = dict(yields=(0.9, 0.7), shape=(16, 16), trials=4, rng=0)
+        assert yield_fault_rate_sweep(workers=0, **kw) == yield_fault_rate_sweep(
+            workers=2, **kw
+        )
+
+    def test_yield_sweep_rates_track_yield(self):
+        rows = yield_fault_rate_sweep(
+            yields=(0.95, 0.7), shape=(32, 32), trials=8, rng=0
+        )
+        assert rows[0]["mean_rate"] == pytest.approx(0.05, abs=0.03)
+        assert rows[1]["mean_rate"] == pytest.approx(0.30, abs=0.05)
+
+    def test_endurance_sweep_serial_vs_parallel(self):
+        kw = dict(trials=3, shape=(16, 16), rng=0)
+        assert endurance_capability_sweep(
+            workers=0, **kw
+        ) == endurance_capability_sweep(workers=2, **kw)
+
+    def test_endurance_sweep_exceeds_within_horizon(self):
+        out = endurance_capability_sweep(trials=4, shape=(16, 16), rng=0)
+        assert out["exceeded_fraction"] == 1.0
+        assert np.isfinite(out["mean_exceeded_at"])

@@ -1,0 +1,159 @@
+"""Tests for the parallel, deterministic Monte Carlo sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.utils.parallel import (
+    ENV_WORKERS,
+    resolve_workers,
+    run_blocks,
+    run_grid,
+    run_trials,
+    seed_sequence_from,
+    spawn_trial_seeds,
+)
+
+
+# Module-level tasks: the process backend pickles them by reference.
+def _draw(trial, rng):
+    return (trial, float(rng.random()))
+
+
+def _grid_draw(point, trial, rng):
+    return (point, trial, float(rng.random()))
+
+
+def _block_draw(count, rng):
+    return rng.random(count)
+
+
+def _with_args(trial, rng, offset, scale):
+    return offset + scale * trial
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert resolve_workers(None) == 0
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "4")
+        assert resolve_workers(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "3")
+        assert resolve_workers(None) == 3
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "many")
+        with pytest.raises(ValueError, match=ENV_WORKERS):
+            resolve_workers(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestSeeding:
+    def test_int_seed_reproducible(self):
+        a = spawn_trial_seeds(7, 5)
+        b = spawn_trial_seeds(7, 5)
+        assert [s.entropy for s in a] == [s.entropy for s in b]
+        assert [s.spawn_key for s in a] == [s.spawn_key for s in b]
+
+    def test_streams_independent(self):
+        seeds = spawn_trial_seeds(0, 4)
+        draws = [np.random.default_rng(s).random() for s in seeds]
+        assert len(set(draws)) == 4
+
+    def test_generator_input_draws_once(self):
+        gen1 = np.random.default_rng(3)
+        gen2 = np.random.default_rng(3)
+        s1 = seed_sequence_from(gen1)
+        s2 = seed_sequence_from(gen2)
+        assert s1.entropy == s2.entropy
+        # The generator advanced: a second derivation differs.
+        assert seed_sequence_from(gen1).entropy != s1.entropy
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            seed_sequence_from("seed")
+
+
+class TestRunTrials:
+    def test_ordered_results(self):
+        results = run_trials(_draw, 8, seed=0, workers=0)
+        assert [r[0] for r in results] == list(range(8))
+
+    def test_serial_deterministic(self):
+        assert run_trials(_draw, 6, seed=1) == run_trials(_draw, 6, seed=1)
+
+    def test_seed_changes_results(self):
+        assert run_trials(_draw, 6, seed=1) != run_trials(_draw, 6, seed=2)
+
+    def test_parallel_matches_serial_bit_identical(self):
+        serial = run_trials(_draw, 10, seed=42, workers=0)
+        for workers, chunk in ((1, None), (2, None), (2, 1), (3, 4)):
+            parallel = run_trials(
+                _draw, 10, seed=42, workers=workers, chunk_size=chunk
+            )
+            assert parallel == serial
+
+    def test_task_args_forwarded(self):
+        results = run_trials(
+            _with_args, 3, seed=0, task_args=(10.0, 2.0)
+        )
+        assert results == [10.0, 12.0, 14.0]
+
+    def test_zero_trials(self):
+        assert run_trials(_draw, 0, seed=0) == []
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(_draw, -1)
+
+
+class TestRunGrid:
+    def test_shape_and_order(self):
+        grid = run_grid(_grid_draw, ["a", "b", "c"], trials=2, seed=0)
+        assert len(grid) == 3
+        assert all(len(row) == 2 for row in grid)
+        assert grid[2][1][:2] == ("c", 1)
+
+    def test_parallel_matches_serial(self):
+        serial = run_grid(_grid_draw, [0.1, 0.2], trials=3, seed=5, workers=0)
+        parallel = run_grid(_grid_draw, [0.1, 0.2], trials=3, seed=5, workers=2)
+        assert parallel == serial
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            run_grid(_grid_draw, [1], trials=0)
+
+
+class TestRunBlocks:
+    def test_concatenated_length(self):
+        out = run_blocks(_block_draw, 1000, block_size=128, seed=0)
+        assert out.shape == (1000,)
+
+    def test_partial_last_block(self):
+        out = run_blocks(_block_draw, 10, block_size=4, seed=0)
+        assert out.shape == (10,)
+
+    def test_worker_count_invariant(self):
+        serial = run_blocks(_block_draw, 500, block_size=64, seed=9, workers=0)
+        parallel = run_blocks(
+            _block_draw, 500, block_size=64, seed=9, workers=2
+        )
+        assert np.array_equal(serial, parallel)
+
+    def test_block_size_is_part_of_the_experiment(self):
+        a = run_blocks(_block_draw, 256, block_size=64, seed=0)
+        b = run_blocks(_block_draw, 256, block_size=32, seed=0)
+        assert not np.array_equal(a, b)
+
+    def test_zero_trials(self):
+        assert run_blocks(_block_draw, 0, block_size=8, seed=0).size == 0
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            run_blocks(_block_draw, 10, block_size=0)
