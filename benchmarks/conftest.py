@@ -16,6 +16,10 @@ import pytest
 # so the sweep-engine throughput trajectory is tracked across PRs.
 _SWEEP_RECORDS = {}
 
+# Telemetry-overhead records, written to BENCH_telemetry.json — the <5%
+# instrumentation budget trajectory.
+_TELEMETRY_RECORDS = {}
+
 
 def record_sweep_metrics(name, payload):
     """Register one benchmark's metrics (e.g. trials/sec serial vs
@@ -23,13 +27,24 @@ def record_sweep_metrics(name, payload):
     _SWEEP_RECORDS[name] = payload
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not _SWEEP_RECORDS:
-        return
-    path = os.path.join(os.path.dirname(__file__), "BENCH_sweep.json")
+def record_telemetry_metrics(name, payload):
+    """Register one benchmark's telemetry-overhead metrics for the
+    session's ``BENCH_telemetry.json``."""
+    _TELEMETRY_RECORDS[name] = payload
+
+
+def _dump(records, filename):
+    path = os.path.join(os.path.dirname(__file__), filename)
     with open(path, "w") as fh:
-        json.dump(_SWEEP_RECORDS, fh, indent=2, sort_keys=True)
+        json.dump(records, fh, indent=2, sort_keys=True)
     print(f"\nwrote {path}")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _SWEEP_RECORDS:
+        _dump(_SWEEP_RECORDS, "BENCH_sweep.json")
+    if _TELEMETRY_RECORDS:
+        _dump(_TELEMETRY_RECORDS, "BENCH_telemetry.json")
 
 
 @pytest.fixture

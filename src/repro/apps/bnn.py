@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.ferfet.bnn_engine import XnorPopcountEngine
+from repro.utils import telemetry
 from repro.utils.rng import RNGLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -124,6 +125,12 @@ class FeRFETBinaryLayer:
 
     def forward(self, x: Sequence[int], activate: bool = True) -> np.ndarray:
         """Layer output for a ±1 vector (hardware path)."""
+        tel = telemetry.current()
+        tel.incr("bnn.layer_evals")
+        tel.incr(
+            "bnn.xnor_ops",
+            float(self.engine.weights.shape[0] * self.engine.weights.shape[1]),
+        )
         return self.engine.forward(x) if activate else self.engine.dot(x)
 
     def matches_reference(self, x: Sequence[int]) -> bool:

@@ -19,6 +19,7 @@ from repro.apps.datasets import gaussian_blobs
 from repro.core.accelerator import AcceleratorParams, CIMAccelerator
 from repro.utils.parallel import run_grid, seed_sequence_from
 from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
+from repro.utils.telemetry import RunReport
 from repro.utils.validation import check_positive
 
 
@@ -331,10 +332,13 @@ def accuracy_vs_yield(
     rng: RNGLike = 0,
     epochs: int = 60,
     workers: Optional[int] = None,
-) -> List[Dict[str, float]]:
+    with_report: bool = False,
+):
     """The [38] experiment: train once, deploy, sweep yield, measure
     accuracy.  Returns rows of ``{"yield", "fault_rate", "accuracy",
-    "clean_accuracy", "drop"}``.
+    "clean_accuracy", "drop"}``; with ``with_report=True`` returns
+    ``(rows, report)`` where ``report`` is the telemetry
+    :class:`RunReport` reduced over all grid jobs in flat job order.
 
     Defaults are calibrated so the clean network is near-perfect and the
     drop at 80% yield lands near the paper's quoted ~35% (the shape, not
@@ -371,14 +375,27 @@ def accuracy_vs_yield(
     )
     clean_acc = clean.accuracy(x_test, y_test, noisy=False)
 
-    per_point = run_grid(
+    grid_out = run_grid(
         _yield_trial,
         list(yields),
         trials=trials,
         seed=grid_seq,
         workers=workers,
         task_args=(mlp, x_train, x_test, y_test),
+        capture_telemetry=with_report,
     )
+    report = None
+    if with_report:
+        per_point, job_counters = grid_out
+        report = RunReport.reduce(
+            [
+                RunReport.from_counters(c, label="accuracy_vs_yield")
+                for c in job_counters
+            ],
+            label="accuracy_vs_yield",
+        )
+    else:
+        per_point = grid_out
     rows: List[Dict[str, float]] = []
     for cell_yield, trial_rows in zip(yields, per_point):
         acc = float(np.mean([t["accuracy"] for t in trial_rows]))
@@ -392,4 +409,6 @@ def accuracy_vs_yield(
                 "drop": clean_acc - acc,
             }
         )
+    if with_report:
+        return rows, report
     return rows

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli fig7            # power-changepoint scenario ([52])
     python -m repro.cli eda adder4      # EDA flow comparison on a circuit
     python -m repro.cli chip            # accelerator dimensioning sweeps
+    python -m repro.cli report          # instrumented telemetry run report
 
 (or ``cimflow <command>`` once the package is installed).
 """
@@ -144,6 +145,42 @@ def cmd_eda(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro.periphery.area_power import fig5_instrumented_report
+
+    report = fig5_instrumented_report(
+        batch=args.batch, adc_bits=args.adc_bits, rng=args.seed
+    )
+    report.validate()
+    _print_table(
+        "Instrumented run report: per-category costs", report.category_table()
+    )
+    _print_table(
+        "Side counters",
+        [{"counter": k, "value": v} for k, v in sorted(report.counters.items())],
+        columns=["counter", "value"],
+    )
+    _print_table(
+        "Area breakdown (mm^2)",
+        [
+            {"component": k, "area_mm2": report.area[k], "share": f}
+            for (k, f) in report.area_fractions().items()
+        ],
+        columns=["component", "area_mm2", "share"],
+    )
+    ef, af = report.energy_fractions(), report.area_fractions()
+    print(
+        f"\nADC share of the instrumented compute phase: "
+        f"{af['adc']:.1%} of area, {ef['adc']:.1%} of energy/power "
+        "(Fig 5 claim: >90% / >65%)"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"report written to {args.json}")
+    return 0
+
+
 def cmd_chip(args) -> int:
     from repro.core.dimensioning import adc_bits_sweep, technology_sweep
 
@@ -197,6 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("chip", help="accelerator dimensioning sweeps")
+
+    report = sub.add_parser(
+        "report", help="telemetry run report from an instrumented Fig-5 run"
+    )
+    report.add_argument("--adc-bits", type=int, default=8)
+    report.add_argument("--batch", type=int, default=32)
+    report.add_argument(
+        "--json", default=None, help="also write the report JSON to this path"
+    )
     return parser
 
 
@@ -207,6 +253,7 @@ _COMMANDS = {
     "fig7": cmd_fig7,
     "eda": cmd_eda,
     "chip": cmd_chip,
+    "report": cmd_report,
 }
 
 

@@ -20,6 +20,7 @@ from repro.core.cim_core import CIMCore, CIMCoreParams
 from repro.core.metrics import CostAccumulator, OperationCost
 from repro.devices.variability import VariabilityStack
 from repro.utils.rng import RNGLike, ensure_rng, spawn_rngs
+from repro.utils.telemetry import RunReport
 
 
 @dataclass
@@ -138,13 +139,28 @@ class CIMAccelerator:
         return y[:, :cols]
 
     def total_costs(self) -> CostAccumulator:
-        """Aggregate cost accounting across all tiles."""
+        """Aggregate cost accounting across all tiles.
+
+        Uses :meth:`~repro.core.metrics.CostAccumulator.merge` so the
+        aggregation never re-mirrors already-charged costs into the
+        telemetry layer.
+        """
         acc = CostAccumulator()
         for tile_row in self.tiles:
             for core in tile_row:
-                for category, cost in core.costs.by_category.items():
-                    acc.add(category, cost)
+                acc.merge(core.costs)
         return acc
+
+    def report(self, label: str = "cim_accelerator") -> RunReport:
+        """Structured run report reduced over all tiles in grid order."""
+        return RunReport.reduce(
+            [
+                core.report(label=label)
+                for tile_row in self.tiles
+                for core in tile_row
+            ],
+            label=label,
+        )
 
     def inject_yield_faults(self, cell_yield: float, rng: RNGLike = None) -> float:
         """Inject stuck-at-0 faults on every tile for ``cell_yield``;

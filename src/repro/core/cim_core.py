@@ -31,8 +31,17 @@ from repro.periphery.adc import ADC, ADCConfig
 from repro.periphery.dac import DAC, DACConfig
 from repro.periphery.drivers import DriverConfig, RowDecoder, WordlineDriver
 from repro.periphery.sense_amp import SenseAmpConfig, SenseAmplifier
+from repro.utils import telemetry
 from repro.utils.rng import RNGLike, ensure_rng
+from repro.utils.telemetry import RunReport
 from repro.utils.validation import check_positive
+
+#: mm^2 per memristive cell (ISAAC crossbar: 2.5e-5 mm^2 for 128x128).
+CELL_AREA = 2.5e-5 / (128 * 128)
+
+#: Write-pulse cost per cell (SET-pulse CV^2-style estimate).
+WRITE_ENERGY_PER_CELL = 10e-12   # J
+WRITE_PULSE_TIME = 100e-9        # s per programming pulse
 
 
 @dataclass
@@ -122,10 +131,12 @@ class CIMCore:
             self.array.program(targets)
             iterations = 1
         # SET-pulse energy estimate: CV^2-style per-cell write.
-        write_energy = 10e-12 * targets.size * iterations
+        write_energy = WRITE_ENERGY_PER_CELL * targets.size * iterations
         self.costs.add(
             "programming",
-            OperationCost(energy=write_energy, latency=100e-9 * iterations),
+            OperationCost(
+                energy=write_energy, latency=WRITE_PULSE_TIME * iterations
+            ),
         )
         self._programmed = True
         self.invalidate_solver_cache()
@@ -176,6 +187,9 @@ class CIMCore:
         if batch < 1:
             raise ValueError("batch must contain at least one input vector")
 
+        telemetry.current().incr("core.vmm_batches")
+        telemetry.current().incr("core.vmm_inputs", batch)
+        activations_before = self.driver.activations
         voltages = np.stack(
             [self.driver.drive_analog(self.encoder.amplitude(row)) for row in x]
         )
@@ -219,6 +233,16 @@ class CIMCore:
                 latency=self.adc.latency * batch,
             ),
         )
+        # Wordline-driver energy: previously accrued only in the driver's
+        # side counter and never reached any breakdown (the driver leak).
+        self.costs.add(
+            "driver",
+            OperationCost(
+                energy=(self.driver.activations - activations_before)
+                * self.driver.config.energy_per_activation,
+                latency=self.driver.config.latency * batch,
+            ),
+        )
         return y
 
     def vmm_reference(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
@@ -234,21 +258,37 @@ class CIMCore:
         return (self.array.conductances()[row] >= midpoint).astype(int)
 
     def write_bit_row(self, row: int, bits: np.ndarray) -> None:
-        """Store a bit vector on one wordline (LRS = 1, HRS = 0)."""
+        """Store a bit vector on one wordline (LRS = 1, HRS = 0).
+
+        Only the addressed row is pulsed: re-programming the untouched
+        rows would re-draw their write variation (corrupting stored data)
+        and, worse, make a full-array reprogram free — the cost leak this
+        method used to have.  Exactly one row's worth of programming
+        energy/latency is charged to :attr:`costs`.
+        """
         bits = np.asarray(bits)
         if bits.shape != (self.array.cols,):
             raise ValueError(
                 f"bits must have shape ({self.array.cols},), got {bits.shape}"
             )
         levels = self.params.levels
-        g = self.array.healthy_conductances()
-        g[row] = np.where(bits > 0, levels.g_max, levels.g_min)
-        self.array.program(g)
+        targets = np.where(bits > 0, levels.g_max, levels.g_min)
+        self.array.program_row(row, targets)
+        self.costs.add(
+            "programming",
+            OperationCost(
+                energy=WRITE_ENERGY_PER_CELL * self.array.cols,
+                latency=WRITE_PULSE_TIME,
+            ),
+        )
+        telemetry.current().incr("core.bit_row_writes")
         self._programmed = True
         self.invalidate_solver_cache()
 
     def _scouting(self, rows: Sequence[int], op: str) -> np.ndarray:
         p = self.params
+        telemetry.current().incr("core.scouting_ops")
+        activations_before = self.driver.activations
         mask = self.decoder.decode_many(list(rows))
         voltages = self.driver.drive(mask, p.v_read)
         currents = self.array.vmm(voltages)
@@ -282,6 +322,23 @@ class CIMCore:
                 latency=p.array_settle_time,
             ),
         )
+        # Decoder + driver charges (Section II-B2 periphery; previously
+        # the driver's energy lived only in its side counter).
+        self.costs.add(
+            "decoder",
+            OperationCost(
+                energy=self.decoder.config.energy_per_activation * len(rows),
+                latency=self.decoder.config.latency,
+            ),
+        )
+        self.costs.add(
+            "driver",
+            OperationCost(
+                energy=(self.driver.activations - activations_before)
+                * self.driver.config.energy_per_activation,
+                latency=self.driver.config.latency,
+            ),
+        )
         return out
 
     def scouting_or(self, rows: Sequence[int]) -> np.ndarray:
@@ -301,3 +358,50 @@ class CIMCore:
         if len(rows) != 2:
             raise ValueError("scouting XOR takes exactly two rows")
         return self._scouting(rows, "xor")
+
+    # ------------------------------------------------------------ telemetry
+    def area_breakdown(self) -> dict:
+        """Per-component area (mm^2) of this tile's datapath.
+
+        One ADC channel per physical column (column-parallel conversion,
+        matching the per-conversion energy charged in :meth:`vmm_batch`),
+        one DAC per wordline, the driver/decoder stack, one sense
+        amplifier per column, and the cell array itself.
+        """
+        p = self.params
+        n_cols = self.array.cols
+        return {
+            "adc": self.adc.area * n_cols,
+            "dac": self.dac.area * p.rows,
+            "driver": self.driver.area,
+            "sense_amp": self.sense_amp.config.area * n_cols,
+            "crossbar": CELL_AREA * p.rows * n_cols,
+        }
+
+    def side_counters(self) -> dict:
+        """Deterministic side counters not carried by :attr:`costs`."""
+        counters = {
+            "crossbar.read_ops": float(self.array.read_operations),
+            "crossbar.write_ops": float(self.array.write_operations),
+            "driver.activations": float(self.driver.activations),
+            "driver.energy": self.driver.energy_consumed,
+            "sense_amp.compares": float(self.sense_amp.sense_count),
+        }
+        if self._ir_solver is not None:
+            counters["solver.cache_hits"] = float(self._ir_solver.cache_hits)
+            counters["solver.cache_misses"] = float(
+                self._ir_solver.cache_misses
+            )
+            counters["solver.factorizations"] = float(
+                self._ir_solver.factorizations
+            )
+        return counters
+
+    def report(self, label: str = "cim_core") -> RunReport:
+        """Structured run report: cost breakdown + side counters + area."""
+        return RunReport.from_cost_accumulator(
+            self.costs,
+            label=label,
+            counters=self.side_counters(),
+            area=self.area_breakdown(),
+        )

@@ -53,6 +53,7 @@ class ArchitectureMeasurement:
     data_moved_bytes: float
     energy: float
     latency: float
+    macs: float = 0.0
 
     @property
     def effective_bandwidth(self) -> float:
@@ -65,8 +66,9 @@ class ArchitectureMeasurement:
 
     @property
     def energy_per_mac(self) -> float:
-        """Average energy per MAC (J)."""
-        return self.energy
+        """Average energy per MAC (J): total energy divided by the
+        workload's multiply-accumulate count."""
+        return self.energy / self.macs if self.macs > 0 else 0.0
 
     def row(self) -> Dict[str, float]:
         """Printable summary."""
@@ -75,6 +77,7 @@ class ArchitectureMeasurement:
             "data_moved_bytes": self.data_moved_bytes,
             "effective_bandwidth_GBps": self.effective_bandwidth / 1e9,
             "energy_uJ": self.energy * 1e6,
+            "energy_per_mac_pJ": self.energy_per_mac * 1e12,
             "latency_us": self.latency * 1e6,
         }
 
@@ -111,6 +114,7 @@ class ArchitectureComparator:
             data_moved_bytes=float(moved),
             energy=total.energy,
             latency=total.latency,
+            macs=float(w.macs),
         )
         # All operands (weights + inputs) are touched in place each VMM.
         m._operands = float(
@@ -151,6 +155,7 @@ class ArchitectureComparator:
             data_moved_bytes=float(moved),
             energy=total.energy,
             latency=total.latency,
+            macs=float(w.macs),
         )
         m._operands = float(
             (w.matrix_rows * w.matrix_cols + w.matrix_rows) * w.batch
@@ -176,6 +181,7 @@ class ArchitectureComparator:
             data_moved_bytes=total.data_moved,
             energy=total.energy,
             latency=total.latency,
+            macs=float(w.macs),
         )
         # The ALU consumes every operand per VMM even when the weight
         # block is resident near memory (reuse does not reduce demand).
@@ -197,6 +203,7 @@ class ArchitectureComparator:
             data_moved_bytes=total.data_moved,
             energy=total.energy,
             latency=total.latency,
+            macs=float(w.macs),
         )
         m._operands = float(
             (w.matrix_rows * w.matrix_cols + w.matrix_rows) * w.batch

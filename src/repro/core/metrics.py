@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.utils import telemetry
 from repro.utils.validation import check_non_negative
 
 
@@ -46,18 +47,59 @@ class CostAccumulator:
     by_category: Dict[str, OperationCost] = field(default_factory=dict)
 
     def add(self, category: str, cost: OperationCost) -> None:
-        """Accumulate ``cost`` under ``category``."""
+        """Accumulate ``cost`` under ``category``.
+
+        The stored entry is always a fresh :class:`OperationCost` — never
+        the caller's object — so mutating the argument afterwards cannot
+        corrupt the totals.  Every charge is also mirrored into the
+        current telemetry scope (:mod:`repro.utils.telemetry`), which is
+        how per-job run reports capture energy breakdowns for free.
+        """
         self.total = self.total + cost
-        if category in self.by_category:
-            self.by_category[category] = self.by_category[category] + cost
-        else:
-            self.by_category[category] = cost
+        # ``+`` constructs a new object, so the first add stores a copy too.
+        self.by_category[category] = (
+            self.by_category.get(category, OperationCost()) + cost
+        )
+        telemetry.current().charge(
+            category, cost.energy, cost.latency, cost.data_moved
+        )
+
+    def merge(self, other: "CostAccumulator") -> None:
+        """Fold another accumulator's breakdown into this one *without*
+        re-mirroring to telemetry (the charges were mirrored when first
+        accumulated — aggregation must not double-count them)."""
+        for category in sorted(other.by_category):
+            cost = other.by_category[category]
+            self.total = self.total + cost
+            self.by_category[category] = (
+                self.by_category.get(category, OperationCost()) + cost
+            )
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict breakdown (sorted) for reports/serialization."""
+        return {
+            name: {
+                "energy": self.by_category[name].energy,
+                "latency": self.by_category[name].latency,
+                "data_moved": self.by_category[name].data_moved,
+            }
+            for name in sorted(self.by_category)
+        }
 
     def energy_fraction(self, category: str) -> float:
         """Share of total energy attributed to ``category``."""
         if self.total.energy == 0:
             return 0.0
         return self.by_category.get(category, OperationCost()).energy / self.total.energy
+
+    def latency_fraction(self, category: str) -> float:
+        """Share of total latency attributed to ``category``."""
+        if self.total.latency == 0:
+            return 0.0
+        return (
+            self.by_category.get(category, OperationCost()).latency
+            / self.total.latency
+        )
 
     def movement_fraction(self, category: str) -> float:
         """Share of total data movement attributed to ``category``."""

@@ -21,6 +21,8 @@ from typing import Optional
 import numpy as np
 
 from repro.core.metrics import CostAccumulator, OperationCost
+from repro.utils import telemetry
+from repro.utils.telemetry import RunReport
 from repro.utils.validation import check_positive
 
 
@@ -54,6 +56,19 @@ class VonNeumannMachine:
     def __init__(self, params: Optional[VonNeumannParams] = None) -> None:
         self.params = params or VonNeumannParams()
         self.costs = CostAccumulator()
+        self._vmm_calls = 0
+        self._macs = 0
+
+    def report(self, label: str = "von_neumann") -> RunReport:
+        """Structured run report: cost breakdown + workload counters."""
+        return RunReport.from_cost_accumulator(
+            self.costs,
+            label=label,
+            counters={
+                "vonneumann.vmm_calls": float(self._vmm_calls),
+                "vonneumann.macs": float(self._macs),
+            },
+        )
 
     def _movement_cost(self, n_bytes: float) -> OperationCost:
         p = self.params
@@ -85,6 +100,10 @@ class VonNeumannMachine:
             latency=(macs / p.alu_parallelism) * p.mac_latency,
         )
         self.costs.add("compute", compute)
+        self._vmm_calls += 1
+        self._macs += macs
+        telemetry.current().incr("vonneumann.vmm_calls")
+        telemetry.current().incr("vonneumann.macs", macs)
         return x @ w
 
     def run_workload(
@@ -124,6 +143,10 @@ class VonNeumannMachine:
                         latency=(macs / p.alu_parallelism) * p.mac_latency,
                     ),
                 )
+                self._vmm_calls += 1
+                self._macs += macs
+                telemetry.current().incr("vonneumann.vmm_calls")
+                telemetry.current().incr("vonneumann.macs", macs)
                 outputs[i] = x @ w
             else:
                 outputs[i] = self.vmm(x, w)

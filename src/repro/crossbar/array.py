@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.devices.reram import ConductanceLevels
 from repro.devices.variability import VariabilityStack
+from repro.utils import telemetry
 from repro.utils.rng import RNGLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -147,7 +148,38 @@ class CrossbarArray:
         self._g = np.clip(landed, lo, hi)
         self._write_counts += 1
         self._write_ops += 1
+        telemetry.current().incr("crossbar.write_ops")
+        telemetry.current().incr("crossbar.cells_written", targets.size)
         return self._g.copy()
+
+    def program_row(self, row: int, targets: np.ndarray) -> np.ndarray:
+        """Program a single wordline toward ``targets`` (one pulse per cell
+        on that row), leaving every other row untouched.
+
+        This is the physical operation behind bit-row writes: re-pulsing
+        the rest of the array would both cost energy and re-draw write
+        variation on cells nobody addressed.  Stuck cells on the row keep
+        their pinned values.  Returns the row's landed healthy
+        conductances.
+        """
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} outside array with {self.rows} rows")
+        targets = np.asarray(targets, dtype=float)
+        if targets.shape != (self.cols,):
+            raise ValueError(
+                f"targets must have shape ({self.cols},), got {targets.shape}"
+            )
+        if np.any(targets < 0):
+            raise ValueError("conductance targets must be non-negative")
+        landed = self.variability.write.apply(targets, self._rng)
+        lo = self.config.levels.g_min * 0.5
+        hi = self.config.levels.g_max * 1.5
+        self._g[row] = np.clip(landed, lo, hi)
+        self._write_counts[row] += 1
+        self._write_ops += 1
+        telemetry.current().incr("crossbar.write_ops")
+        telemetry.current().incr("crossbar.cells_written", targets.size)
+        return self._g[row].copy()
 
     def write_cell(self, row: int, col: int, target: float) -> float:
         """Program one cell toward ``target`` (single SET/RESET pulse).
@@ -160,6 +192,7 @@ class CrossbarArray:
         if target < 0:
             raise ValueError("conductance target must be non-negative")
         self._write_counts[row, col] += 1
+        telemetry.current().incr("crossbar.cells_written")
         if not self._stuck_mask[row, col]:
             landed = float(self.variability.write.apply(target, self._rng))
             lo = self.config.levels.g_min * 0.5
@@ -213,6 +246,7 @@ class CrossbarArray:
     def read_conductances(self) -> np.ndarray:
         """One noisy observation of the full conductance matrix."""
         self._read_ops += 1
+        telemetry.current().incr("crossbar.read_ops")
         return self._observed_conductances(True)
 
     def vmm(self, voltages: np.ndarray, noisy: bool = False) -> np.ndarray:
@@ -229,6 +263,7 @@ class CrossbarArray:
             )
         g = self._observed_conductances(noisy)
         self._read_ops += 1
+        telemetry.current().incr("crossbar.read_ops")
         return voltages @ g
 
     def mvm_batch(self, voltage_matrix: np.ndarray, noisy: bool = False) -> np.ndarray:
@@ -244,6 +279,7 @@ class CrossbarArray:
             )
         g = self._observed_conductances(noisy)
         self._read_ops += voltage_matrix.shape[0]
+        telemetry.current().incr("crossbar.read_ops", voltage_matrix.shape[0])
         return voltage_matrix @ g
 
     def relax(self, elapsed: float) -> None:

@@ -47,6 +47,7 @@ import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix, lil_matrix
 from scipy.sparse.linalg import splu, spsolve
 
+from repro.utils import telemetry
 from repro.utils.validation import check_non_negative, check_positive
 
 
@@ -252,10 +253,13 @@ class NodalCrossbarSolver:
         fact = self._cache.get(key)
         if fact is not None:
             self.cache_hits += 1
+            telemetry.current().incr("solver.cache_hits")
             self._cache.move_to_end(key)
             return fact
         self.cache_misses += 1
         self.factorizations += 1
+        telemetry.current().incr("solver.cache_misses")
+        telemetry.current().incr("solver.factorizations")
         fact = _Factorization(
             g.copy(), self.wire_resistance, self.driver_resistance
         )

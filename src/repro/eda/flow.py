@@ -25,6 +25,7 @@ from repro.eda.magic_mapping import (
 from repro.eda.majority_mapping import map_mig_to_majority
 from repro.eda.mig import mig_from_aig
 from repro.eda.netlist import nor_netlist_from_aig
+from repro.utils import telemetry
 
 
 @dataclass
@@ -82,63 +83,71 @@ class EdaFlow:
             from repro.eda.optimization import aig_balance
 
             aig = aig_balance(aig)
+        tel = telemetry.current()
         results: Dict[str, FlowResult] = {}
 
         # --- IMPLY
-        imply_prog = map_aig_to_imply(aig, reuse_devices=True)
-        results["imply"] = FlowResult(
-            family="imply",
-            delay=imply_prog.delay,
-            area=imply_prog.area,
-            verified=self._verify(aig, imply_prog.execute),
-            detail={"ops": len(imply_prog.ops)},
-        )
+        with tel.timer("eda.map.imply"):
+            imply_prog = map_aig_to_imply(aig, reuse_devices=True)
+            results["imply"] = FlowResult(
+                family="imply",
+                delay=imply_prog.delay,
+                area=imply_prog.area,
+                verified=self._verify(aig, imply_prog.execute),
+                detail={"ops": len(imply_prog.ops)},
+            )
 
         # --- Majority (ReVAMP-style, delay-optimal)
-        mig = mig_from_aig(aig)
-        if mig_rewrite:
-            mig = mig.depth_optimize()
-        majority_map = map_mig_to_majority(mig)
-        results["majority"] = FlowResult(
-            family="majority",
-            delay=majority_map.delay,
-            area=majority_map.area,
-            verified=self._verify(aig, majority_map.execute),
-            detail={
-                "mig_levels": mig.levels(),
-                "mig_nodes": mig.n_nodes,
-                "delay_optimal": float(
-                    majority_map.delay == mig.levels() + 1
-                ),
-            },
-        )
+        with tel.timer("eda.map.majority"):
+            mig = mig_from_aig(aig)
+            if mig_rewrite:
+                mig = mig.depth_optimize()
+            majority_map = map_mig_to_majority(mig)
+            results["majority"] = FlowResult(
+                family="majority",
+                delay=majority_map.delay,
+                area=majority_map.area,
+                verified=self._verify(aig, majority_map.execute),
+                detail={
+                    "mig_levels": mig.levels(),
+                    "mig_nodes": mig.n_nodes,
+                    "delay_optimal": float(
+                        majority_map.delay == mig.levels() + 1
+                    ),
+                },
+            )
 
         # --- MAGIC (crossbar, level-parallel)
-        netlist = nor_netlist_from_aig(aig)
-        magic_prog = map_netlist_to_magic_crossbar(netlist)
-        rows, cols = magic_prog.crossbar_extent()
-        results["magic"] = FlowResult(
-            family="magic",
-            delay=magic_prog.delay,
-            area=magic_prog.area,
-            verified=self._verify(aig, magic_prog.execute),
-            detail={
-                "gates": netlist.n_gates,
-                "netlist_levels": netlist.levels(),
-                "crossbar_rows": rows,
-                "crossbar_cols": cols,
-            },
-        )
+        with tel.timer("eda.map.magic"):
+            netlist = nor_netlist_from_aig(aig)
+            magic_prog = map_netlist_to_magic_crossbar(netlist)
+            rows, cols = magic_prog.crossbar_extent()
+            results["magic"] = FlowResult(
+                family="magic",
+                delay=magic_prog.delay,
+                area=magic_prog.area,
+                verified=self._verify(aig, magic_prog.execute),
+                detail={
+                    "gates": netlist.n_gates,
+                    "netlist_levels": netlist.levels(),
+                    "crossbar_rows": rows,
+                    "crossbar_cols": cols,
+                },
+            )
 
         # --- MAGIC (single row, SIMD throughput variant)
-        single_row = map_netlist_to_magic_single_row(netlist, reuse_devices=True)
-        results["magic_single_row"] = FlowResult(
-            family="magic_single_row",
-            delay=single_row.delay,
-            area=single_row.area,
-            verified=self._verify(aig, single_row.execute),
-            detail={"gates": netlist.n_gates},
-        )
+        with tel.timer("eda.map.magic_single_row"):
+            single_row = map_netlist_to_magic_single_row(
+                netlist, reuse_devices=True
+            )
+            results["magic_single_row"] = FlowResult(
+                family="magic_single_row",
+                delay=single_row.delay,
+                area=single_row.area,
+                verified=self._verify(aig, single_row.execute),
+                detail={"gates": netlist.n_gates},
+            )
+        tel.incr("eda.circuits_mapped")
         return results
 
     def run_table(self, table: TruthTable) -> Dict[str, FlowResult]:
@@ -158,8 +167,13 @@ class EdaFlow:
             vectors = list(range(256)) + [
                 (1 << n) - 1 - i for i in range(256)
             ]
+        checked = 0
+        ok = True
         for vector in vectors:
             inputs = [(vector >> i) & 1 for i in range(n)]
+            checked += 1
             if execute(inputs) != aig.simulate(inputs):
-                return False
-        return True
+                ok = False
+                break
+        telemetry.current().incr("eda.verify_vectors", float(checked))
+        return ok

@@ -22,6 +22,7 @@ import numpy as np
 from repro.crossbar.array import CrossbarArray
 from repro.faults.defects import Defect, defect_to_fault
 from repro.faults.models import Fault, FaultType
+from repro.utils import telemetry
 from repro.utils.rng import RNGLike, ensure_rng
 from repro.utils.validation import check_probability
 
@@ -107,6 +108,7 @@ class FaultInjector:
         # them in the map is enough — test engines query the map for truth
         # and the behavioural processes in faults.models emulate dynamics.
         self.fault_map.add(fault)
+        telemetry.current().incr("faults.injected_cells")
 
     # ------------------------------------------------------------ populations
     def inject_stuck_at(

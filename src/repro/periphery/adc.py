@@ -20,6 +20,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.utils import telemetry
 from repro.utils.validation import check_positive
 
 
@@ -101,6 +102,7 @@ class ADC:
         """Vectorized :meth:`quantize`."""
         c = self.config
         clipped = np.clip(np.asarray(values, dtype=float), c.v_min, c.v_max)
+        telemetry.current().incr("adc.conversions", clipped.size)
         codes = ((clipped - c.v_min) / (c.v_max - c.v_min) * self.levels).astype(int)
         return np.minimum(codes, self.levels - 1)
 

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.utils import telemetry
 from repro.utils.validation import check_positive
 
 
@@ -76,6 +77,7 @@ class RowDecoder:
         mask = np.zeros(self.n_rows, dtype=bool)
         for address in addresses:
             mask |= self.decode(address)
+        telemetry.current().incr("decoder.decodes", len(addresses))
         return mask
 
     def _check_address(self, address: int) -> None:
@@ -101,6 +103,11 @@ class WordlineDriver:
         return self.config.area_per_row * self.n_rows
 
     @property
+    def activations(self) -> int:
+        """Total wordline activation events so far."""
+        return self._activations
+
+    @property
     def energy_consumed(self) -> float:
         """Total drive energy so far (J)."""
         return self._activations * self.config.energy_per_activation
@@ -113,7 +120,9 @@ class WordlineDriver:
             raise ValueError(
                 f"mask must have shape ({self.n_rows},), got {mask.shape}"
             )
-        self._activations += int(mask.sum())
+        active = int(mask.sum())
+        self._activations += active
+        telemetry.current().incr("driver.activations", active)
         return np.where(mask, voltage, 0.0)
 
     def drive_analog(self, voltages: np.ndarray) -> np.ndarray:
@@ -123,5 +132,7 @@ class WordlineDriver:
             raise ValueError(
                 f"voltages must have shape ({self.n_rows},), got {voltages.shape}"
             )
-        self._activations += int(np.count_nonzero(voltages))
+        active = int(np.count_nonzero(voltages))
+        self._activations += active
+        telemetry.current().incr("driver.activations", active)
         return voltages.copy()

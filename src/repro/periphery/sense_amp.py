@@ -15,6 +15,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.utils import telemetry
 from repro.utils.rng import RNGLike, ensure_rng
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -70,6 +71,7 @@ class SenseAmplifier:
     def compare(self, current: float, reference: float) -> bool:
         """``True`` iff ``current + offset > reference``."""
         self._sense_count += 1
+        telemetry.current().incr("sense_amp.compares")
         return (current + self._offset) > reference
 
     # ------------------------------------------------- scouting-logic senses

@@ -1,5 +1,5 @@
 """Shared utilities: random-number handling, the parallel sweep engine,
-unit helpers, validation.
+telemetry/run reports, unit helpers, validation.
 
 These helpers are deliberately small and dependency-free so that every
 other subpackage (devices, crossbar, testing, EDA ...) can rely on them
@@ -7,6 +7,12 @@ without import cycles.
 """
 
 from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.telemetry import (
+    ManualClock,
+    NullTelemetry,
+    RunReport,
+    Telemetry,
+)
 from repro.utils.parallel import (
     ENV_WORKERS,
     resolve_workers,
@@ -38,6 +44,10 @@ from repro.utils.validation import (
 __all__ = [
     "ensure_rng",
     "spawn_rngs",
+    "ManualClock",
+    "NullTelemetry",
+    "RunReport",
+    "Telemetry",
     "ENV_WORKERS",
     "resolve_workers",
     "run_blocks",

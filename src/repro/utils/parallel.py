@@ -37,6 +37,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils import telemetry
 from repro.utils.rng import RNGLike, ensure_rng
 
 #: Environment variable consulted when ``workers`` is not given explicitly.
@@ -98,12 +99,26 @@ def _run_chunk(
     indices: Sequence[int],
     seeds: Sequence[np.random.SeedSequence],
     task_args: Tuple[Any, ...],
+    capture: bool = False,
 ) -> List[Any]:
-    """Worker entry point: run a contiguous chunk of jobs in-process."""
-    return [
-        task(i, np.random.default_rng(ss), *task_args)
-        for i, ss in zip(indices, seeds)
-    ]
+    """Worker entry point: run a contiguous chunk of jobs in-process.
+
+    With ``capture=True`` each job runs inside its own telemetry scope and
+    the chunk returns ``(result, counters)`` pairs.  Only counters are
+    snapshotted — wall-clock timers vary run to run, and per-job capture
+    must stay bit-identical between the serial and process backends.
+    """
+    if not capture:
+        return [
+            task(i, np.random.default_rng(ss), *task_args)
+            for i, ss in zip(indices, seeds)
+        ]
+    out: List[Any] = []
+    for i, ss in zip(indices, seeds):
+        with telemetry.scoped() as scope:
+            result = task(i, np.random.default_rng(ss), *task_args)
+        out.append((result, scope.snapshot(include_timers=False)["counters"]))
+    return out
 
 
 def _chunk_bounds(n_jobs: int, workers: int, chunk_size: Optional[int]) -> int:
@@ -123,7 +138,8 @@ def run_trials(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     task_args: Tuple[Any, ...] = (),
-) -> List[Any]:
+    capture_telemetry: bool = False,
+) -> Any:
     """Run ``task(trial_index, rng, *task_args)`` for every trial.
 
     Results are returned in trial order and are bit-identical for a given
@@ -145,6 +161,12 @@ def run_trials(
     chunk_size:
         Jobs per submitted chunk (parallel backend only); affects
         scheduling granularity, never results.
+    capture_telemetry:
+        When ``True`` each trial runs in its own telemetry scope and the
+        return value becomes ``(results, reports)`` where ``reports`` is
+        the per-job counter dict in flat job order.  Counter capture is
+        deterministic, so the reports (and any reduction of them) are
+        bit-identical at every worker count.
     """
     if n_trials < 0:
         raise ValueError(f"n_trials must be >= 0, got {n_trials}")
@@ -152,24 +174,27 @@ def run_trials(
     seeds = spawn_trial_seeds(seed, n_trials)
     indices = list(range(n_trials))
     if workers == 0 or n_trials == 0:
-        return _run_chunk(task, indices, seeds, task_args)
-
-    chunk = _chunk_bounds(n_trials, workers, chunk_size)
-    results: List[Any] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _run_chunk,
-                task,
-                indices[lo : lo + chunk],
-                seeds[lo : lo + chunk],
-                task_args,
-            )
-            for lo in range(0, n_trials, chunk)
-        ]
-        for future in futures:  # submit order == job order
-            results.extend(future.result())
-    return results
+        results = _run_chunk(task, indices, seeds, task_args, capture_telemetry)
+    else:
+        chunk = _chunk_bounds(n_trials, workers, chunk_size)
+        results = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_chunk,
+                    task,
+                    indices[lo : lo + chunk],
+                    seeds[lo : lo + chunk],
+                    task_args,
+                    capture_telemetry,
+                )
+                for lo in range(0, n_trials, chunk)
+            ]
+            for future in futures:  # submit order == job order
+                results.extend(future.result())
+    if not capture_telemetry:
+        return results
+    return [r for r, _ in results], [c for _, c in results]
 
 
 def _grid_job(
@@ -194,7 +219,8 @@ def run_grid(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     task_args: Tuple[Any, ...] = (),
-) -> List[List[Any]]:
+    capture_telemetry: bool = False,
+) -> Any:
     """Fan a trial grid out: ``task(point, trial, rng, *task_args)`` for
     every ``(point, trial)`` pair, point-major.
 
@@ -202,6 +228,10 @@ def run_grid(
     seeding is flat over the ``len(points) * trials`` grid, so adding
     workers — or re-slicing the same points into separate calls with the
     same flat indices — never changes any trial's stream.
+
+    With ``capture_telemetry=True`` returns ``(results, reports)`` where
+    ``reports`` is the per-job counter dict in flat (point-major) job
+    order — see :func:`run_trials`.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -213,10 +243,16 @@ def run_grid(
         workers=workers,
         chunk_size=chunk_size,
         task_args=(task, points, trials, task_args),
+        capture_telemetry=capture_telemetry,
     )
-    return [
+    if capture_telemetry:
+        flat, reports = flat
+    nested = [
         flat[p * trials : (p + 1) * trials] for p in range(len(points))
     ]
+    if capture_telemetry:
+        return nested, reports
+    return nested
 
 
 def _block_job(
@@ -241,7 +277,8 @@ def run_blocks(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     task_args: Tuple[Any, ...] = (),
-) -> np.ndarray:
+    capture_telemetry: bool = False,
+) -> Any:
     """Vectorized-backend variant: trials are partitioned into fixed
     blocks and ``task(block_count, rng, *task_args)`` evaluates a whole
     block at once (returning one result per trial in the block, e.g. a
@@ -251,6 +288,9 @@ def run_blocks(
     so results depend on ``seed`` and ``block_size`` but never on the
     worker count.  Callers should treat ``block_size`` as part of the
     experiment configuration, not a tuning knob.
+
+    With ``capture_telemetry=True`` returns ``(results, reports)`` where
+    ``reports`` holds one counter dict per *block* in block order.
     """
     if n_trials < 0:
         raise ValueError(f"n_trials must be >= 0, got {n_trials}")
@@ -264,7 +304,15 @@ def run_blocks(
         workers=workers,
         chunk_size=chunk_size,
         task_args=(task, n_trials, block_size, task_args),
+        capture_telemetry=capture_telemetry,
     )
+    reports: List[Any] = []
+    if capture_telemetry:
+        per_block, reports = per_block
     if not per_block:
-        return np.asarray([])
-    return np.concatenate([np.asarray(b) for b in per_block])
+        out = np.asarray([])
+    else:
+        out = np.concatenate([np.asarray(b) for b in per_block])
+    if capture_telemetry:
+        return out, reports
+    return out

@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("table1", "fig5", "yield", "fig7", "eda", "chip"):
+        for command in ("table1", "fig5", "yield", "fig7", "eda", "chip", "report"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -57,3 +57,18 @@ class TestExecution:
         assert main(["chip"]) == 0
         out = capsys.readouterr().out
         assert "TOPS_per_W" in out
+
+    def test_report_runs(self, capsys):
+        assert main(["report", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ADC share" in out
+        assert "adc.conversions" in out
+
+    def test_report_writes_json(self, tmp_path, capsys):
+        from repro.utils.telemetry import RunReport
+
+        path = tmp_path / "report.json"
+        assert main(["report", "--batch", "4", "--json", str(path)]) == 0
+        report = RunReport.from_json(path.read_text())
+        assert report.energy_fractions()["adc"] > 0.65
+        assert report.area_fractions()["adc"] > 0.90

@@ -148,3 +148,52 @@ class TestVariabilityImpact:
             np.abs(noisy.vmm(x, noisy=True) - x @ w).max() for _ in range(5)
         ]
         assert np.mean(errs) > err_clean
+
+
+class TestWriteBitRow:
+    """Regression suite for the write_bit_row accounting fix: the write
+    must be charged as programming cost and must not disturb other rows."""
+
+    @pytest.fixture
+    def logic_core(self):
+        return CIMCore(CIMCoreParams(rows=8, logical_cols=8), rng=3)
+
+    def test_charges_programming_cost(self, logic_core):
+        before = logic_core.costs.by_category.get("programming")
+        before_energy = before.energy if before else 0.0
+        logic_core.write_bit_row(0, np.ones(logic_core.array.cols, dtype=int))
+        after = logic_core.costs.by_category["programming"]
+        assert after.energy > before_energy
+        assert after.latency > 0
+
+    def test_untouched_rows_bit_identical(self, logic_core):
+        rng = np.random.default_rng(0)
+        for r in range(4):
+            logic_core.write_bit_row(r, rng.integers(0, 2, logic_core.array.cols))
+        g_before = logic_core.array.conductances()
+        logic_core.write_bit_row(5, rng.integers(0, 2, logic_core.array.cols))
+        g_after = logic_core.array.conductances()
+        untouched = [r for r in range(logic_core.array.rows) if r != 5]
+        assert np.array_equal(g_before[untouched], g_after[untouched])
+
+    def test_write_count_only_on_written_row(self, logic_core):
+        logic_core.write_bit_row(2, np.ones(logic_core.array.cols, dtype=int))
+        counts = logic_core.array.write_counts()
+        assert counts[2].min() >= 1
+        assert counts[[0, 1, 3]].max() == 0
+
+    def test_scouting_charges_driver_and_decoder(self, logic_core):
+        rng = np.random.default_rng(1)
+        logic_core.write_bit_row(0, rng.integers(0, 2, logic_core.array.cols))
+        logic_core.write_bit_row(1, rng.integers(0, 2, logic_core.array.cols))
+        logic_core.scouting_or([0, 1])
+        categories = logic_core.costs.by_category
+        assert categories["driver"].energy > 0
+        assert categories["decoder"].energy > 0
+
+    def test_vmm_batch_charges_driver(self):
+        core = CIMCore(CIMCoreParams(rows=16, logical_cols=8), rng=0)
+        rng = np.random.default_rng(0)
+        core.program_weights(rng.uniform(-1, 1, (16, 8)))
+        core.vmm_batch(rng.uniform(0, 1, (4, 16)), noisy=False)
+        assert core.costs.by_category["driver"].energy > 0

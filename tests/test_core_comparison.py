@@ -5,6 +5,7 @@ import pytest
 from repro.core.classification import ArchitectureClass
 from repro.core.comparison import (
     ArchitectureComparator,
+    ArchitectureMeasurement,
     WorkloadSpec,
     quantitative_table_i,
 )
@@ -78,3 +79,27 @@ class TestQuantitativeTable:
         row = measurements[ArchitectureClass.CIM_A].row()
         assert row["architecture"] == "CIM-A"
         assert row["energy_uJ"] > 0
+
+
+class TestEnergyPerMac:
+    def test_energy_per_mac_times_macs_equals_energy(self, measurements):
+        """Regression: energy_per_mac must be energy divided by the
+        workload's MAC count, for every architecture class."""
+        for m in measurements.values():
+            assert m.macs > 0
+            assert m.energy_per_mac * m.macs == pytest.approx(
+                m.energy, rel=1e-12
+            )
+
+    def test_energy_per_mac_zero_when_no_macs(self):
+        m = ArchitectureMeasurement(
+            architecture=ArchitectureClass.CIM_A,
+            data_moved_bytes=0.0,
+            energy=1.0,
+            latency=1.0,
+        )
+        assert m.energy_per_mac == 0.0
+
+    def test_row_carries_energy_per_mac(self, measurements):
+        row = measurements[ArchitectureClass.COM_F].row()
+        assert row["energy_per_mac_pJ"] > 0

@@ -52,3 +52,43 @@ class TestCostAccumulator:
         acc.add("bus", OperationCost(data_moved=10))
         acc.add("link", OperationCost(data_moved=30))
         assert acc.movement_fraction("link") == pytest.approx(0.75)
+
+    def test_latency_fraction(self):
+        acc = CostAccumulator()
+        acc.add("adc", OperationCost(latency=1.0))
+        acc.add("dac", OperationCost(latency=3.0))
+        assert acc.latency_fraction("dac") == pytest.approx(0.75)
+        assert acc.latency_fraction("missing") == 0.0
+
+    def test_add_does_not_alias_argument(self):
+        """Regression: the accumulator must own its breakdown entries —
+        mutating the caller's OperationCost after add() must not corrupt
+        the recorded totals."""
+        acc = CostAccumulator()
+        cost = OperationCost(energy=1.0, latency=2.0, data_moved=3.0)
+        acc.add("adc", cost)
+        cost.energy = 1e9
+        cost.latency = 1e9
+        assert acc.by_category["adc"].energy == 1.0
+        assert acc.by_category["adc"].latency == 2.0
+        assert acc.total.energy == 1.0
+
+    def test_merge_folds_other_accumulator(self):
+        a = CostAccumulator()
+        a.add("adc", OperationCost(energy=1.0))
+        b = CostAccumulator()
+        b.add("adc", OperationCost(energy=2.0))
+        b.add("dac", OperationCost(energy=4.0))
+        a.merge(b)
+        assert a.by_category["adc"].energy == 3.0
+        assert a.by_category["dac"].energy == 4.0
+        # Source is untouched.
+        assert b.by_category["adc"].energy == 2.0
+
+    def test_as_dict_sorted_plain(self):
+        acc = CostAccumulator()
+        acc.add("dac", OperationCost(energy=1.0))
+        acc.add("adc", OperationCost(latency=2.0))
+        d = acc.as_dict()
+        assert list(d) == ["adc", "dac"]
+        assert d["dac"] == {"energy": 1.0, "latency": 0.0, "data_moved": 0.0}

@@ -111,3 +111,43 @@ class TestFaultSweeps:
         out = endurance_capability_sweep(trials=4, shape=(16, 16), rng=0)
         assert out["exceeded_fraction"] == 1.0
         assert np.isfinite(out["mean_exceeded_at"])
+
+
+class TestSweepReports:
+    """Telemetry capture must not break determinism: the reduced report is
+    bit-identical at any worker count, and capture leaves results alone."""
+
+    def test_yield_sweep_report_serial_vs_parallel(self):
+        kw = dict(yields=(0.9, 0.8), shape=(16, 16), trials=4, rng=0)
+        rows0, rep0 = yield_fault_rate_sweep(workers=0, with_report=True, **kw)
+        rows2, rep2 = yield_fault_rate_sweep(workers=2, with_report=True, **kw)
+        assert rows0 == rows2
+        assert rep0.to_json() == rep2.to_json()
+        assert rep0.counters["faults.injected_cells"] > 0
+
+    def test_capture_does_not_change_rows(self):
+        kw = dict(yields=(0.9,), shape=(16, 16), trials=3, rng=0)
+        plain = yield_fault_rate_sweep(**kw)
+        rows, _ = yield_fault_rate_sweep(with_report=True, **kw)
+        assert plain == rows
+
+    def test_endurance_summary_carries_report(self):
+        summary = endurance_capability_sweep(
+            trials=2, shape=(16, 16), total_writes=1e4, step=5e3,
+            with_report=True,
+        )
+        report = summary["report"]
+        report.validate()
+        assert report.label == "endurance_capability_sweep"
+
+    def test_nn_sweep_report_serial_vs_parallel(self):
+        rows0, rep0 = accuracy_vs_yield(
+            rng=0, workers=0, with_report=True, **_NN_KW
+        )
+        rows2, rep2 = accuracy_vs_yield(
+            rng=0, workers=2, with_report=True, **_NN_KW
+        )
+        assert rows0 == rows2
+        assert rep0.to_json() == rep2.to_json()
+        # The captured breakdown covers the analog datapath.
+        assert rep0.categories["adc"]["energy"] > 0
