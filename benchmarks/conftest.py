@@ -20,6 +20,10 @@ _SWEEP_RECORDS = {}
 # instrumentation budget trajectory.
 _TELEMETRY_RECORDS = {}
 
+# Pipeline scheduler records, written to BENCH_pipeline.json — the
+# pipelined-vs-sequential speedup and DSE determinism trajectory.
+_PIPELINE_RECORDS = {}
+
 
 def record_sweep_metrics(name, payload):
     """Register one benchmark's metrics (e.g. trials/sec serial vs
@@ -31,6 +35,12 @@ def record_telemetry_metrics(name, payload):
     """Register one benchmark's telemetry-overhead metrics for the
     session's ``BENCH_telemetry.json``."""
     _TELEMETRY_RECORDS[name] = payload
+
+
+def record_pipeline_metrics(name, payload):
+    """Register one benchmark's pipeline-scheduler metrics for the
+    session's ``BENCH_pipeline.json``."""
+    _PIPELINE_RECORDS[name] = payload
 
 
 def _dump(records, filename):
@@ -45,6 +55,8 @@ def pytest_sessionfinish(session, exitstatus):
         _dump(_SWEEP_RECORDS, "BENCH_sweep.json")
     if _TELEMETRY_RECORDS:
         _dump(_TELEMETRY_RECORDS, "BENCH_telemetry.json")
+    if _PIPELINE_RECORDS:
+        _dump(_PIPELINE_RECORDS, "BENCH_pipeline.json")
 
 
 @pytest.fixture

@@ -15,6 +15,8 @@ Computation-in-Memory Paradigms"* (Rai et al., DATE 2021):
 * :mod:`repro.ferfet` — FeRFET Memory-In-Logic / Logic-In-Memory cells
   (Figs 11-12) and the BNN XNOR engine
 * :mod:`repro.apps` — neuromorphic NN, BNN, sparse coding, threshold logic
+* :mod:`repro.pipeline` — whole-model graph compiler + pipelined
+  multi-tile scheduler (ISAAC-style duplication, transfer costs, DSE)
 
 Quickstart::
 
@@ -29,7 +31,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import apps, core, crossbar, devices, eda, faults, ferfet, periphery, testing, utils
+from repro import apps, core, crossbar, devices, eda, faults, ferfet, periphery, pipeline, testing, utils
 
 __all__ = [
     "__version__",
@@ -41,6 +43,7 @@ __all__ = [
     "faults",
     "ferfet",
     "periphery",
+    "pipeline",
     "testing",
     "utils",
 ]

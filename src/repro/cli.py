@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli eda adder4      # EDA flow comparison on a circuit
     python -m repro.cli chip            # accelerator dimensioning sweeps
     python -m repro.cli report          # instrumented telemetry run report
+    python -m repro.cli pipeline        # pipelined multi-tile DSE curve
 
 (or ``cimflow <command>`` once the package is installed).
 """
@@ -75,6 +76,12 @@ def cmd_fig5(args) -> int:
 
 
 def cmd_yield(args) -> int:
+    if args.model == "cnn":
+        from repro.apps.cnn import cnn_accuracy_vs_yield
+
+        rows = cnn_accuracy_vs_yield(rng=args.seed, workers=args.workers)
+        _print_table("CNN accuracy vs yield under SA0 faults ([38])", rows)
+        return 0
     from repro.apps.nn import accuracy_vs_yield
 
     rows = accuracy_vs_yield(rng=args.seed, workers=args.workers)
@@ -145,12 +152,44 @@ def cmd_eda(args) -> int:
     return 0
 
 
-def cmd_report(args) -> int:
-    from repro.periphery.area_power import fig5_instrumented_report
-
-    report = fig5_instrumented_report(
-        batch=args.batch, adc_bits=args.adc_bits, rng=args.seed
+def _pipeline_run_report(args):
+    from repro.pipeline import (
+        PipelineScheduler,
+        ScheduleParams,
+        TileInventory,
+        allocate,
+        reference_graph,
     )
+
+    import numpy as np
+
+    graph = reference_graph()
+    alloc = allocate(
+        graph,
+        TileInventory(n_tiles=16),
+        duplication="auto",
+        rng=args.seed,
+    )
+    x = np.random.default_rng(args.seed + 1).uniform(
+        0.0, 1.0, size=(args.batch, graph.in_features)
+    )
+    sched = PipelineScheduler(alloc, ScheduleParams(micro_batch=8))
+    result = sched.run(x, mode="pipelined")
+    _print_table(
+        "Pipeline stage utilization (pipelined run)", result.stage_table()
+    )
+    return result.report("pipeline_report")
+
+
+def cmd_report(args) -> int:
+    if args.source == "pipeline":
+        report = _pipeline_run_report(args)
+    else:
+        from repro.periphery.area_power import fig5_instrumented_report
+
+        report = fig5_instrumented_report(
+            batch=args.batch, adc_bits=args.adc_bits, rng=args.seed
+        )
     report.validate()
     _print_table(
         "Instrumented run report: per-category costs", report.category_table()
@@ -169,15 +208,76 @@ def cmd_report(args) -> int:
         columns=["component", "area_mm2", "share"],
     )
     ef, af = report.energy_fractions(), report.area_fractions()
-    print(
-        f"\nADC share of the instrumented compute phase: "
-        f"{af['adc']:.1%} of area, {ef['adc']:.1%} of energy/power "
-        "(Fig 5 claim: >90% / >65%)"
-    )
+    if args.source == "pipeline":
+        busy = report.counters.get("pipeline.tile_busy_s", 0.0)
+        avail = report.counters.get("pipeline.tile_seconds", 0.0)
+        util = busy / avail if avail > 0 else 0.0
+        print(
+            f"\ntile utilization: {util:.1%} "
+            f"({report.counters.get('pipeline.transfer.bytes', 0.0):.0f} B "
+            "moved between stages)"
+        )
+    else:
+        print(
+            f"\nADC share of the instrumented compute phase: "
+            f"{af['adc']:.1%} of area, {ef['adc']:.1%} of energy/power "
+            "(Fig 5 claim: >90% / >65%)"
+        )
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(report.to_json())
         print(f"report written to {args.json}")
+    return 0
+
+
+def cmd_pipeline(args) -> int:
+    import json as _json
+
+    from repro.pipeline import explore_pipeline
+
+    tiles = [int(t) for t in args.tiles.split(",") if t.strip()]
+    rows = explore_pipeline(
+        tile_counts=tiles,
+        batch_sizes=(args.batch,),
+        workload=args.workload,
+        micro_batch=args.micro_batch,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    display = [
+        {
+            "tiles": r["tiles"],
+            "duplication": r["duplication"],
+            "feasible": r["feasible"],
+            "tiles_used": r.get("tiles_used", "-"),
+            "replicas": "x".join(str(c) for c in r.get("replicas", [])) or "-",
+            "samples_per_s": r.get("throughput", 0.0),
+            "speedup": r.get("speedup", 0.0),
+            "util": r.get("utilization", 0.0),
+            "J_per_sample": r.get("energy_per_sample", 0.0),
+        }
+        for r in rows
+    ]
+    _print_table(
+        f"Pipelined multi-tile DSE ({args.workload}): throughput/efficiency "
+        f"vs tiles (batch {args.batch}, micro-batch {args.micro_batch})",
+        display,
+    )
+    best = max(
+        (r for r in rows if r["feasible"]),
+        key=lambda r: r["throughput"],
+        default=None,
+    )
+    if best is not None:
+        print(
+            f"\nbest: {best['tiles']} tiles ({best['duplication']} "
+            f"duplication) -> {best['throughput']:.3e} samples/s, "
+            f"{best['speedup']:.2f}x over layer-sequential"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(rows, fh, indent=2)
+        print(f"exploration rows written to {args.json}")
     return 0
 
 
@@ -193,6 +293,15 @@ def cmd_chip(args) -> int:
         [r.row() for r in technology_sweep()],
     )
     return 0
+
+
+def _add_workers_arg(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep-engine workers (0 = serial, default: $REPRO_WORKERS)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,11 +324,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     yld = sub.add_parser("yield", help="accuracy-vs-yield sweep ([38])")
     yld.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="sweep-engine workers (0 = serial, default: $REPRO_WORKERS)",
+        "--model",
+        choices=("mlp", "cnn"),
+        default="mlp",
+        help="deployed network to sweep (default mlp)",
     )
+    _add_workers_arg(yld)
 
     fig7 = sub.add_parser("fig7", help="power changepoint scenario ([52])")
     fig7.add_argument("--fault-rate", type=float, default=0.1)
@@ -243,6 +353,33 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--json", default=None, help="also write the report JSON to this path"
     )
+    report.add_argument(
+        "--source",
+        choices=("fig5", "pipeline"),
+        default="fig5",
+        help="instrumented run to report on (default fig5)",
+    )
+
+    pipe = sub.add_parser(
+        "pipeline", help="pipelined multi-tile DSE: throughput vs tiles"
+    )
+    pipe.add_argument(
+        "--tiles",
+        default="4,8,16,32",
+        help="comma-separated tile inventories to sweep",
+    )
+    pipe.add_argument("--batch", type=int, default=64)
+    pipe.add_argument("--micro-batch", type=int, default=8)
+    pipe.add_argument(
+        "--workload",
+        choices=("cnn", "mlp"),
+        default="cnn",
+        help="reference model (cnn = conv-bottlenecked, default)",
+    )
+    pipe.add_argument(
+        "--json", default=None, help="also write the rows as JSON to this path"
+    )
+    _add_workers_arg(pipe)
     return parser
 
 
@@ -254,7 +391,12 @@ _COMMANDS = {
     "eda": cmd_eda,
     "chip": cmd_chip,
     "report": cmd_report,
+    "pipeline": cmd_pipeline,
 }
+
+#: Subcommands backed by the deterministic sweep engine; each accepts the
+#: global ``--seed`` and its own ``--workers`` (tests assert this).
+SWEEP_COMMANDS = ("yield", "pipeline")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

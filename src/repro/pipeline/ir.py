@@ -1,0 +1,380 @@
+"""Layer-graph intermediate representation for whole-model compilation.
+
+The paper's architecture discussion (Section II-E, ISAAC [32]) assumes a
+*whole DNN* is spatially mapped onto many crossbar tiles and executed as a
+pipeline.  Everything below this module operates on one weight matrix at a
+time; the IR is the missing contract between "a trained model" and "a
+machine full of tiles":
+
+* :class:`LayerNode` — one pipeline stage: a dense or conv2d layer with
+  its weights, bias, activation and input calibration scale;
+* :class:`LayerGraph` — a validated chain of nodes with a software
+  reference forward pass (the numerics oracle every schedule must match);
+* :class:`GraphBuilder` — a fluent builder for hand-written graphs;
+* :func:`trace_mlp` / :func:`trace_cnn` — extraction from the existing
+  :class:`~repro.apps.nn.MLP` and :class:`~repro.apps.cnn.SimpleCNN`
+  models, using the same calibration rules as
+  :class:`~repro.apps.nn.CrossbarMLP` / :class:`~repro.apps.cnn.CrossbarCNN`
+  (per-layer ``input_scale`` from calibration activations, ``w_max``
+  normalization at allocation time).
+
+The graph is deliberately a *chain* — the shape every feed-forward
+inference model lowers to — but nodes carry explicit names and the
+validation is edge-based, so fan-out graphs can be added without changing
+consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "LayerNode",
+    "LayerGraph",
+    "GraphBuilder",
+    "trace_mlp",
+    "trace_cnn",
+]
+
+_ACTIVATIONS = ("relu", "none")
+_KINDS = ("dense", "conv2d")
+
+
+def _apply_activation(z: np.ndarray, activation: str) -> np.ndarray:
+    if activation == "relu":
+        return np.maximum(z, 0.0)
+    return z
+
+
+@dataclass
+class LayerNode:
+    """One pipeline stage: a weight layer plus its deployment metadata.
+
+    ``kind`` is ``"dense"`` (``y = act(x @ W + b)``) or ``"conv2d"``
+    (im2col lowering: every ``kernel x kernel`` patch of the input image
+    becomes one wordline vector against the stationary ``(k*k, filters)``
+    kernel bank, exactly as :class:`~repro.apps.cnn.CrossbarCNN` does).
+    ``input_scale`` is the calibration divisor applied before encoding
+    activations into the crossbar's ``[0, 1]`` input domain.
+    """
+
+    name: str
+    kind: str
+    weights: np.ndarray
+    bias: np.ndarray
+    activation: str = "relu"
+    input_scale: float = 1.0
+    image_size: int = 0       # conv2d only: input image edge length
+    kernel: int = 0           # conv2d only: kernel edge length
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"activation must be one of {_ACTIVATIONS}, got "
+                f"{self.activation!r}"
+            )
+        self.weights = np.asarray(self.weights, dtype=float)
+        if self.weights.ndim != 2:
+            raise ValueError(
+                f"weights must be 2-D, got shape {self.weights.shape}"
+            )
+        self.bias = np.asarray(self.bias, dtype=float)
+        if self.bias.shape != (self.weights.shape[1],):
+            raise ValueError(
+                f"bias must have shape ({self.weights.shape[1]},), got "
+                f"{self.bias.shape}"
+            )
+        check_positive("input_scale", self.input_scale)
+        if self.kind == "conv2d":
+            if self.image_size < 2 or self.kernel < 1:
+                raise ValueError(
+                    "conv2d nodes need image_size >= 2 and kernel >= 1"
+                )
+            if self.kernel > self.image_size:
+                raise ValueError(
+                    f"kernel {self.kernel} exceeds image size {self.image_size}"
+                )
+            if self.weights.shape[0] != self.kernel * self.kernel:
+                raise ValueError(
+                    f"conv2d weights must have {self.kernel**2} rows, got "
+                    f"{self.weights.shape[0]}"
+                )
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def conv_out_edge(self) -> int:
+        """Output feature-map edge length (valid convolution)."""
+        return self.image_size - self.kernel + 1
+
+    @property
+    def patches_per_sample(self) -> int:
+        """Crossbar input vectors produced per sample (1 for dense)."""
+        if self.kind == "conv2d":
+            return self.conv_out_edge**2
+        return 1
+
+    @property
+    def in_features(self) -> int:
+        """Flat input width of the stage (pixels for conv2d)."""
+        if self.kind == "conv2d":
+            return self.image_size**2
+        return int(self.weights.shape[0])
+
+    @property
+    def out_features(self) -> int:
+        """Flat output width of the stage."""
+        if self.kind == "conv2d":
+            return self.patches_per_sample * int(self.weights.shape[1])
+        return int(self.weights.shape[1])
+
+    @property
+    def macs_per_sample(self) -> int:
+        """Multiply-accumulates one sample costs on this stage — the load
+        estimate the allocator's duplication heuristic balances."""
+        return self.patches_per_sample * int(self.weights.size)
+
+    # ------------------------------------------------------------- numerics
+    def reference_forward(self, h: np.ndarray) -> np.ndarray:
+        """Ideal software forward pass (float, no crossbar effects)."""
+        h = np.asarray(h, dtype=float)
+        if self.kind == "conv2d":
+            from repro.apps.cnn import im2col
+
+            patches = im2col(h, self.kernel)
+            z = patches @ self.weights + self.bias
+            z = z.reshape(h.shape[0], -1)
+        else:
+            z = h @ self.weights + self.bias
+        return _apply_activation(z, self.activation)
+
+
+class LayerGraph:
+    """A validated chain of :class:`LayerNode` stages.
+
+    Construction checks that node names are unique and that every edge is
+    shape-compatible (a conv2d stage's flattened output feeds the next
+    dense stage's fan-in).  The graph knows its software reference
+    semantics (:meth:`reference_forward`) — the oracle the allocator and
+    scheduler are tested against.
+    """
+
+    def __init__(self, nodes: Sequence[LayerNode]) -> None:
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("a LayerGraph needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names}")
+        for src, dst in zip(nodes[:-1], nodes[1:]):
+            if dst.kind == "conv2d":
+                raise ValueError(
+                    f"conv2d node {dst.name!r} must be the entry stage "
+                    "(multi-conv chains are not supported yet)"
+                )
+            if src.out_features != dst.in_features:
+                raise ValueError(
+                    f"edge {src.name!r} -> {dst.name!r} is shape-"
+                    f"incompatible: {src.out_features} != {dst.in_features}"
+                )
+        self.nodes: List[LayerNode] = nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def input_is_image(self) -> bool:
+        """Whether the graph consumes ``(batch, H, W)`` images."""
+        return self.nodes[0].kind == "conv2d"
+
+    @property
+    def in_features(self) -> int:
+        """Flat input width of the whole graph."""
+        return self.nodes[0].in_features
+
+    @property
+    def out_features(self) -> int:
+        """Flat output width of the whole graph."""
+        return self.nodes[-1].out_features
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """The chain's (producer, consumer) name pairs."""
+        return [
+            (src.name, dst.name)
+            for src, dst in zip(self.nodes[:-1], self.nodes[1:])
+        ]
+
+    # ------------------------------------------------------------- numerics
+    def reference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Ideal software forward pass through every stage."""
+        h = np.asarray(x, dtype=float)
+        for node in self.nodes:
+            h = node.reference_forward(h)
+        return h
+
+    def validate_input(self, x: np.ndarray) -> np.ndarray:
+        """Check (and coerce) a batch against the entry stage's shape."""
+        x = np.asarray(x, dtype=float)
+        entry = self.nodes[0]
+        if entry.kind == "conv2d":
+            expected = (entry.image_size, entry.image_size)
+            if x.ndim != 3 or x.shape[1:] != expected:
+                raise ValueError(
+                    f"input must be (batch, {expected[0]}, {expected[1]}), "
+                    f"got {x.shape}"
+                )
+        else:
+            if x.ndim != 2 or x.shape[1] != entry.in_features:
+                raise ValueError(
+                    f"input must be (batch, {entry.in_features}), got {x.shape}"
+                )
+        return x
+
+
+class GraphBuilder:
+    """Fluent builder for hand-written layer graphs.
+
+    Example::
+
+        graph = (
+            GraphBuilder()
+            .dense(w1, b1)                 # relu by default
+            .dense(w2, activation="none")  # logits
+            .build()
+        )
+    """
+
+    def __init__(self) -> None:
+        self._nodes: List[LayerNode] = []
+
+    def _next_name(self, kind: str) -> str:
+        return f"{kind}{len(self._nodes)}"
+
+    def conv2d(
+        self,
+        weights: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        *,
+        image_size: int,
+        activation: str = "relu",
+        input_scale: float = 1.0,
+        name: Optional[str] = None,
+    ) -> "GraphBuilder":
+        """Append a conv2d entry stage (``(k*k, filters)`` kernel bank)."""
+        weights = np.asarray(weights, dtype=float)
+        kernel = int(round(np.sqrt(weights.shape[0])))
+        if kernel * kernel != weights.shape[0]:
+            raise ValueError(
+                f"conv2d weights must have a square number of rows, got "
+                f"{weights.shape[0]}"
+            )
+        self._nodes.append(
+            LayerNode(
+                name=name or self._next_name("conv"),
+                kind="conv2d",
+                weights=weights,
+                bias=np.zeros(weights.shape[1]) if bias is None else bias,
+                activation=activation,
+                input_scale=input_scale,
+                image_size=image_size,
+                kernel=kernel,
+            )
+        )
+        return self
+
+    def dense(
+        self,
+        weights: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        *,
+        activation: str = "relu",
+        input_scale: float = 1.0,
+        name: Optional[str] = None,
+    ) -> "GraphBuilder":
+        """Append a dense stage (``(fan_in, fan_out)`` weights)."""
+        weights = np.asarray(weights, dtype=float)
+        self._nodes.append(
+            LayerNode(
+                name=name or self._next_name("dense"),
+                kind="dense",
+                weights=weights,
+                bias=np.zeros(weights.shape[1]) if bias is None else bias,
+                activation=activation,
+                input_scale=input_scale,
+            )
+        )
+        return self
+
+    def build(self) -> LayerGraph:
+        """Validate the chain and return the :class:`LayerGraph`."""
+        return LayerGraph(self._nodes)
+
+
+def trace_mlp(mlp, calibration: np.ndarray) -> LayerGraph:
+    """Extract a :class:`LayerGraph` from an :class:`~repro.apps.nn.MLP`.
+
+    Per-layer ``input_scale`` comes from the calibration activations,
+    exactly as :class:`~repro.apps.nn.CrossbarMLP` computes it; hidden
+    layers are relu, the output layer emits raw logits.
+    """
+    calibration = np.asarray(calibration, dtype=float)
+    if calibration.ndim != 2 or calibration.shape[1] != mlp.layer_sizes[0]:
+        raise ValueError(
+            f"calibration must be (n, {mlp.layer_sizes[0]}), got "
+            f"{calibration.shape}"
+        )
+    builder = GraphBuilder()
+    h = calibration
+    for k, (w, b) in enumerate(zip(mlp.weights, mlp.biases)):
+        last = k == mlp.n_layers - 1
+        builder.dense(
+            w,
+            b,
+            activation="none" if last else "relu",
+            input_scale=float(max(h.max(), 1e-12)),
+            name=f"fc{k}",
+        )
+        z = h @ w + b
+        h = z if last else np.maximum(z, 0.0)
+    return builder.build()
+
+
+def trace_cnn(cnn, calibration: np.ndarray) -> LayerGraph:
+    """Extract a :class:`LayerGraph` from a :class:`~repro.apps.cnn.SimpleCNN`.
+
+    The conv stage's inputs are image pixels already in ``[0, 1]``
+    (``input_scale=1``); the dense stage's scale is calibrated on the
+    post-conv activations, as :class:`~repro.apps.cnn.CrossbarCNN` does.
+    """
+    calibration = np.asarray(calibration, dtype=float)
+    patches, pre = cnn._conv_forward(calibration)
+    hidden = np.maximum(pre, 0.0).reshape(calibration.shape[0], -1)
+    return (
+        GraphBuilder()
+        .conv2d(
+            cnn.conv_w,
+            cnn.conv_b,
+            image_size=cnn.image_size,
+            activation="relu",
+            input_scale=1.0,
+            name="conv0",
+        )
+        .dense(
+            cnn.dense_w,
+            cnn.dense_b,
+            activation="none",
+            input_scale=float(max(hidden.max(), 1e-12)),
+            name="fc0",
+        )
+        .build()
+    )

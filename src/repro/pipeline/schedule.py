@@ -1,0 +1,416 @@
+"""Event-driven pipelined schedule simulation over an allocated model.
+
+This is the tier that turns "a bag of programmed tiles" into "a machine
+serving batches": micro-batches stream through the stage chain, every
+stage runs on its replica accelerators, activations ship over the
+:mod:`~repro.pipeline.interconnect` links, and the simulator tracks what
+the paper's system-level claims are made of — per-tile busy/idle time,
+inter-stage buffer occupancy, and end-to-end makespan.
+
+Two schedule modes share one functional execution:
+
+* ``"sequential"`` — the layer-at-a-time baseline every single-layer stack
+  implies (:mod:`repro.apps.nn` runs layers back to back): stage ``s+1``
+  starts only after stage ``s`` has finished the *whole* batch.
+* ``"pipelined"`` — ISAAC-style layer pipelining: stage ``s+1`` starts a
+  micro-batch as soon as it arrives, so all stages overlap in steady
+  state and throughput approaches ``1 / max_stage_service``.
+
+**Numerics are schedule-invariant by construction.**  Functional results
+are computed per (stage, micro-batch) with a *static* round-robin
+replica assignment (:meth:`StageAllocation.replica_for`), and every
+replica sees its micro-batches in index order in both modes — so each
+tile's RNG stream, and therefore the output, is bit-identical between the
+pipelined run and the layer-sequential reference.  Event times are then
+propagated separately in topological order (arrival -> server-free ->
+finish), which is where the two modes differ.
+
+All compute energy flows through the existing per-tile
+:class:`~repro.core.metrics.CostAccumulator` charges and all transfer
+energy through the interconnect's accumulator, so a
+:class:`~repro.utils.telemetry.RunReport` built from a run conserves:
+fractions sum to 1 and nothing is charged twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.pipeline.allocate import Allocation
+from repro.pipeline.interconnect import Interconnect, InterconnectParams
+from repro.utils import telemetry
+from repro.utils.telemetry import RunReport
+
+__all__ = ["ScheduleParams", "ScheduleResult", "PipelineScheduler"]
+
+_MODES = ("pipelined", "sequential")
+
+
+@dataclass
+class ScheduleParams:
+    """Schedule configuration.
+
+    ``micro_batch`` is the pipelining granule: smaller granules fill the
+    pipeline faster (less ramp-up) but pay the per-transfer setup latency
+    more often.  It is part of the experiment configuration — results are
+    a pure function of (allocation seed, input, micro_batch).
+    """
+
+    micro_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.micro_batch < 1:
+            raise ValueError(
+                f"micro_batch must be >= 1, got {self.micro_batch}"
+            )
+
+
+def _subtract_categories(
+    after: Dict[str, Dict[str, float]], before: Dict[str, Dict[str, float]]
+) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for name in sorted(after):
+        prev = before.get(name, {})
+        entry = {
+            key: after[name][key] - prev.get(key, 0.0) for key in after[name]
+        }
+        if any(abs(v) > 0 for v in entry.values()):
+            out[name] = entry
+    return out
+
+
+def _peak_overlap(intervals: List[Tuple[float, float]]) -> int:
+    """Peak number of simultaneously open ``[start, end)`` intervals."""
+    events: List[Tuple[float, int]] = []
+    for lo, hi in intervals:
+        events.append((lo, 1))
+        events.append((hi, -1))
+    # Ends sort before starts at equal timestamps: a handed-off buffer
+    # slot frees before the next micro-batch lands.
+    events.sort(key=lambda e: (e[0], e[1]))
+    peak = depth = 0
+    for _, delta in events:
+        depth += delta
+        peak = max(peak, depth)
+    return peak
+
+
+@dataclass
+class ScheduleResult:
+    """Everything one schedule run produced: outputs, timeline, costs."""
+
+    mode: str
+    outputs: np.ndarray
+    makespan: float
+    n_samples: int
+    micro_batch: int
+    stage_names: List[str]
+    replica_counts: List[int]
+    stage_tiles: List[int]
+    service_times: List[List[float]]     # [stage][microbatch] seconds
+    stage_busy_s: List[float]            # server-seconds per stage
+    buffer_peaks: List[int]              # per-stage input-buffer peak depth
+    transfer_bytes: float
+    categories: Dict[str, Dict[str, float]]   # this run's cost deltas
+    area: Dict[str, float]
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def n_microbatches(self) -> int:
+        """Micro-batches the batch was split into."""
+        return len(self.service_times[0]) if self.service_times else 0
+
+    @property
+    def throughput(self) -> float:
+        """End-to-end samples/second of simulated machine time."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.n_samples / self.makespan
+
+    @property
+    def bottleneck_service(self) -> float:
+        """Steady-state seconds per micro-batch of the slowest stage,
+        accounting for replication (the pipeline's rate limiter)."""
+        worst = 0.0
+        for serv, replicas in zip(self.service_times, self.replica_counts):
+            if serv:
+                worst = max(worst, float(np.mean(serv)) / replicas)
+        return worst
+
+    @property
+    def steady_state_throughput(self) -> float:
+        """Samples/second once the pipeline is full (ramp-up excluded)."""
+        if self.bottleneck_service <= 0:
+            return 0.0
+        return self.micro_batch / self.bottleneck_service
+
+    @property
+    def tile_busy_s(self) -> float:
+        """Total tile-seconds of busy time across the machine."""
+        return sum(
+            busy / max(replicas, 1) * tiles
+            for busy, replicas, tiles in zip(
+                self.stage_busy_s, self.replica_counts, self.stage_tiles
+            )
+        )
+
+    @property
+    def total_tiles(self) -> int:
+        """Tiles allocated across all stages."""
+        return sum(self.stage_tiles)
+
+    def utilization(self) -> float:
+        """Machine-wide tile utilization: busy tile-seconds over
+        ``total_tiles * makespan``."""
+        denom = self.total_tiles * self.makespan
+        if denom <= 0:
+            return 0.0
+        return self.tile_busy_s / denom
+
+    def stage_utilization(self) -> List[float]:
+        """Per-stage replica utilization (busy / replica-seconds)."""
+        out = []
+        for busy, replicas in zip(self.stage_busy_s, self.replica_counts):
+            denom = replicas * self.makespan
+            out.append(busy / denom if denom > 0 else 0.0)
+        return out
+
+    @property
+    def total_energy(self) -> float:
+        """Energy charged during this run (J), all categories."""
+        return sum(c.get("energy", 0.0) for c in self.categories.values())
+
+    @property
+    def energy_per_sample(self) -> float:
+        """Joules per inference sample for this run."""
+        if self.n_samples == 0:
+            return 0.0
+        return self.total_energy / self.n_samples
+
+    # -------------------------------------------------------------- display
+    def stage_table(self) -> List[Dict[str, object]]:
+        """Row-per-stage summary (replicas, tiles, busy, util, buffers)."""
+        utils = self.stage_utilization()
+        return [
+            {
+                "stage": name,
+                "replicas": replicas,
+                "tiles": tiles,
+                "busy_s": busy,
+                "utilization": util,
+                "buffer_peak": peak,
+            }
+            for name, replicas, tiles, busy, util, peak in zip(
+                self.stage_names,
+                self.replica_counts,
+                self.stage_tiles,
+                self.stage_busy_s,
+                self.stage_utilization(),
+                self.buffer_peaks,
+            )
+        ]
+
+    def side_counters(self) -> Dict[str, float]:
+        """Additive side counters describing this run (telemetry names)."""
+        counters = {
+            "pipeline.samples": float(self.n_samples),
+            "pipeline.microbatches": float(self.n_microbatches),
+            "pipeline.makespan_s": self.makespan,
+            "pipeline.tile_busy_s": self.tile_busy_s,
+            "pipeline.tile_seconds": self.total_tiles * self.makespan,
+            "pipeline.transfer.bytes": self.transfer_bytes,
+        }
+        for name, busy in zip(self.stage_names, self.stage_busy_s):
+            counters[f"pipeline.stage.{name}.busy_s"] = busy
+        return counters
+
+    def report(self, label: Optional[str] = None) -> RunReport:
+        """Structured :class:`RunReport` for this run: the run's cost
+        deltas (compute + interconnect, nothing double-charged), the
+        pipeline side counters, and the allocated-machine area."""
+        return RunReport(
+            label=label or f"pipeline_{self.mode}",
+            categories={k: dict(v) for k, v in self.categories.items()},
+            counters=self.side_counters(),
+            area=dict(self.area),
+        )
+
+
+class PipelineScheduler:
+    """Streams batches through an :class:`~repro.pipeline.allocate.Allocation`."""
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        params: Optional[ScheduleParams] = None,
+        interconnect: Optional[Interconnect] = None,
+    ) -> None:
+        self.allocation = allocation
+        self.params = params or ScheduleParams()
+        self.interconnect = interconnect or Interconnect()
+
+    # ----------------------------------------------------------- accounting
+    def _merged_categories(self) -> Dict[str, Dict[str, float]]:
+        acc = self.allocation.total_costs()
+        merged = acc.as_dict()
+        for name, entry in self.interconnect.costs.as_dict().items():
+            into = merged.setdefault(
+                name, {"energy": 0.0, "latency": 0.0, "data_moved": 0.0}
+            )
+            for key, value in entry.items():
+                into[key] = into.get(key, 0.0) + value
+        return merged
+
+    # ------------------------------------------------------------ execution
+    def run(
+        self,
+        x: np.ndarray,
+        mode: str = "pipelined",
+        noisy: bool = False,
+    ) -> ScheduleResult:
+        """Run one batch through the machine under ``mode`` timing.
+
+        Functional execution (and therefore the output array) is
+        identical across modes; only the event timeline differs.
+        """
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        graph = self.allocation.graph
+        x = graph.validate_input(x)
+        n_samples = x.shape[0]
+        if n_samples < 1:
+            raise ValueError("batch must contain at least one sample")
+        mb = self.params.micro_batch
+        bounds = list(range(0, n_samples, mb))
+        chunks: List[np.ndarray] = [x[lo : lo + mb] for lo in bounds]
+        n_mb = len(chunks)
+        stages = self.allocation.stages
+
+        cost_before = self._merged_categories()
+        bytes_before = self.interconnect.bytes_moved
+
+        # ---- functional pass: stage-major so every replica consumes its
+        # micro-batches in index order regardless of schedule mode.
+        service: List[List[float]] = []
+        current = chunks
+        for stage in stages:
+            serv_row: List[float] = []
+            outs: List[np.ndarray] = []
+            for m, h in enumerate(current):
+                replica = stage.replicas[stage.replica_for(m)]
+                lat0 = replica.total_costs().total.latency
+                outs.append(stage.apply(h, m, noisy=noisy))
+                lat1 = replica.total_costs().total.latency
+                # Tiles within a replica evaluate in parallel; the model
+                # charges each tile's latency, so wall time is the sum
+                # divided by the tile count.
+                serv_row.append((lat1 - lat0) / replica.n_tiles)
+            service.append(serv_row)
+            current = outs
+        outputs = np.concatenate(current, axis=0)
+
+        # ---- transfer charging: one payload per edge per micro-batch
+        # (host -> stage0, stage_s -> stage_{s+1}, last -> host), identical
+        # in both modes so energy is schedule-invariant.
+        edge_values: List[List[int]] = []
+        widths = [graph.in_features] + [s.node.out_features for s in stages]
+        for width in widths:
+            edge_values.append([width * chunk.shape[0] for chunk in chunks])
+        transfer_lat = [
+            [self.interconnect.transfer(v) for v in row] for row in edge_values
+        ]
+
+        # ---- event propagation.
+        finish, busy, buffer_peaks = self._propagate(
+            service, transfer_lat, mode
+        )
+        makespan = finish
+
+        result = ScheduleResult(
+            mode=mode,
+            outputs=outputs,
+            makespan=makespan,
+            n_samples=n_samples,
+            micro_batch=mb,
+            stage_names=[s.name for s in stages],
+            replica_counts=[s.n_replicas for s in stages],
+            stage_tiles=[s.n_tiles for s in stages],
+            service_times=service,
+            stage_busy_s=busy,
+            buffer_peaks=buffer_peaks,
+            transfer_bytes=float(
+                self.interconnect.bytes_moved - bytes_before
+            ),
+            categories=_subtract_categories(
+                self._merged_categories(), cost_before
+            ),
+            area=self.allocation.area_breakdown(),
+        )
+        # Surface the run's utilization/transfer story into the current
+        # telemetry scope so sweep-engine captures carry it.
+        scope = telemetry.current()
+        for name, value in result.side_counters().items():
+            if not name.startswith("pipeline.transfer"):
+                scope.incr(name, value)  # transfers were counted at charge
+        return result
+
+    # ---------------------------------------------------------------- timing
+    def _propagate(
+        self,
+        service: List[List[float]],
+        transfer_lat: List[List[float]],
+        mode: str,
+    ) -> Tuple[float, List[float], List[int]]:
+        """Propagate ready events through the stage chain.
+
+        Links carry one micro-batch at a time (serialized per edge);
+        every replica is one server.  ``sequential`` adds a barrier: a
+        stage's first start waits for the whole previous layer.
+        """
+        stages = self.allocation.stages
+        n_mb = len(service[0]) if service else 0
+        n_edges = len(transfer_lat)
+
+        link_free = [0.0] * n_edges
+        producer_done = [0.0] * n_mb   # host data is resident at t=0
+        busy = [0.0] * len(stages)
+        buffer_peaks: List[int] = []
+
+        for s, stage in enumerate(stages):
+            # Edge s ships micro-batch m once its producer finished it.
+            arrival = [0.0] * n_mb
+            for m in range(n_mb):
+                start_x = max(producer_done[m], link_free[s])
+                link_free[s] = start_x + transfer_lat[s][m]
+                arrival[m] = link_free[s]
+            barrier = max(arrival) if (mode == "sequential" and arrival) else 0.0
+
+            server_free = [0.0] * stage.n_replicas
+            starts = [0.0] * n_mb
+            finishes = [0.0] * n_mb
+            for m in range(n_mb):
+                r = stage.replica_for(m)
+                ready = max(arrival[m], barrier)
+                start = max(ready, server_free[r])
+                finishes[m] = start + service[s][m]
+                server_free[r] = finishes[m]
+                starts[m] = start
+                busy[s] += service[s][m]
+            buffer_peaks.append(
+                _peak_overlap(
+                    [(arrival[m], max(starts[m], arrival[m])) for m in range(n_mb)]
+                )
+            )
+            producer_done = finishes
+
+        # Output edge back to the host.
+        out_edge = n_edges - 1
+        end = 0.0
+        for m in range(n_mb):
+            start_x = max(producer_done[m], link_free[out_edge])
+            link_free[out_edge] = start_x + transfer_lat[out_edge][m]
+            end = max(end, link_free[out_edge])
+        return end, busy, buffer_peaks

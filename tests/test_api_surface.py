@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.eda",
     "repro.ferfet",
     "repro.apps",
+    "repro.pipeline",
 ]
 
 

@@ -2,15 +2,33 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import SWEEP_COMMANDS, _COMMANDS, build_parser, main
 
 
 class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("table1", "fig5", "yield", "fig7", "eda", "chip", "report"):
+        for command in (
+            "table1",
+            "fig5",
+            "yield",
+            "fig7",
+            "eda",
+            "chip",
+            "report",
+            "pipeline",
+        ):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_every_command_has_a_handler(self):
+        parser = build_parser()
+        sub = next(
+            a
+            for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        assert set(sub.choices) == set(_COMMANDS)
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -26,6 +44,41 @@ class TestParser:
         )
         assert args.fault_rate == 0.2
         assert args.inject_at == 200
+
+    @pytest.mark.parametrize("command", SWEEP_COMMANDS)
+    def test_sweep_commands_accept_seed_and_workers(self, command):
+        """Every sweep-backed subcommand must plumb --seed and --workers
+        into the deterministic sweep engine."""
+        args = build_parser().parse_args(
+            ["--seed", "9", command, "--workers", "2"]
+        )
+        assert args.seed == 9
+        assert args.workers == 2
+
+    def test_pipeline_options(self):
+        args = build_parser().parse_args(
+            [
+                "pipeline",
+                "--tiles",
+                "8,16",
+                "--batch",
+                "32",
+                "--micro-batch",
+                "4",
+                "--workload",
+                "mlp",
+            ]
+        )
+        assert args.tiles == "8,16"
+        assert args.batch == 32
+        assert args.micro_batch == 4
+        assert args.workload == "mlp"
+
+    def test_yield_model_choice(self):
+        args = build_parser().parse_args(["yield", "--model", "cnn"])
+        assert args.model == "cnn"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["yield", "--model", "rnn"])
 
 
 class TestExecution:
@@ -72,3 +125,58 @@ class TestExecution:
         report = RunReport.from_json(path.read_text())
         assert report.energy_fractions()["adc"] > 0.65
         assert report.area_fractions()["adc"] > 0.90
+
+    def test_pipeline_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--tiles",
+                    "4,8",
+                    "--batch",
+                    "8",
+                    "--micro-batch",
+                    "4",
+                    "--workload",
+                    "mlp",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Pipelined multi-tile DSE" in out
+        assert "speedup" in out
+        assert "best:" in out
+
+    def test_pipeline_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "dse.json"
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--tiles",
+                    "4",
+                    "--batch",
+                    "8",
+                    "--micro-batch",
+                    "4",
+                    "--workload",
+                    "mlp",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(path.read_text())
+        assert rows and rows[0]["tiles"] == 4
+        assert rows[0]["feasible"] is True
+
+    def test_report_pipeline_source(self, capsys):
+        assert main(["report", "--source", "pipeline", "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline stage utilization" in out
+        assert "pipeline.transfer.bytes" in out
+        assert "tile utilization" in out

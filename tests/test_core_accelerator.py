@@ -60,6 +60,83 @@ class TestVMM:
             accel.vmm(np.zeros(15))
 
 
+class TestPartialSumNonDivisible:
+    """Regressions for partial-sum tiling when weight shapes do not divide
+    the tile geometry (the zero-padded edge blocks)."""
+
+    def test_block_grid_rounds_up(self, rng):
+        w = rng.uniform(-1, 1, (37, 13))
+        accel = CIMAccelerator(
+            w, AcceleratorParams(tile_rows=16, tile_cols=8), rng=0
+        )
+        assert accel.n_row_blocks == 3
+        assert accel.n_col_blocks == 2
+        assert accel.n_tiles == 6
+
+    def test_non_divisible_matches_reference(self, rng):
+        """Padding rows/cols with zeros must not leak into the result."""
+        w = rng.uniform(-1, 1, (37, 13))
+        x = rng.uniform(0, 1, 37)
+        accel = CIMAccelerator(
+            w,
+            AcceleratorParams(tile_rows=16, tile_cols=8, adc_bits=14),
+            rng=1,
+        )
+        y = accel.vmm(x, noisy=False)
+        assert y.shape == (13,)
+        ref = x @ w
+        assert np.corrcoef(y, ref)[0, 1] > 0.999
+        assert np.abs(y - ref).max() < 0.05 * max(np.abs(ref).max(), 1.0)
+
+    def test_tile_size_invariance_at_high_resolution(self, rng):
+        """At high ADC resolution the same matrix split over different
+        tile geometries must agree (partial sums are exact in digital)."""
+        w = rng.uniform(-1, 1, (37, 13))
+        x = rng.uniform(0, 1, 37)
+        whole = CIMAccelerator(
+            w,
+            AcceleratorParams(tile_rows=64, tile_cols=16, adc_bits=14),
+            rng=2,
+        )
+        split = CIMAccelerator(
+            w,
+            AcceleratorParams(tile_rows=16, tile_cols=8, adc_bits=14),
+            rng=2,
+        )
+        y_whole = whole.vmm(x, noisy=False)
+        y_split = split.vmm(x, noisy=False)
+        assert np.allclose(y_whole, y_split, atol=0.1)
+
+    def test_vmm_batch_matches_vmm_rows(self, rng):
+        """The batched path must reproduce the per-sample path exactly on
+        a non-divisible shape (noiseless)."""
+        w = rng.uniform(-1, 1, (37, 13))
+        accel = CIMAccelerator(
+            w, AcceleratorParams(tile_rows=16, tile_cols=8), rng=3
+        )
+        x = rng.uniform(0, 1, (5, 37))
+        batched = accel.vmm_batch(x, noisy=False)
+        stacked = np.stack(
+            [accel.vmm(row, noisy=False) for row in x], axis=0
+        )
+        assert batched.shape == (5, 13)
+        assert np.array_equal(batched, stacked)
+
+    def test_single_row_and_col_overhang(self, rng):
+        """Overhang of exactly one row/column — the worst-case padding."""
+        w = rng.uniform(-1, 1, (17, 9))
+        x = rng.uniform(0, 1, 17)
+        accel = CIMAccelerator(
+            w,
+            AcceleratorParams(tile_rows=16, tile_cols=8, adc_bits=14),
+            rng=4,
+        )
+        assert accel.n_row_blocks == 2 and accel.n_col_blocks == 2
+        y = accel.vmm(x, noisy=False)
+        ref = x @ w
+        assert np.corrcoef(y, ref)[0, 1] > 0.999
+
+
 class TestFaultInjection:
     def test_yield_injection_across_tiles(self, rng):
         w = rng.uniform(-1, 1, (100, 50))

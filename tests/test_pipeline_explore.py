@@ -1,0 +1,95 @@
+"""Tests for the pipeline DSE driver (repro.pipeline.explore)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import explore_pipeline
+from repro.pipeline.explore import reference_conv_graph, reference_graph
+
+
+class TestReferenceGraphs:
+    def test_mlp_graph_is_deterministic(self):
+        a = reference_graph(model_seed=9)
+        b = reference_graph(model_seed=9)
+        for na, nb in zip(a, b):
+            assert np.array_equal(na.weights, nb.weights)
+
+    def test_conv_graph_shape(self):
+        g = reference_conv_graph()
+        assert [n.kind for n in g] == ["conv2d", "dense", "dense"]
+        assert g.nodes[0].patches_per_sample == 36
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(ValueError, match="layer sizes"):
+            reference_graph(layer_sizes=(8,))
+
+
+class TestExplore:
+    def test_grid_rows_in_point_major_order(self):
+        rows = explore_pipeline(
+            tile_counts=(8, 16),
+            duplication_modes=("none", "auto"),
+            batch_sizes=(8,),
+            micro_batch=4,
+        )
+        assert [(r["tiles"], r["duplication"]) for r in rows] == [
+            (8, "none"),
+            (8, "auto"),
+            (16, "none"),
+            (16, "auto"),
+        ]
+
+    def test_infeasible_points_reported_not_raised(self):
+        rows = explore_pipeline(
+            tile_counts=(1,), duplication_modes=("none",), batch_sizes=(8,)
+        )
+        assert len(rows) == 1
+        assert rows[0]["feasible"] is False
+        assert "tiles" in rows[0]["reason"]
+
+    def test_duplication_improves_conv_throughput(self):
+        rows = explore_pipeline(
+            tile_counts=(16,),
+            duplication_modes=("none", "auto"),
+            batch_sizes=(16,),
+            micro_batch=2,
+        )
+        none, auto = rows
+        assert auto["throughput"] > none["throughput"]
+
+    def test_mlp_workload_supported(self):
+        rows = explore_pipeline(
+            tile_counts=(4,),
+            duplication_modes=("none",),
+            batch_sizes=(8,),
+            workload="mlp",
+            micro_batch=4,
+        )
+        assert rows[0]["feasible"] is True
+        assert rows[0]["speedup"] > 1
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            explore_pipeline(
+                tile_counts=(4,),
+                duplication_modes=("none",),
+                batch_sizes=(4,),
+                workload="transformer",
+            )
+
+    def test_serial_and_parallel_grids_identical(self):
+        """The sweep-engine contract: same seed, any worker count, the
+        exploration rows are bit-identical."""
+        kwargs = dict(
+            tile_counts=(8, 16),
+            duplication_modes=("none", "auto"),
+            batch_sizes=(8,),
+            micro_batch=4,
+            seed=123,
+        )
+        serial = explore_pipeline(workers=0, **kwargs)
+        parallel = explore_pipeline(workers=2, **kwargs)
+        assert serial == parallel
+
+    def test_empty_grid(self):
+        assert explore_pipeline(tile_counts=()) == []

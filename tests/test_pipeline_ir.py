@@ -1,0 +1,141 @@
+"""Tests for the layer-graph IR (repro.pipeline.ir)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cnn import SimpleCNN, CrossbarCNN
+from repro.apps.nn import MLP, CrossbarMLP
+from repro.pipeline import GraphBuilder, LayerGraph, LayerNode, trace_cnn, trace_mlp
+
+
+class TestLayerNode:
+    def test_dense_geometry(self, rng):
+        node = LayerNode("fc", "dense", rng.uniform(-1, 1, (16, 8)), np.zeros(8))
+        assert node.in_features == 16
+        assert node.out_features == 8
+        assert node.patches_per_sample == 1
+        assert node.macs_per_sample == 16 * 8
+
+    def test_conv_geometry(self, rng):
+        node = LayerNode(
+            "conv",
+            "conv2d",
+            rng.uniform(-1, 1, (9, 4)),
+            np.zeros(4),
+            image_size=8,
+            kernel=3,
+        )
+        assert node.conv_out_edge == 6
+        assert node.patches_per_sample == 36
+        assert node.in_features == 64
+        assert node.out_features == 36 * 4
+
+    def test_reference_forward_dense(self, rng):
+        w, b = rng.uniform(-1, 1, (6, 4)), rng.uniform(-1, 1, 4)
+        node = LayerNode("fc", "dense", w, b, activation="relu")
+        h = rng.uniform(-1, 1, (5, 6))
+        assert np.allclose(node.reference_forward(h), np.maximum(h @ w + b, 0))
+
+    def test_bad_kind_rejected(self, rng):
+        with pytest.raises(ValueError, match="kind"):
+            LayerNode("x", "pool", rng.uniform(-1, 1, (4, 4)), np.zeros(4))
+
+    def test_bad_bias_shape_rejected(self, rng):
+        with pytest.raises(ValueError, match="bias"):
+            LayerNode("x", "dense", rng.uniform(-1, 1, (4, 4)), np.zeros(3))
+
+    def test_conv_needs_square_rows(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            LayerNode(
+                "x",
+                "conv2d",
+                rng.uniform(-1, 1, (8, 4)),
+                np.zeros(4),
+                image_size=8,
+                kernel=3,
+            )
+
+
+class TestLayerGraph:
+    def test_shape_incompatible_edge_rejected(self, rng):
+        a = LayerNode("a", "dense", rng.uniform(-1, 1, (8, 4)), np.zeros(4))
+        b = LayerNode("b", "dense", rng.uniform(-1, 1, (5, 2)), np.zeros(2))
+        with pytest.raises(ValueError, match="shape"):
+            LayerGraph([a, b])
+
+    def test_duplicate_names_rejected(self, rng):
+        a = LayerNode("a", "dense", rng.uniform(-1, 1, (8, 4)), np.zeros(4))
+        b = LayerNode("a", "dense", rng.uniform(-1, 1, (4, 2)), np.zeros(2))
+        with pytest.raises(ValueError, match="duplicate"):
+            LayerGraph([a, b])
+
+    def test_conv_must_be_entry(self, rng):
+        a = LayerNode("a", "dense", rng.uniform(-1, 1, (8, 9)), np.zeros(9))
+        conv = LayerNode(
+            "c",
+            "conv2d",
+            rng.uniform(-1, 1, (9, 4)),
+            np.zeros(4),
+            image_size=8,
+            kernel=3,
+        )
+        with pytest.raises(ValueError, match="entry"):
+            LayerGraph([a, conv])
+
+    def test_edges_and_validate_input(self, rng):
+        g = (
+            GraphBuilder()
+            .dense(rng.uniform(-1, 1, (8, 4)))
+            .dense(rng.uniform(-1, 1, (4, 2)), activation="none")
+            .build()
+        )
+        assert g.edges() == [("dense0", "dense1")]
+        with pytest.raises(ValueError, match="input"):
+            g.validate_input(np.zeros((3, 7)))
+
+
+class TestTraceMLP:
+    def test_reference_matches_mlp_logits(self, rng):
+        mlp = MLP((12, 10, 4), rng=rng)
+        calib = rng.uniform(0, 1, (30, 12))
+        graph = trace_mlp(mlp, calib)
+        x = rng.uniform(0, 1, (9, 12))
+        # The MLP's forward applies softmax; compare pre-softmax logits.
+        h = x
+        for k, (w, b) in enumerate(zip(mlp.weights, mlp.biases)):
+            z = h @ w + b
+            h = z if k == mlp.n_layers - 1 else np.maximum(z, 0.0)
+        assert np.allclose(graph.reference_forward(x), h)
+
+    def test_input_scales_match_crossbar_mlp(self, rng):
+        mlp = MLP((12, 10, 4), rng=rng)
+        calib = rng.uniform(0, 1, (30, 12))
+        graph = trace_mlp(mlp, calib)
+        xb = CrossbarMLP(mlp, calib, rng=0)
+        assert [n.input_scale for n in graph] == pytest.approx(
+            [layer.input_scale for layer in xb.layers]
+        )
+
+    def test_calibration_shape_checked(self, rng):
+        mlp = MLP((12, 10, 4), rng=rng)
+        with pytest.raises(ValueError, match="calibration"):
+            trace_mlp(mlp, rng.uniform(0, 1, (30, 11)))
+
+
+class TestTraceCNN:
+    def test_reference_matches_cnn_pre_softmax(self, rng):
+        cnn = SimpleCNN(rng=rng)
+        calib = rng.uniform(0, 1, (20, 8, 8))
+        graph = trace_cnn(cnn, calib)
+        imgs = rng.uniform(0, 1, (6, 8, 8))
+        _, pre = cnn._conv_forward(imgs)
+        hidden = np.maximum(pre, 0.0).reshape(6, -1)
+        logits = hidden @ cnn.dense_w + cnn.dense_b
+        assert np.allclose(graph.reference_forward(imgs), logits)
+
+    def test_graph_shape(self, rng):
+        cnn = SimpleCNN(rng=rng)
+        graph = trace_cnn(cnn, rng.uniform(0, 1, (20, 8, 8)))
+        assert graph.input_is_image
+        assert [n.kind for n in graph] == ["conv2d", "dense"]
+        assert graph.nodes[0].input_scale == 1.0
