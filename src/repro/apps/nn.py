@@ -298,18 +298,37 @@ class CrossbarMLP:
                     core.program_weights(block)
 
 
+def _rebuild_mlp(
+    layer_sizes: Sequence[int],
+    weights: Sequence[np.ndarray],
+    biases: Sequence[np.ndarray],
+) -> MLP:
+    """Reassemble a trained MLP from its arrays without re-running
+    ``__init__`` (no training, no RNG).  The sweep ships the model this
+    way so the weight/bias arrays ride in the engine's shared-memory pack
+    instead of being pickled into every worker."""
+    mlp = MLP.__new__(MLP)
+    mlp.layer_sizes = list(layer_sizes)
+    mlp.weights = list(weights)
+    mlp.biases = list(biases)
+    return mlp
+
+
 def _yield_trial(
     cell_yield: float,
     trial: int,
     rng: np.random.Generator,
-    mlp: MLP,
+    layer_sizes: Tuple[int, ...],
+    weights: Tuple[np.ndarray, ...],
+    biases: Tuple[np.ndarray, ...],
     x_train: np.ndarray,
     x_test: np.ndarray,
     y_test: np.ndarray,
 ) -> Dict[str, float]:
     """One (yield, trial) job: fresh deployment, fault population,
     accuracy.  Module-level so the sweep engine's process backend can
-    pickle it."""
+    pickle it; model state arrives as arrays (see :func:`_rebuild_mlp`)."""
+    mlp = _rebuild_mlp(layer_sizes, weights, biases)
     deploy_rng, fault_rng = spawn_rngs(rng, 2)
     deployed = CrossbarMLP(mlp, calibration=x_train, rng=deploy_rng)
     rate = 0.0
@@ -381,7 +400,14 @@ def accuracy_vs_yield(
         trials=trials,
         seed=grid_seq,
         workers=workers,
-        task_args=(mlp, x_train, x_test, y_test),
+        task_args=(
+            tuple(mlp.layer_sizes),
+            tuple(mlp.weights),
+            tuple(mlp.biases),
+            x_train,
+            x_test,
+            y_test,
+        ),
         capture_telemetry=with_report,
     )
     report = None

@@ -300,7 +300,10 @@ def _add_workers_arg(sub_parser) -> None:
         "--workers",
         type=int,
         default=None,
-        help="sweep-engine workers (0 = serial, default: $REPRO_WORKERS)",
+        help=(
+            "sweep-engine workers (0 = serial, -1 = all cores, "
+            "default: $REPRO_WORKERS)"
+        ),
     )
 
 

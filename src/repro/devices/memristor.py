@@ -32,6 +32,19 @@ import numpy as np
 
 from repro.utils.validation import check_in_range, check_positive
 
+#: Backends accepted by the pulse/sweep kernels. ``"auto"`` picks the fast
+#: python-float recurrence whenever it is provably bit-equal to the scalar
+#: reference (default Biolek window), else falls back to ``"scalar"``.
+KERNEL_BACKENDS = ("auto", "fast", "scalar")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {KERNEL_BACKENDS}, got {backend!r}"
+        )
+    return backend
+
 
 def biolek_window(x: np.ndarray, current: np.ndarray, p: int = 2) -> np.ndarray:
     """Biolek window function ``f(x, i) = 1 - (x - step(-i))**(2p)``.
@@ -104,9 +117,14 @@ class LinearIonDriftMemristor:
     ) -> None:
         self.params = params or MemristorParams()
         self._x = check_in_range("x0", x0, 0.0, 1.0)
+        # With the default Biolek window the ODE recurrence has a closed
+        # scalar form the fast kernels can inline bit-exactly; a custom
+        # window forces the scalar reference path.
+        self._fast_exponent: Optional[int] = None
         if window is None:
             exponent = self.params.window_exponent
             window = lambda x, i: biolek_window(x, i, exponent)  # noqa: E731
+            self._fast_exponent = 2 * exponent
         self._window = window
 
     @property
@@ -144,12 +162,52 @@ class LinearIonDriftMemristor:
         self._x = float(np.clip(self._x + dx, 0.0, 1.0))
         return i
 
-    def apply_voltage(self, voltage: float, duration: float, dt: float = 1e-6) -> None:
-        """Apply a constant-voltage pulse for ``duration`` seconds."""
+    def apply_voltage(
+        self,
+        voltage: float,
+        duration: float,
+        dt: float = 1e-6,
+        backend: str = "auto",
+    ) -> None:
+        """Apply a constant-voltage pulse for ``duration`` seconds.
+
+        ``backend="fast"`` runs the explicit-Euler recurrence as a tight
+        python-float loop (no per-step numpy scalar boxing) and exits
+        early once the state stops moving — bit-equal to the ``"scalar"``
+        reference, which steps through :meth:`step`.  ``"auto"`` (default)
+        uses the fast kernel whenever the device has the default Biolek
+        window; a custom window always takes the scalar path.
+        """
+        _check_backend(backend)
         check_positive("duration", duration)
+        check_positive("dt", dt)
         steps = max(1, int(round(duration / dt)))
+        if backend == "fast" and self._fast_exponent is None:
+            raise ValueError(
+                "backend='fast' requires the default Biolek window"
+            )
+        if backend == "scalar" or self._fast_exponent is None:
+            for _ in range(steps):
+                self.step(voltage, dt)
+            return
+        p = self.params
+        r_on, r_off, k, p2 = p.r_on, p.r_off, p.k, self._fast_exponent
+        v = float(voltage)
+        x = self._x
         for _ in range(steps):
-            self.step(voltage, dt)
+            i = v / (r_on * x + r_off * (1.0 - x))
+            w = 1.0 - (x - (1.0 if i < 0.0 else 0.0)) ** p2
+            x_new = x + k * i * w * dt
+            if x_new < 0.0:
+                x_new = 0.0
+            elif x_new > 1.0:
+                x_new = 1.0
+            if x_new == x:
+                # Fixed point: every further step recomputes this exact
+                # state, so the scalar reference lands here too.
+                break
+            x = x_new
+        self._x = x
 
     def sweep(
         self,
@@ -157,26 +215,55 @@ class LinearIonDriftMemristor:
         frequency: float,
         cycles: int = 1,
         points_per_cycle: int = 2000,
+        backend: str = "auto",
     ) -> "IVSweepResult":
         """Drive the device with ``v(t) = A sin(2 pi f t)`` and record I-V.
 
         The returned trace exhibits the pinched hysteresis loop that is the
         fingerprint of memristive behaviour (both branches pass through the
         origin).
+
+        ``backend`` selects the stepping kernel exactly as in
+        :meth:`apply_voltage` (no early exit here — the drive varies), and
+        the recorded trace is bit-identical either way.
         """
+        _check_backend(backend)
         check_positive("amplitude", amplitude)
         check_positive("frequency", frequency)
         if cycles < 1:
             raise ValueError(f"cycles must be >= 1, got {cycles}")
+        if backend == "fast" and self._fast_exponent is None:
+            raise ValueError(
+                "backend='fast' requires the default Biolek window"
+            )
         n = cycles * points_per_cycle
         t = np.arange(n) / (frequency * points_per_cycle)
         dt = 1.0 / (frequency * points_per_cycle)
         v = amplitude * np.sin(2 * np.pi * frequency * t)
         i = np.empty(n)
         x = np.empty(n)
+        if backend == "scalar" or self._fast_exponent is None:
+            for idx in range(n):
+                x[idx] = self._x
+                i[idx] = self.step(float(v[idx]), dt)
+            return IVSweepResult(time=t, voltage=v, current=i, state=x)
+        p = self.params
+        r_on, r_off, k, p2 = p.r_on, p.r_off, p.k, self._fast_exponent
+        xs = self._x
+        v_list = v.tolist()
         for idx in range(n):
-            x[idx] = self._x
-            i[idx] = self.step(float(v[idx]), dt)
+            x[idx] = xs
+            vi = v_list[idx]
+            cur = vi / (r_on * xs + r_off * (1.0 - xs))
+            i[idx] = cur
+            w = 1.0 - (xs - (1.0 if cur < 0.0 else 0.0)) ** p2
+            x_new = xs + k * cur * w * dt
+            if x_new < 0.0:
+                x_new = 0.0
+            elif x_new > 1.0:
+                x_new = 1.0
+            xs = x_new
+        self._x = xs
         return IVSweepResult(time=t, voltage=v, current=i, state=x)
 
 
@@ -272,12 +359,50 @@ class VTEAMMemristor:
         self._x = float(np.clip(self._x + dx, 0.0, 1.0))
         return self.current(voltage)
 
-    def apply_voltage(self, voltage: float, duration: float, dt: float = 1e-6) -> None:
-        """Constant-voltage pulse of ``duration`` seconds."""
+    def apply_voltage(
+        self,
+        voltage: float,
+        duration: float,
+        dt: float = 1e-6,
+        backend: str = "auto",
+    ) -> None:
+        """Constant-voltage pulse of ``duration`` seconds.
+
+        ``backend="fast"`` (the ``"auto"`` choice) hoists the constant
+        over-threshold drive out of the loop, runs the window/clip
+        recurrence on python floats and stops at the first fixed point —
+        bit-equal to the ``"scalar"`` reference stepping through
+        :meth:`step`.  Sub-threshold pulses return immediately (the state
+        provably never moves — VTEAM's defining feature).
+        """
+        _check_backend(backend)
         check_positive("duration", duration)
+        check_positive("dt", dt)
         steps = max(1, int(round(duration / dt)))
+        if backend == "scalar":
+            for _ in range(steps):
+                self.step(voltage, dt)
+            return
+        p = self.params
+        if p.v_on < voltage < p.v_off:
+            return  # zero drive at every step; state untouched
+        if voltage >= p.v_off:
+            drive = p.k_off * (voltage / p.v_off - 1.0) ** p.alpha_off
+        else:
+            drive = p.k_on * (voltage / p.v_on - 1.0) ** p.alpha_on
+        step_ = 1.0 if drive < 0.0 else 0.0
+        x = self._x
         for _ in range(steps):
-            self.step(voltage, dt)
+            w = 1.0 - (x - step_) ** 4  # default Biolek window, p = 2
+            x_new = x + drive * w * dt
+            if x_new < 0.0:
+                x_new = 0.0
+            elif x_new > 1.0:
+                x_new = 1.0
+            if x_new == x:
+                break
+            x = x_new
+        self._x = x
 
     def is_read_safe(self, read_voltage: float) -> bool:
         """Whether ``read_voltage`` lies strictly inside the threshold

@@ -249,22 +249,65 @@ class ReRAMCell:
         )
         return self._conductance
 
-    def program_with_verify(self, level: int, max_iterations: int = 10) -> int:
+    def program_with_verify(
+        self, level: int, max_iterations: int = 10, backend: str = "auto"
+    ) -> int:
         """Program-and-verify loop: reprogram until the read-back lands in
         the level's noise margin or ``max_iterations`` is hit.
 
         Returns the number of program pulses used.  This is the standard
         closed-loop tuning scheme that trades write energy/latency for
         precision.
+
+        ``backend="fast"`` (the ``"auto"`` choice) hoists the level
+        target, clip bounds and noise margin out of the iteration and
+        inlines the per-pulse program step, drawing from ``self._rng``
+        one variation at a time exactly as :meth:`program` does — so the
+        pulse count, landed conductance, write counter, wear-out behaviour
+        *and the generator state afterwards* are all bit-identical to the
+        ``"scalar"`` reference loop.
         """
+        if backend not in ("auto", "fast", "scalar"):
+            raise ValueError(
+                f"backend must be one of ('auto', 'fast', 'scalar'), "
+                f"got {backend!r}"
+            )
         check_positive("max_iterations", max_iterations)
+        if backend == "scalar":
+            pulses = 0
+            for _ in range(max_iterations):
+                self.program(level)
+                pulses += 1
+                if self.stuck:
+                    break
+                if self.params.levels.in_noise_margin(self._conductance, level):
+                    break
+            return pulses
+        if not self._formed:
+            raise CellError("cell must be formed before programming")
+        levels = self.params.levels
+        levels._check_level(level)
+        target = levels.target(level)
+        margin = levels.noise_margin
+        g_lo, g_hi = levels.g_min * 0.5, levels.g_max * 1.5
+        endurance = self.params.endurance
+        write = self.variability.write
+        rng = self._rng
         pulses = 0
         for _ in range(max_iterations):
-            self.program(level)
+            self._write_count += 1
             pulses += 1
             if self.stuck:
                 break
-            if self.params.levels.in_noise_margin(self._conductance, level):
+            if self._write_count > endurance:
+                self._wear_out()
+                break
+            landed = float(write.apply(target, rng))
+            g = landed if g_lo <= landed <= g_hi else (
+                g_lo if landed < g_lo else g_hi
+            )
+            self._conductance = g
+            if abs(g - target) <= margin:
                 break
         return pulses
 

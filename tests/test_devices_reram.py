@@ -184,3 +184,89 @@ class TestParamsValidation:
     def test_endurance_positive(self):
         with pytest.raises(ValueError, match="endurance"):
             ReRAMCellParams(endurance=0)
+
+
+class TestWriteVerifyBackends:
+    """program_with_verify's fast backend must be bit-equal to the scalar
+    reference — pulse count, landed conductance, write counter, wear-out,
+    and the generator state afterwards."""
+
+    @staticmethod
+    def _noisy_cell(seed, **params_kw):
+        stack = VariabilityStack(
+            write=WriteVariationModel(sigma=0.12),
+            read=ReadNoiseModel(sigma=0.0),
+            drift=DriftModel(nu=0.0),
+        )
+        cell = ReRAMCell(
+            params=ReRAMCellParams(**params_kw) if params_kw else None,
+            variability=stack,
+            rng=seed,
+        )
+        cell.form()
+        return cell
+
+    def test_bit_equal_including_rng_state(self):
+        for seed in range(12):
+            ref = self._noisy_cell(seed)
+            fast = self._noisy_cell(seed)
+            p_ref = ref.program_with_verify(1, max_iterations=20,
+                                            backend="scalar")
+            p_fast = fast.program_with_verify(1, max_iterations=20,
+                                              backend="fast")
+            assert p_fast == p_ref
+            assert fast.conductance == ref.conductance
+            assert fast.write_count == ref.write_count
+            # Generator state: the next draw must coincide exactly.
+            assert fast._rng.random() == ref._rng.random()
+
+    def test_auto_is_default_and_matches_scalar(self):
+        ref = self._noisy_cell(5)
+        auto = self._noisy_cell(5)
+        p_ref = ref.program_with_verify(0, max_iterations=8, backend="scalar")
+        p_auto = auto.program_with_verify(0, max_iterations=8)
+        assert p_auto == p_ref
+        assert auto.conductance == ref.conductance
+
+    def test_multilevel_targets_bit_equal(self):
+        levels = ConductanceLevels(n_levels=8)
+        for level in (0, 3, 7):
+            ref = self._noisy_cell(2, levels=levels)
+            fast = self._noisy_cell(2, levels=levels)
+            assert fast.program_with_verify(
+                level, max_iterations=16, backend="fast"
+            ) == ref.program_with_verify(
+                level, max_iterations=16, backend="scalar"
+            )
+            assert fast.conductance == ref.conductance
+
+    def test_wear_out_path_bit_equal(self):
+        for backend in ("scalar", "fast"):
+            cell = self._noisy_cell(1, endurance=3)
+            pulses = cell.program_with_verify(
+                1, max_iterations=10, backend=backend
+            )
+            if backend == "scalar":
+                ref = (pulses, cell.stuck, cell.conductance, cell.write_count)
+        assert (pulses, cell.stuck, cell.conductance, cell.write_count) == ref
+
+    def test_stuck_cell_single_pulse(self):
+        for backend in ("scalar", "fast"):
+            cell = self._noisy_cell(0)
+            cell.force_stuck(0)
+            assert cell.program_with_verify(1, backend=backend) == 1
+            assert cell.stuck
+
+    def test_unformed_cell_rejected(self):
+        stack = VariabilityStack.ideal()
+        for backend in ("scalar", "fast"):
+            cell = ReRAMCell(variability=stack, rng=0)
+            with pytest.raises(CellError, match="formed"):
+                cell.program_with_verify(1, backend=backend)
+
+    def test_bad_level_and_backend_rejected(self):
+        cell = self._noisy_cell(0)
+        with pytest.raises(ValueError, match="level"):
+            cell.program_with_verify(99, backend="fast")
+        with pytest.raises(ValueError, match="backend"):
+            cell.program_with_verify(1, backend="turbo")

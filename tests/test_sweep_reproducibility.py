@@ -12,11 +12,16 @@ import pytest
 from repro.apps.cnn import cnn_accuracy_vs_yield
 from repro.apps.nn import accuracy_vs_yield
 from repro.faults.sweeps import endurance_capability_sweep, yield_fault_rate_sweep
+from repro.pipeline.explore import explore_pipeline
 from repro.testing.ecc import EccAnalysis, HammingSecDed
 
 # Small configurations: these tests check determinism, not statistics.
 _NN_KW = dict(yields=(1.0, 0.8), trials=2, n_samples=120, epochs=15)
 _CNN_KW = dict(yields=(1.0, 0.7), trials=2, n_samples=90, epochs=8)
+
+#: Every ported consumer must be bit-identical across this worker ladder
+#: (0 = serial reference; the pool sizes cover n_jobs < workers too).
+WORKER_LADDER = (1, 2, 4)
 
 
 class TestAccuracyVsYield:
@@ -25,9 +30,10 @@ class TestAccuracyVsYield:
             rng=0, **_NN_KW
         )
 
-    def test_serial_vs_parallel_bit_identical(self):
+    @pytest.mark.parametrize("workers", WORKER_LADDER)
+    def test_serial_vs_parallel_bit_identical(self, workers):
         serial = accuracy_vs_yield(rng=0, workers=0, **_NN_KW)
-        parallel = accuracy_vs_yield(rng=0, workers=2, **_NN_KW)
+        parallel = accuracy_vs_yield(rng=0, workers=workers, **_NN_KW)
         assert serial == parallel
 
     def test_different_seed_differs(self):
@@ -37,9 +43,10 @@ class TestAccuracyVsYield:
 
 
 class TestCnnAccuracyVsYield:
-    def test_serial_vs_parallel_bit_identical(self):
+    @pytest.mark.parametrize("workers", WORKER_LADDER)
+    def test_serial_vs_parallel_bit_identical(self, workers):
         serial = cnn_accuracy_vs_yield(rng=0, workers=0, **_CNN_KW)
-        parallel = cnn_accuracy_vs_yield(rng=0, workers=2, **_CNN_KW)
+        parallel = cnn_accuracy_vs_yield(rng=0, workers=workers, **_CNN_KW)
         assert serial == parallel
 
     def test_row_schema(self):
@@ -65,12 +72,13 @@ class TestEccMonteCarlo:
         b = analysis.monte_carlo_failure_rate(0.02, trials=2000, rng=7)
         assert a == b
 
-    def test_serial_vs_parallel_bit_identical(self, analysis):
+    @pytest.mark.parametrize("workers", WORKER_LADDER)
+    def test_serial_vs_parallel_bit_identical(self, analysis, workers):
         serial = analysis.monte_carlo_failure_rate(
             0.02, trials=2000, rng=7, workers=0
         )
         parallel = analysis.monte_carlo_failure_rate(
-            0.02, trials=2000, rng=7, workers=2
+            0.02, trials=2000, rng=7, workers=workers
         )
         assert serial == parallel
 
@@ -88,10 +96,11 @@ class TestEccMonteCarlo:
 
 
 class TestFaultSweeps:
-    def test_yield_sweep_serial_vs_parallel(self):
+    @pytest.mark.parametrize("workers", WORKER_LADDER)
+    def test_yield_sweep_serial_vs_parallel(self, workers):
         kw = dict(yields=(0.9, 0.7), shape=(16, 16), trials=4, rng=0)
         assert yield_fault_rate_sweep(workers=0, **kw) == yield_fault_rate_sweep(
-            workers=2, **kw
+            workers=workers, **kw
         )
 
     def test_yield_sweep_rates_track_yield(self):
@@ -101,16 +110,36 @@ class TestFaultSweeps:
         assert rows[0]["mean_rate"] == pytest.approx(0.05, abs=0.03)
         assert rows[1]["mean_rate"] == pytest.approx(0.30, abs=0.05)
 
-    def test_endurance_sweep_serial_vs_parallel(self):
+    @pytest.mark.parametrize("workers", WORKER_LADDER)
+    def test_endurance_sweep_serial_vs_parallel(self, workers):
         kw = dict(trials=3, shape=(16, 16), rng=0)
         assert endurance_capability_sweep(
             workers=0, **kw
-        ) == endurance_capability_sweep(workers=2, **kw)
+        ) == endurance_capability_sweep(workers=workers, **kw)
 
     def test_endurance_sweep_exceeds_within_horizon(self):
         out = endurance_capability_sweep(trials=4, shape=(16, 16), rng=0)
         assert out["exceeded_fraction"] == 1.0
         assert np.isfinite(out["mean_exceeded_at"])
+
+
+class TestPipelineExplore:
+    """The DSE consumer: point-major grid over tiles x duplication."""
+
+    _KW = dict(
+        tile_counts=(4, 8),
+        duplication_modes=("none",),
+        batch_sizes=(16,),
+        workload="mlp",
+        micro_batch=4,
+        seed=0,
+    )
+
+    @pytest.mark.parametrize("workers", WORKER_LADDER)
+    def test_serial_vs_parallel_bit_identical(self, workers):
+        serial = explore_pipeline(workers=0, **self._KW)
+        parallel = explore_pipeline(workers=workers, **self._KW)
+        assert serial == parallel
 
 
 class TestSweepReports:

@@ -1,10 +1,15 @@
 """Tests for the parallel, deterministic Monte Carlo sweep engine."""
 
+import os
+import sys
+
 import numpy as np
 import pytest
 
 from repro.utils.parallel import (
     ENV_WORKERS,
+    SharedArrayPack,
+    child_seed,
     resolve_workers,
     run_blocks,
     run_grid,
@@ -12,6 +17,14 @@ from repro.utils.parallel import (
     seed_sequence_from,
     spawn_trial_seeds,
 )
+
+
+def _shm_names():
+    """Names of live POSIX shared-memory segments (Linux only)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
 
 
 # Module-level tasks: the process backend pickles them by reference.
@@ -29,6 +42,35 @@ def _block_draw(count, rng):
 
 def _with_args(trial, rng, offset, scale):
     return offset + scale * trial
+
+
+def _sum_array(trial, rng, arr):
+    return float(arr.sum()) + trial
+
+
+def _array_probe(trial, rng, arr):
+    """Report what the task actually sees: content checksum + writability."""
+    return (float(arr.sum()), bool(arr.flags.writeable))
+
+
+def _nested_probe(trial, rng, payload):
+    """Payload is {'xs': [arr, arr], 'meta': (arr, 'tag')} — exercise the
+    recursive shared-memory extraction."""
+    total = sum(float(a.sum()) for a in payload["xs"])
+    arr, tag = payload["meta"]
+    return (total + float(arr.sum()), tag)
+
+
+def _crash_on_three(trial, rng, arr):
+    if trial == 3:
+        os._exit(13)  # hard worker death, not an exception
+    return trial
+
+
+def _raise_on_two(trial, rng, arr):
+    if trial == 2:
+        raise ValueError("task failure on trial 2")
+    return trial
 
 
 class TestResolveWorkers:
@@ -49,9 +91,16 @@ class TestResolveWorkers:
         with pytest.raises(ValueError, match=ENV_WORKERS):
             resolve_workers(None)
 
-    def test_negative_rejected(self):
+    def test_minus_one_means_all_cores(self):
+        assert resolve_workers(-1) == (os.cpu_count() or 1)
+
+    def test_minus_one_via_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "-1")
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_other_negatives_rejected(self):
         with pytest.raises(ValueError):
-            resolve_workers(-1)
+            resolve_workers(-2)
 
 
 class TestSeeding:
@@ -65,6 +114,47 @@ class TestSeeding:
         seeds = spawn_trial_seeds(0, 4)
         draws = [np.random.default_rng(s).random() for s in seeds]
         assert len(set(draws)) == 4
+
+    def test_generator_branch_covers_full_seed_range(self):
+        """Regression: the Generator branch must draw over the *closed*
+        range [0, 2**63 - 1] (``endpoint=True``) — the historical
+        exclusive bound silently dropped the top value."""
+        for k in (0, 1, 7, 12345):
+            expected = np.random.default_rng(k).integers(
+                0, 2**63 - 1, endpoint=True
+            )
+            assert seed_sequence_from(np.random.default_rng(k)).entropy == int(
+                expected
+            )
+
+    def test_child_seed_matches_spawn(self):
+        """The engine's seeding contract: stateless per-index derivation
+        is bit-identical to SeedSequence.spawn, at any nesting."""
+        for kids_root in (
+            np.random.SeedSequence(42),
+            np.random.SeedSequence(42).spawn(3)[2],
+        ):
+            spawned = kids_root.spawn(5)
+            for i, kid in enumerate(spawned):
+                manual = child_seed(kids_root, i)
+                assert np.array_equal(
+                    kid.generate_state(8), manual.generate_state(8)
+                )
+
+    def test_child_seed_preserves_pool_size(self):
+        root = np.random.SeedSequence(1, pool_size=8)
+        assert child_seed(root, 0).pool_size == 8
+        assert np.array_equal(
+            root.spawn(1)[0].generate_state(4),
+            child_seed(root, 0).generate_state(4),
+        )
+
+    def test_spawn_trial_seeds_equal_spawn(self):
+        root = np.random.SeedSequence(9)
+        ours = spawn_trial_seeds(np.random.SeedSequence(9), 4)
+        theirs = root.spawn(4)
+        for a, b in zip(ours, theirs):
+            assert np.array_equal(a.generate_state(4), b.generate_state(4))
 
     def test_generator_input_draws_once(self):
         gen1 = np.random.default_rng(3)
@@ -157,3 +247,106 @@ class TestRunBlocks:
     def test_invalid_block_size(self):
         with pytest.raises(ValueError):
             run_blocks(_block_draw, 10, block_size=0)
+
+
+class TestSharedMemoryArgs:
+    """The persistent-pool shared-memory argument path."""
+
+    def test_array_args_reach_workers_bit_identical(self):
+        arr = np.random.default_rng(0).random(4096)
+        serial = run_trials(_sum_array, 4, seed=0, workers=0, task_args=(arr,))
+        pooled = run_trials(_sum_array, 4, seed=0, workers=2, task_args=(arr,))
+        assert pooled == serial
+
+    def test_worker_views_are_read_only(self):
+        arr = np.arange(256, dtype=float)
+        (checksum, writeable), *_ = run_trials(
+            _array_probe, 2, seed=0, workers=1, task_args=(arr,)
+        )
+        assert checksum == float(arr.sum())
+        assert writeable is False  # shared views must not be mutable
+
+    def test_nested_containers_round_trip(self):
+        rng = np.random.default_rng(3)
+        payload = {
+            "xs": [rng.random(100), rng.random(50)],
+            "meta": (rng.random(10), "tag"),
+        }
+        serial = run_trials(
+            _nested_probe, 3, seed=1, workers=0, task_args=(payload,)
+        )
+        pooled = run_trials(
+            _nested_probe, 3, seed=1, workers=2, task_args=(payload,)
+        )
+        assert pooled == serial
+
+    def test_pack_round_trips_arrays(self):
+        arrays = [
+            np.arange(7, dtype=np.float64),
+            np.zeros((0,)),
+            np.arange(12, dtype=np.int32).reshape(3, 4),
+        ]
+        pack = SharedArrayPack(arrays)
+        try:
+            shm, views = SharedArrayPack.attach(pack.name, pack.specs)
+            try:
+                for orig, view in zip(arrays, views):
+                    assert view.dtype == orig.dtype
+                    assert np.array_equal(view, orig)
+                    assert not view.flags.writeable
+            finally:
+                del views
+                shm.close()
+        finally:
+            pack.release()
+
+    @pytest.mark.skipif(
+        not sys.platform.startswith("linux"), reason="/dev/shm is Linux-only"
+    )
+    def test_segment_unlinked_on_normal_exit(self):
+        before = _shm_names()
+        run_trials(
+            _sum_array, 6, seed=0, workers=2,
+            task_args=(np.ones(2048),),
+        )
+        assert _shm_names() <= before
+
+    @pytest.mark.skipif(
+        not sys.platform.startswith("linux"), reason="/dev/shm is Linux-only"
+    )
+    def test_segment_unlinked_on_task_exception(self):
+        before = _shm_names()
+        with pytest.raises(ValueError, match="trial 2"):
+            run_trials(
+                _raise_on_two, 6, seed=0, workers=2,
+                task_args=(np.ones(2048),),
+            )
+        assert _shm_names() <= before
+
+
+class TestPoolLifecycle:
+    """Edge cases of the persistent pool itself."""
+
+    def test_worker_crash_surfaces_clear_error(self):
+        """A worker dying mid-chunk (os._exit, segfault analogue) must
+        raise promptly with a descriptive message — never hang."""
+        before = _shm_names()
+        with pytest.raises(RuntimeError, match="worker crashed"):
+            run_trials(
+                _crash_on_three, 8, seed=0, workers=2,
+                task_args=(np.ones(1024),),
+            )
+        if sys.platform.startswith("linux"):
+            assert _shm_names() <= before  # released despite the crash
+
+    def test_chunk_size_one_bit_identical(self):
+        serial = run_trials(_draw, 9, seed=4, workers=0)
+        assert run_trials(_draw, 9, seed=4, workers=2, chunk_size=1) == serial
+
+    def test_fewer_jobs_than_workers(self):
+        serial = run_trials(_draw, 2, seed=4, workers=0)
+        assert run_trials(_draw, 2, seed=4, workers=4) == serial
+
+    def test_single_job_pool(self):
+        serial = run_trials(_draw, 1, seed=0, workers=0)
+        assert run_trials(_draw, 1, seed=0, workers=2) == serial
