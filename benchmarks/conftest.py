@@ -24,6 +24,10 @@ _TELEMETRY_RECORDS = {}
 # pipelined-vs-sequential speedup and DSE determinism trajectory.
 _PIPELINE_RECORDS = {}
 
+# Serving-layer records, written to BENCH_serve.json — request coalescing
+# and results-cache speedup trajectory.
+_SERVE_RECORDS = {}
+
 
 def record_sweep_metrics(name, payload):
     """Register one benchmark's metrics (e.g. trials/sec serial vs
@@ -43,11 +47,68 @@ def record_pipeline_metrics(name, payload):
     _PIPELINE_RECORDS[name] = payload
 
 
+def record_serve_metrics(name, payload):
+    """Register one benchmark's serving-layer metrics for the session's
+    ``BENCH_serve.json``."""
+    _SERVE_RECORDS[name] = payload
+
+
+def validate_bench_schema(records, filename):
+    """Cross-PR contract for every ``BENCH_*.json``: perf numbers are
+    meaningless without the machine context and the headline ratio.
+
+    * ``_meta.cpu_count`` must record the core count the numbers were
+      measured on.
+    * At least one record field must be a ``speedup`` ratio, and every
+      such field must be finite and ``> 0`` (a zero/NaN speedup means the
+      benchmark silently failed to measure).
+    """
+    meta = records.get("_meta")
+    assert isinstance(meta, dict) and isinstance(meta.get("cpu_count"), int), (
+        f"{filename}: missing _meta.cpu_count (machine context)"
+    )
+    assert meta["cpu_count"] >= 1, f"{filename}: cpu_count must be >= 1"
+    speedups = [
+        (f"{name}.{key}", value)
+        for name, payload in records.items()
+        if name != "_meta" and isinstance(payload, dict)
+        for key, value in payload.items()
+        if "speedup" in key
+    ]
+    assert speedups, f"{filename}: no speedup field in any record"
+    for field, value in speedups:
+        assert (
+            isinstance(value, (int, float))
+            and np.isfinite(value)
+            and value > 0
+        ), f"{filename}: {field} = {value!r} is not a positive finite ratio"
+
+
 def _dump(records, filename):
+    records = dict(records)
+    records["_meta"] = {"cpu_count": os.cpu_count() or 1}
+    validate_bench_schema(records, filename)
     path = os.path.join(os.path.dirname(__file__), filename)
     with open(path, "w") as fh:
         json.dump(records, fh, indent=2, sort_keys=True)
     print(f"\nwrote {path}")
+
+
+def pytest_sessionstart(session):
+    """Committed BENCH files are part of the schema contract too: catch a
+    stale or hand-edited file before a run quietly re-publishes it."""
+    bench_dir = os.path.dirname(__file__)
+    for filename in sorted(os.listdir(bench_dir)):
+        if filename.startswith("BENCH_") and filename.endswith(".json"):
+            with open(os.path.join(bench_dir, filename)) as fh:
+                try:
+                    validate_bench_schema(json.load(fh), filename)
+                except AssertionError as exc:
+                    raise pytest.UsageError(
+                        f"committed benchmark record violates the BENCH "
+                        f"schema — regenerate it with a full benchmark "
+                        f"run: {exc}"
+                    ) from None
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -57,6 +118,8 @@ def pytest_sessionfinish(session, exitstatus):
         _dump(_TELEMETRY_RECORDS, "BENCH_telemetry.json")
     if _PIPELINE_RECORDS:
         _dump(_PIPELINE_RECORDS, "BENCH_pipeline.json")
+    if _SERVE_RECORDS:
+        _dump(_SERVE_RECORDS, "BENCH_serve.json")
 
 
 @pytest.fixture

@@ -83,6 +83,9 @@ def test_instrumentation_overhead_under_5_percent(run_once):
             "telemetry_off_s": t_off,
             "telemetry_on_s": t_on,
             "overhead_fraction": overhead,
+            # Ratio form of the same gate (BENCH schema: every file
+            # carries at least one positive finite speedup field).
+            "speedup_telemetry_off": t_on / t_off,
             "budget_fraction": 0.05,
         },
     )

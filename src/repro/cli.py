@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli chip            # accelerator dimensioning sweeps
     python -m repro.cli report          # instrumented telemetry run report
     python -m repro.cli pipeline        # pipelined multi-tile DSE curve
+    python -m repro.cli serve           # simulation job server (batching+cache)
+    python -m repro.cli submit stats    # query a running server
 
 (or ``cimflow <command>`` once the package is installed).
 """
@@ -207,6 +209,12 @@ def cmd_report(args) -> int:
         ],
         columns=["component", "area_mm2", "share"],
     )
+    print(
+        "solver LU cache: "
+        f"{report.counters.get('solver.cache_hits', 0.0):.0f} hits, "
+        f"{report.counters.get('solver.cache_misses', 0.0):.0f} misses, "
+        f"{report.counters.get('solver.cache_evictions', 0.0):.0f} evictions"
+    )
     ef, af = report.energy_fractions(), report.area_fractions()
     if args.source == "pipeline":
         busy = report.counters.get("pipeline.tile_busy_s", 0.0)
@@ -278,6 +286,74 @@ def cmd_pipeline(args) -> int:
         with open(args.json, "w") as fh:
             _json.dump(rows, fh, indent=2)
         print(f"exploration rows written to {args.json}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import ServiceConfig, serve_forever
+
+    serve_forever(
+        host=args.host,
+        port=args.port,
+        config=ServiceConfig(
+            max_inflight=args.max_inflight,
+            batch_window_s=args.window,
+            max_batch=args.max_batch,
+        ),
+        ready_callback=lambda host, port: print(
+            f"cimflow serve: listening on {host}:{port}", flush=True
+        ),
+    )
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.serve import ServeClient
+
+    try:
+        params = _json.loads(args.params) if args.params else {}
+    except _json.JSONDecodeError as exc:
+        print(f"--params is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(
+            host=args.host, port=args.port, timeout=args.timeout
+        ) as client:
+            response = client.request(args.kind, params)
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"cannot reach cimflow serve at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(_json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+    if not response.get("ok"):
+        err = response.get("error", {})
+        print(
+            f"error [{err.get('code', '?')}]: {err.get('message', '')}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"kind: {response['kind']}  cache: {response.get('cache', 'none')}")
+    result = response.get("result", {})
+    if isinstance(result, dict) and isinstance(result.get("rows"), list):
+        _print_table("result rows", result["rows"])
+    elif isinstance(result, dict) and "prediction" in result:
+        print(f"prediction: {result['prediction']}")
+    else:
+        print(_json.dumps(result, sort_keys=True))
+    report = response.get("report", {})
+    totals = report.get("totals", {})
+    if totals:
+        print(
+            f"request cost: {totals.get('energy', 0.0):.3e} J, "
+            f"{totals.get('latency', 0.0):.3e} s, "
+            f"{totals.get('data_moved', 0.0):.3e} B"
+        )
     return 0
 
 
@@ -383,6 +459,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="also write the rows as JSON to this path"
     )
     _add_workers_arg(pipe)
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation job server (JSON-lines over TCP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8473)
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=0.005,
+        help="inference coalescing window in seconds (default 0.005)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="flush a coalesced batch at this many requests (default 16)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission-control bound on in-flight jobs (default 64)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one request to a running cimflow serve"
+    )
+    submit.add_argument(
+        "kind",
+        choices=("infer", "sweep", "dse", "pipeline", "faults", "stats"),
+        help="request kind",
+    )
+    submit.add_argument(
+        "--params",
+        default=None,
+        help='request parameters as JSON, e.g. \'{"x": [[0.1, ...]]}\'',
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8473)
+    submit.add_argument("--timeout", type=float, default=300.0)
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON response instead of a summary",
+    )
     return parser
 
 
@@ -395,6 +517,8 @@ _COMMANDS = {
     "chip": cmd_chip,
     "report": cmd_report,
     "pipeline": cmd_pipeline,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
 #: Subcommands backed by the deterministic sweep engine; each accepts the

@@ -25,17 +25,28 @@ from repro.utils.telemetry import RunReport
 
 @dataclass
 class AcceleratorParams:
-    """Tiling configuration."""
+    """Tiling configuration.
+
+    ``wire_resistance > 0`` makes every tile IR-drop-aware: tile VMMs go
+    through the circuit-accurate nodal solver and its fingerprint-keyed
+    LU cache (:mod:`repro.crossbar.solver`) instead of the ideal-wire
+    matrix product.
+    """
 
     tile_rows: int = 64
     tile_cols: int = 32
     adc_bits: int = 8
+    wire_resistance: float = 0.0
 
     def __post_init__(self) -> None:
         if self.tile_rows < 1 or self.tile_cols < 1:
             raise ValueError("tile dimensions must be >= 1")
         if self.adc_bits < 1:
             raise ValueError(f"adc_bits must be >= 1, got {self.adc_bits}")
+        if self.wire_resistance < 0:
+            raise ValueError(
+                f"wire_resistance must be >= 0, got {self.wire_resistance}"
+            )
 
 
 class CIMAccelerator:
@@ -70,6 +81,7 @@ class CIMAccelerator:
                         rows=p.tile_rows,
                         logical_cols=p.tile_cols,
                         adc_bits=p.adc_bits,
+                        wire_resistance=p.wire_resistance,
                     ),
                     variability=variability,
                     rng=rngs[bi * self.n_col_blocks + bj],

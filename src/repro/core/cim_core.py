@@ -395,6 +395,9 @@ class CIMCore:
             counters["solver.factorizations"] = float(
                 self._ir_solver.factorizations
             )
+            counters["solver.cache_evictions"] = float(
+                self._ir_solver.cache_evictions
+            )
         return counters
 
     def report(self, label: str = "cim_core") -> RunReport:

@@ -238,6 +238,7 @@ class NodalCrossbarSolver:
         self.factorizations = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     # ----------------------------------------------------------- cache layer
     def _fingerprint(self, g: np.ndarray) -> str:
@@ -264,8 +265,13 @@ class NodalCrossbarSolver:
             g.copy(), self.wire_resistance, self.driver_resistance
         )
         self._cache[key] = fact
+        # LRU bound.  Evictions used to be silent; a long-lived server
+        # whose working set exceeds ``cache_size`` thrashes factorizations,
+        # so every eviction is counted and mirrored into telemetry.
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
+            self.cache_evictions += 1
+            telemetry.current().incr("solver.cache_evictions")
         return fact
 
     def invalidate_cache(self) -> None:

@@ -1,0 +1,203 @@
+"""Request batcher: coalesce concurrent small inference requests.
+
+Single-sample inference requests are the worst case for the compute
+backend: every one pays the full per-call overhead of walking the
+deployed model's layers and tiles, and — on IR-drop-aware tiles — one
+sparse triangular solve per layer per tile.  The backend's
+``forward_batch`` / ``vmm_batch`` path amortizes all of that across a
+batch (one multi-RHS back-substitution per tile), so the serving layer's
+job is to *make* batches out of concurrent requests.
+
+:class:`RequestBatcher` groups pending requests by a caller-supplied key
+(one key per deployed model artifact — inputs for different models can
+never be stacked) and flushes a group when either
+
+* the group reaches ``max_batch`` requests (flushed inline by the
+  arriving request), or
+* ``window_s`` seconds pass since the group's first request (flushed by
+  a scheduled timer task).
+
+Each request contributes a block of input rows; the flush stacks all
+blocks into one array, invokes the runner once, and demuxes the output
+rows back to each request's future.  Demuxed rows are bit-identical to
+running each request alone: every step of the batched forward path
+(clipping, LU back-substitution, ADC quantization, differential decode)
+operates on batch rows independently, a property the serve tests assert.
+
+``max_batch=1`` (or ``window_s=0`` with immediate flush) degrades to
+one-request-at-a-time execution — the sequential baseline the
+``BENCH_serve.json`` coalescing gate compares against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.utils import telemetry
+
+__all__ = ["BatcherStats", "RequestBatcher"]
+
+
+@dataclass
+class _Pending:
+    """One enqueued request: its input rows and the future its demuxed
+    output rows resolve."""
+
+    x: np.ndarray                      # (n_rows, features)
+    future: "asyncio.Future[np.ndarray]"
+
+
+@dataclass
+class _Group:
+    """Per-key accumulation state between flushes."""
+
+    runner: Callable[[np.ndarray], np.ndarray]
+    pending: List[_Pending] = field(default_factory=list)
+    timer: Optional["asyncio.Task"] = None
+
+    @property
+    def n_rows(self) -> int:
+        return sum(p.x.shape[0] for p in self.pending)
+
+
+@dataclass
+class BatcherStats:
+    """Lifetime coalescing statistics."""
+
+    requests: int = 0
+    flushes: int = 0
+    coalesced_flushes: int = 0     # flushes serving > 1 request
+    max_batch_rows: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "flushes": self.flushes,
+            "coalesced_flushes": self.coalesced_flushes,
+            "max_batch_rows": self.max_batch_rows,
+        }
+
+
+class RequestBatcher:
+    """Time-window + max-batch coalescing of inference requests."""
+
+    def __init__(self, window_s: float = 0.002, max_batch: int = 32) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.stats = BatcherStats()
+        self._groups: Dict[Any, _Group] = {}
+
+    async def submit(
+        self,
+        key: Any,
+        x: np.ndarray,
+        runner: Callable[[np.ndarray], np.ndarray],
+    ) -> "tuple[np.ndarray, Dict[str, float]]":
+        """Enqueue ``x`` (``(n_rows, features)``) for the model behind
+        ``key`` and await ``(output_rows, counters)``.
+
+        ``runner`` executes the stacked batch (``runner(stacked) ->
+        (total_rows, out_features)``); all requests coalesced into one
+        flush must pass the same runner (they do: the key identifies the
+        deployed artifact).  ``counters`` is this request's share of the
+        flush's telemetry counters — the flush runs inside its own
+        telemetry scope and the captured counters are apportioned by each
+        request's row share, so per-request cost reports stay
+        conservation-valid and sum (up to float rounding) to the true
+        batch total.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] < 1:
+            raise ValueError(
+                f"x must be (n_rows >= 1, features), got {x.shape}"
+            )
+        self.stats.requests += 1
+        telemetry.current().incr("serve.batch.requests")
+
+        loop = asyncio.get_running_loop()
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _Group(runner=runner)
+        pending = _Pending(x=x, future=loop.create_future())
+        group.pending.append(pending)
+
+        if len(group.pending) >= self.max_batch:
+            self._flush(key)
+        elif group.timer is None:
+            if self.window_s == 0:
+                self._flush(key)
+            else:
+                group.timer = loop.create_task(self._flush_later(key))
+        return await pending.future
+
+    async def _flush_later(self, key: Any) -> None:
+        await asyncio.sleep(self.window_s)
+        group = self._groups.get(key)
+        if group is not None:
+            group.timer = None
+            self._flush(key)
+
+    def _flush(self, key: Any) -> None:
+        """Run every pending request under ``key`` as one stacked batch
+        and demux the outputs."""
+        group = self._groups.pop(key, None)
+        if group is None or not group.pending:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+            group.timer = None
+        batch = group.pending
+        self.stats.flushes += 1
+        telemetry.current().incr("serve.batch.flushes")
+        if len(batch) > 1:
+            self.stats.coalesced_flushes += 1
+            telemetry.current().incr("serve.batch.coalesced_flushes")
+        stacked = (
+            batch[0].x
+            if len(batch) == 1
+            else np.concatenate([p.x for p in batch], axis=0)
+        )
+        self.stats.max_batch_rows = max(
+            self.stats.max_batch_rows, stacked.shape[0]
+        )
+        telemetry.current().incr("serve.batch.rows", stacked.shape[0])
+        try:
+            with telemetry.scoped() as scope:
+                out = group.runner(stacked)
+            counters = scope.snapshot(include_timers=False)["counters"]
+        except Exception as exc:  # demux the failure to every waiter
+            for p in batch:
+                if not p.future.done():
+                    p.future.set_exception(exc)
+            return
+        total_rows = stacked.shape[0]
+        lo = 0
+        for p in batch:
+            hi = lo + p.x.shape[0]
+            share = p.x.shape[0] / total_rows
+            if not p.future.done():
+                p.future.set_result(
+                    (
+                        np.asarray(out[lo:hi]),
+                        {k: v * share for k, v in counters.items()},
+                    )
+                )
+            lo = hi
+
+    def flush_all(self) -> None:
+        """Flush every pending group immediately (shutdown/test hook)."""
+        for key in list(self._groups):
+            self._flush(key)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently parked awaiting a flush."""
+        return sum(len(g.pending) for g in self._groups.values())

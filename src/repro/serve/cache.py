@@ -1,0 +1,227 @@
+"""Cross-request caches for the simulation service.
+
+A long-lived job server amortizes three classes of work across requests:
+
+* **Artifacts** — expensive compiled objects: deployed
+  :class:`~repro.apps.nn.CrossbarMLP` instances (which carry their tiles'
+  fingerprint-keyed LU caches), traced
+  :class:`~repro.pipeline.ir.LayerGraph` objects and tile allocations.
+  All live in one bounded-LRU :class:`ArtifactCache` with
+  hit/miss/eviction telemetry counters.
+* **Results** — whole responses keyed on ``(task kind, config
+  fingerprint)``: a repeated sweep or DSE request returns instantly and
+  bit-identically.  :class:`ResultsCache` stores the canonical JSON text
+  of each response payload, so a cached response is immune to caller-side
+  mutation and decodes to exactly the bytes the cold run produced.
+
+Keying rests on :func:`config_fingerprint`: a stable hash of an
+arbitrarily nested JSON-able config.  Floats are serialized via
+``repr``-exact JSON, so two configs differing only in a nested float —
+even in the last ulp — never share a fingerprint (a keying property the
+tests pin down).
+
+Entries may carry *tags*; :meth:`ArtifactCache.invalidate_tag` drops every
+entry tagged with a given token.  The service tags everything derived
+from a deployed model with that model's fingerprint, so fault injection
+or reprogramming on the model invalidates all dependent entries in one
+call — stale LU factorizations or results are never served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.utils import telemetry
+
+__all__ = [
+    "config_fingerprint",
+    "canonical_json",
+    "ArtifactCache",
+    "ResultsCache",
+]
+
+
+def canonical_json(config: Any) -> str:
+    """Canonical JSON text of a nested config: sorted keys, no spaces,
+    ``repr``-exact floats (json round-trips finite floats exactly)."""
+    return json.dumps(
+        config, sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def config_fingerprint(config: Any, prefix: str = "") -> str:
+    """Stable hex fingerprint of a JSON-able nested config.
+
+    Two configs that differ anywhere — including a single float deep in a
+    nested structure — produce different fingerprints; two structurally
+    equal configs always produce the same one, across processes and runs
+    (the hash is content-derived, never ``id``/``hash()``-derived).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(prefix.encode())
+    h.update(canonical_json(config).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class _Entry:
+    value: Any
+    tags: FrozenSet[str] = field(default_factory=frozenset)
+
+
+class ArtifactCache:
+    """Bounded LRU cache for expensive cross-request artifacts.
+
+    Every lookup outcome is mirrored into telemetry as
+    ``serve.<name>.hits`` / ``.misses`` / ``.evictions`` so a server-
+    lifetime report shows how hard each cache level is working — the
+    observability the silent ``popitem`` loops of the early solver cache
+    lacked.
+    """
+
+    def __init__(self, capacity: int = 32, name: str = "artifact_cache") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._entries: "OrderedDict[Any, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    # --------------------------------------------------------------- lookup
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached value for ``key`` (refreshing its LRU position), or
+        ``None``.  Counts as a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            telemetry.current().incr(f"serve.{self.name}.misses")
+            return None
+        self.hits += 1
+        telemetry.current().incr(f"serve.{self.name}.hits")
+        self._entries.move_to_end(key)
+        return entry.value
+
+    def put(self, key: Any, value: Any, tags: Iterable[str] = ()) -> Any:
+        """Insert ``value`` under ``key`` (evicting LRU entries past
+        capacity) and return it."""
+        self._entries[key] = _Entry(value, frozenset(tags))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            telemetry.current().incr(f"serve.{self.name}.evictions")
+        return value
+
+    def get_or_create(
+        self, key: Any, factory: Callable[[], Any], tags: Iterable[str] = ()
+    ) -> Tuple[Any, bool]:
+        """Return ``(value, hit)``; on miss, build via ``factory`` and
+        insert."""
+        value = self.get(key)
+        if value is not None:
+            return value, True
+        return self.put(key, factory(), tags=tags), False
+
+    # --------------------------------------------------------- invalidation
+    def invalidate(self, key: Any) -> bool:
+        """Drop one entry; returns whether it existed."""
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+            telemetry.current().incr(f"serve.{self.name}.invalidations")
+            return True
+        return False
+
+    def invalidate_tag(self, tag: str) -> int:
+        """Drop every entry tagged ``tag``; returns the count dropped.
+
+        This is the reprogram/fault-injection hook: the service tags each
+        artifact and cached result with the fingerprints of the models it
+        was computed from, so mutating a model sweeps out everything that
+        could now be stale.
+        """
+        doomed = [k for k, e in self._entries.items() if tag in e.tags]
+        for key in doomed:
+            del self._entries[key]
+        if doomed:
+            self.invalidations += len(doomed)
+            telemetry.current().incr(
+                f"serve.{self.name}.invalidations", len(doomed)
+            )
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (no counters touched)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters plus current occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+
+class ResultsCache:
+    """Response cache holding canonical JSON, keyed on ``(kind, config
+    fingerprint)``.
+
+    Values are stored as canonical JSON text and decoded per lookup, so a
+    warm response is guaranteed bit-identical to the cold one (floats
+    round-trip exactly through json) and callers can never corrupt the
+    cache by mutating a returned structure.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._cache = ArtifactCache(capacity=capacity, name="results_cache")
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @staticmethod
+    def key(kind: str, config: Any) -> Tuple[str, str]:
+        """The cache key for a request ``kind`` and its config."""
+        return (kind, config_fingerprint(config, prefix=kind))
+
+    def get(self, key: Tuple[str, str]) -> Optional[Any]:
+        """Decoded copy of the cached payload, or ``None``."""
+        text = self._cache.get(key)
+        return None if text is None else json.loads(text)
+
+    def put(self, key: Tuple[str, str], payload: Any, tags: Iterable[str] = ()) -> Any:
+        """Store ``payload`` (must be JSON-able); returns the decoded
+        canonical copy, which is what the service responds with so cold
+        and warm responses are byte-equal."""
+        text = canonical_json(payload)
+        self._cache.put(key, text, tags=tags)
+        return json.loads(text)
+
+    def invalidate_tag(self, tag: str) -> int:
+        """Drop every cached result derived from a tagged model."""
+        return self._cache.invalidate_tag(tag)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._cache.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters plus current occupancy."""
+        return self._cache.stats()

@@ -35,8 +35,9 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Telemetry",
@@ -161,20 +162,29 @@ class NullTelemetry(Telemetry):
         yield
 
 
-# Process-wide scope stack.  Workers each get their own copy (module state
-# is per-process), so scoped capture behaves identically under the
-# parallel sweep engine's process backend and the serial fallback.
-_STACK: List[Telemetry] = [Telemetry()]
+# Scope stack, held in a ContextVar so concurrent asyncio tasks (the job
+# server coalesces and interleaves request handlers) each see their own
+# stack: a task that enters ``scoped()`` never captures counters recorded
+# by a sibling task that interleaves with it at an await point.  Worker
+# processes each get their own copy (module state is per-process), so
+# scoped capture behaves identically under the parallel sweep engine's
+# process backend and the serial fallback.  The base instance is shared
+# process-wide, exactly like the old module-level stack bottom.
+_BASE = Telemetry()
+_STACK_VAR: ContextVar[Tuple[Telemetry, ...]] = ContextVar(
+    "repro_telemetry_stack", default=()
+)
 
 
 def current() -> Telemetry:
     """The telemetry instance instrumented layers write to right now."""
-    return _STACK[-1]
+    stack = _STACK_VAR.get()
+    return stack[-1] if stack else _BASE
 
 
 def reset() -> None:
     """Clear the current telemetry scope's state."""
-    _STACK[-1].reset()
+    current().reset()
 
 
 @contextmanager
@@ -183,14 +193,17 @@ def scoped(telemetry: Optional[Telemetry] = None) -> Iterator[Telemetry]:
 
     Everything the instrumented layers record inside the block lands on
     the scoped instance only — the mechanism behind per-job capture in
-    :mod:`repro.utils.parallel`.
+    :mod:`repro.utils.parallel` and per-request capture in
+    :mod:`repro.serve`.  Scopes are context-local: two asyncio tasks each
+    inside their own ``scoped()`` block cannot cross-contaminate, even
+    when their awaits interleave.
     """
     scope = telemetry if telemetry is not None else Telemetry()
-    _STACK.append(scope)
+    token = _STACK_VAR.set(_STACK_VAR.get() + (scope,))
     try:
         yield scope
     finally:
-        _STACK.pop()
+        _STACK_VAR.reset(token)
 
 
 @contextmanager

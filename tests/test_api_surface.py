@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.ferfet",
     "repro.apps",
     "repro.pipeline",
+    "repro.serve",
 ]
 
 

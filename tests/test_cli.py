@@ -17,9 +17,12 @@ class TestParser:
             "chip",
             "report",
             "pipeline",
+            "serve",
         ):
             args = parser.parse_args([command])
             assert args.command == command
+        args = parser.parse_args(["submit", "stats"])
+        assert args.command == "submit"
 
     def test_every_command_has_a_handler(self):
         parser = build_parser()
@@ -74,6 +77,36 @@ class TestParser:
         assert args.micro_batch == 4
         assert args.workload == "mlp"
 
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--window",
+                "0.01",
+                "--max-batch",
+                "8",
+                "--max-inflight",
+                "4",
+            ]
+        )
+        assert args.port == 0
+        assert args.window == 0.01
+        assert args.max_batch == 8
+        assert args.max_inflight == 4
+
+    def test_submit_options(self):
+        args = build_parser().parse_args(
+            ["submit", "sweep", "--params", "{}", "--json", "--port", "9999"]
+        )
+        assert args.kind == "sweep"
+        assert args.params == "{}"
+        assert args.json is True
+        assert args.port == 9999
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "bogus"])
+
     def test_yield_model_choice(self):
         args = build_parser().parse_args(["yield", "--model", "cnn"])
         assert args.model == "cnn"
@@ -116,6 +149,7 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "ADC share" in out
         assert "adc.conversions" in out
+        assert "solver LU cache" in out
 
     def test_report_writes_json(self, tmp_path, capsys):
         from repro.utils.telemetry import RunReport
@@ -173,6 +207,14 @@ class TestExecution:
         rows = json.loads(path.read_text())
         assert rows and rows[0]["tiles"] == 4
         assert rows[0]["feasible"] is True
+
+    def test_submit_bad_params_json(self, capsys):
+        assert main(["submit", "stats", "--params", "{bad", "--port", "1"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_submit_without_server(self, capsys):
+        assert main(["submit", "stats", "--port", "1", "--timeout", "2"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
 
     def test_report_pipeline_source(self, capsys):
         assert main(["report", "--source", "pipeline", "--batch", "8"]) == 0

@@ -175,6 +175,41 @@ class TestFactorizationCache:
             solver.solve(g, v)
         assert solver.cache_len == 2
 
+    def test_evictions_are_counted(self):
+        """Regression: LRU evictions must be observable — both on the
+        solver (``cache_evictions``) and as a telemetry counter — instead
+        of silently dropping factorizations."""
+        from repro.utils import telemetry
+
+        rng = np.random.default_rng(29)
+        solver = NodalCrossbarSolver(wire_resistance=1.0, cache_size=2)
+        with telemetry.scoped() as scope:
+            for _ in range(5):
+                g, v = _random_case(rng, 6, 6)
+                solver.solve(g, v)
+        assert solver.cache_evictions == 3
+        counters = scope.snapshot()["counters"]
+        assert counters["solver.cache_evictions"] == 3
+
+    def test_no_evictions_within_capacity(self):
+        rng = np.random.default_rng(31)
+        solver = NodalCrossbarSolver(wire_resistance=1.0, cache_size=8)
+        for _ in range(5):
+            g, v = _random_case(rng, 6, 6)
+            solver.solve(g, v)
+        assert solver.cache_evictions == 0
+
+    def test_core_reports_eviction_side_counter(self):
+        """The core's side counters surface the solver's eviction count,
+        so accelerator/app-level reports can show cache pressure."""
+        core = CIMCore(
+            CIMCoreParams(rows=8, logical_cols=4, wire_resistance=2.0), rng=0
+        )
+        rng = np.random.default_rng(2)
+        core.program_weights(rng.uniform(-1, 1, (8, 4)))
+        core.vmm(rng.uniform(0, 1, 8), noisy=False)
+        assert core.side_counters()["solver.cache_evictions"] == 0.0
+
     def test_core_vmm_reuses_factorization(self):
         """Perf smoke (tier-1): repeated noiseless IR-drop VMMs on one
         programmed core pay exactly one factorization."""

@@ -1,0 +1,155 @@
+"""Tests for the serving layer's cross-request caches and config keying."""
+
+import json
+import math
+
+import pytest
+
+from repro.serve.cache import (
+    ArtifactCache,
+    ResultsCache,
+    canonical_json,
+    config_fingerprint,
+)
+from repro.utils import telemetry
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_share_a_fingerprint(self):
+        a = {"yields": [1.0, 0.9], "trials": 3, "nested": {"seed": 7}}
+        b = {"nested": {"seed": 7}, "trials": 3, "yields": [1.0, 0.9]}
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_fingerprint_is_stable_text(self):
+        fp = config_fingerprint({"x": 1})
+        assert fp == config_fingerprint({"x": 1})
+        assert isinstance(fp, str) and len(fp) == 32  # blake2b-16 hex
+
+    def test_nested_float_difference_never_collides(self):
+        """The keying property the results cache rests on: two configs
+        that differ only in one nested float — by one ulp — must not
+        share a cache entry."""
+        base = 0.8
+        bumped = math.nextafter(base, 1.0)
+        assert base != bumped
+        a = {"sweep": {"yields": [1.0, {"deep": [base]}], "trials": 2}}
+        b = {"sweep": {"yields": [1.0, {"deep": [bumped]}], "trials": 2}}
+        assert config_fingerprint(a) != config_fingerprint(b)
+
+    def test_float_and_int_of_same_value_may_differ(self):
+        # json preserves 1 vs 1.0, so these are distinct configs —
+        # normalization (not hashing) is responsible for coercion.
+        assert config_fingerprint({"x": 1}) != config_fingerprint({"x": 1.0})
+
+    def test_prefix_separates_kinds(self):
+        cfg = {"x": 1}
+        assert config_fingerprint(cfg, prefix="sweep") != config_fingerprint(
+            cfg, prefix="dse"
+        )
+
+    def test_canonical_json_round_trips_floats_exactly(self):
+        values = [0.1, 1e-300, math.nextafter(0.8, 1.0), 3.0000000000000004]
+        decoded = json.loads(canonical_json(values))
+        assert decoded == values  # bit-exact, not approximate
+
+
+class TestArtifactCache:
+    def test_get_or_create_hits_second_time(self):
+        cache = ArtifactCache(capacity=4)
+        calls = []
+        v1, hit1 = cache.get_or_create("k", lambda: calls.append(1) or "v")
+        v2, hit2 = cache.get_or_create("k", lambda: calls.append(2) or "w")
+        assert (v1, hit1) == ("v", False)
+        assert (v2, hit2) == ("v", True)
+        assert calls == [1]
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order_and_counter(self):
+        cache = ArtifactCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")        # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_eviction_emits_telemetry(self):
+        with telemetry.scoped() as scope:
+            cache = ArtifactCache(capacity=1, name="probe_cache")
+            cache.put("a", 1)
+            cache.put("b", 2)
+            cache.get("b")
+            cache.get("zzz")
+        counters = scope.snapshot()["counters"]
+        assert counters["serve.probe_cache.evictions"] == 1
+        assert counters["serve.probe_cache.hits"] == 1
+        assert counters["serve.probe_cache.misses"] == 1
+
+    def test_invalidate_tag_drops_only_tagged(self):
+        cache = ArtifactCache(capacity=8)
+        cache.put("m1", "model1", tags=("fp1",))
+        cache.put("m1-lu", "factorization", tags=("fp1",))
+        cache.put("m2", "model2", tags=("fp2",))
+        dropped = cache.invalidate_tag("fp1")
+        assert dropped == 2
+        assert "m1" not in cache and "m1-lu" not in cache
+        assert "m2" in cache
+        assert cache.invalidations == 2
+
+    def test_invalidate_single_key(self):
+        cache = ArtifactCache(capacity=4)
+        cache.put("k", 1)
+        assert cache.invalidate("k") is True
+        assert cache.invalidate("k") is False
+        assert len(cache) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ArtifactCache(capacity=0)
+
+
+class TestResultsCache:
+    def test_put_returns_canonical_decoded_copy(self):
+        cache = ResultsCache()
+        key = ResultsCache.key("sweep", {"trials": 2})
+        payload = {"result": {"rows": [{"yield": 1.0, "accuracy": 0.975}]}}
+        stored = cache.put(key, payload)
+        assert stored == payload
+        assert stored is not payload
+
+    def test_warm_get_is_bit_identical_and_mutation_proof(self):
+        cache = ResultsCache()
+        key = ResultsCache.key("sweep", {"trials": 2})
+        payload = {"result": {"rows": [0.1 + 0.2]}}  # 0.30000000000000004
+        first = cache.put(key, payload)
+        first["result"]["rows"][0] = 999.0  # caller mutates its copy
+        second = cache.get(key)
+        assert second == {"result": {"rows": [0.30000000000000004]}}
+        assert json.dumps(second, sort_keys=True) == json.dumps(
+            {"result": {"rows": [0.1 + 0.2]}}, sort_keys=True
+        )
+
+    def test_nested_float_configs_get_distinct_entries(self):
+        cache = ResultsCache()
+        base, bumped = 0.8, math.nextafter(0.8, 1.0)
+        key_a = ResultsCache.key("sweep", {"yields": [{"deep": base}]})
+        key_b = ResultsCache.key("sweep", {"yields": [{"deep": bumped}]})
+        cache.put(key_a, {"result": "a"})
+        assert cache.get(key_b) is None
+        cache.put(key_b, {"result": "b"})
+        assert cache.get(key_a) == {"result": "a"}
+        assert cache.get(key_b) == {"result": "b"}
+
+    def test_invalidate_tag_sweeps_model_results(self):
+        cache = ResultsCache()
+        k1 = ResultsCache.key("infer", {"x": [0.1]})
+        k2 = ResultsCache.key("infer", {"x": [0.2]})
+        k3 = ResultsCache.key("sweep", {"trials": 1})
+        cache.put(k1, {"r": 1}, tags=("model-fp",))
+        cache.put(k2, {"r": 2}, tags=("model-fp",))
+        cache.put(k3, {"r": 3})
+        assert cache.invalidate_tag("model-fp") == 2
+        assert cache.get(k1) is None and cache.get(k2) is None
+        assert cache.get(k3) == {"r": 3}

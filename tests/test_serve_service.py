@@ -1,0 +1,413 @@
+"""Tests for the in-process simulation service (dispatch, caching,
+admission control, per-request reports)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BadRequestError,
+    QueueFullError,
+    ServiceConfig,
+    SimulationService,
+)
+from repro.utils.telemetry import RunReport
+
+# Small-but-real deployment: wire_resistance > 0 puts every tile on the
+# circuit-accurate LU path, whose batched execution is row-independent —
+# the property that makes coalesced inference bit-identical.
+MODEL = {
+    "n_samples": 120,
+    "n_features": 16,
+    "n_classes": 4,
+    "hidden": [8],
+    "epochs": 4,
+    "wire_resistance": 1.0,
+}
+
+SWEEP = {"yields": [1.0, 0.8], "trials": 1, "epochs": 4, "n_samples": 120}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(**overrides):
+    defaults = dict(batch_window_s=0.01, max_batch=8)
+    defaults.update(overrides)
+    return SimulationService(ServiceConfig(**defaults))
+
+
+def inputs(n, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, size=(n, 16))
+
+
+def infer_request(x_row, model=MODEL):
+    return {"kind": "infer", "params": {"model": model, "x": [list(x_row)]}}
+
+
+class TestInfer:
+    def test_concurrent_infers_coalesce_and_demux_bit_identically(self):
+        async def main():
+            svc = make_service()
+            xs = inputs(6)
+            batched = await asyncio.gather(
+                *[svc.submit(infer_request(x)) for x in xs]
+            )
+            serial_svc = make_service(batch_window_s=0.0, max_batch=1)
+            serial = [await serial_svc.submit(infer_request(x)) for x in xs]
+            return svc, batched, serial
+
+        svc, batched, serial = run(main())
+        assert svc.batcher.stats.coalesced_flushes >= 1
+        assert svc.batcher.stats.flushes < len(batched)
+        for b, s in zip(batched, serial):
+            assert b["ok"] and s["ok"]
+            # Bit-identical, not approximately equal: the cached/batched
+            # serving path must never change answers.
+            assert b["result"]["logits"] == s["result"]["logits"]
+            assert b["result"]["prediction"] == s["result"]["prediction"]
+
+    def test_warm_infer_is_a_results_cache_hit(self):
+        async def main():
+            svc = make_service()
+            x = inputs(1)[0]
+            cold = await svc.submit(infer_request(x))
+            warm = await svc.submit(infer_request(x))
+            return cold, warm
+
+        cold, warm = run(main())
+        assert cold["cache"] == "miss"
+        assert warm["cache"] == "hit"
+        assert warm["result"] == cold["result"]
+        assert warm["report"] == cold["report"]
+
+    def test_model_artifact_is_reused_across_requests(self):
+        async def main():
+            svc = make_service()
+            xs = inputs(3)
+            for x in xs:
+                await svc.submit(infer_request(x))
+            return svc
+
+        svc = run(main())
+        stats = svc.artifacts.stats()
+        assert stats["misses"] == 1       # deployed once
+        assert stats["hits"] == 2         # reused twice
+        assert stats["size"] == 1
+
+    def test_per_request_report_is_conservation_valid(self):
+        async def main():
+            svc = make_service()
+            resps = await asyncio.gather(
+                *[svc.submit(infer_request(x)) for x in inputs(4)]
+            )
+            return resps
+
+        for resp in run(main()):
+            report = RunReport.from_dict(resp["report"])
+            report.validate()
+            assert report.total_energy > 0
+
+    def test_coalesced_reports_sum_to_solo_total(self):
+        """Row-share apportioning conserves cost: the coalesced requests'
+        energies sum to what the same rows cost when run serially."""
+
+        async def main():
+            svc = make_service()
+            xs = inputs(4, seed=3)
+            batched = await asyncio.gather(
+                *[svc.submit(infer_request(x)) for x in xs]
+            )
+            serial_svc = make_service(batch_window_s=0.0, max_batch=1)
+            serial = [await serial_svc.submit(infer_request(x)) for x in xs]
+            return batched, serial
+
+        batched, serial = run(main())
+        batched_total = sum(r["report"]["totals"]["energy"] for r in batched)
+        serial_total = sum(r["report"]["totals"]["energy"] for r in serial)
+        assert batched_total == pytest.approx(serial_total, rel=1e-9)
+
+    def test_infer_input_validation(self):
+        async def main():
+            svc = make_service()
+            with pytest.raises(BadRequestError, match="requires 'x'"):
+                await svc.submit({"kind": "infer", "params": {"model": MODEL}})
+            with pytest.raises(BadRequestError, match="unknown infer"):
+                await svc.submit(
+                    {"kind": "infer", "params": {"x": [[0.1]], "bogus": 1}}
+                )
+
+        run(main())
+
+
+class TestSweepAndDse:
+    def test_sweep_cold_then_warm_bit_identical(self):
+        async def main():
+            svc = make_service()
+            cold = await svc.submit({"kind": "sweep", "params": SWEEP})
+            warm = await svc.submit({"kind": "sweep", "params": SWEEP})
+            return cold, warm
+
+        cold, warm = run(main())
+        assert cold["cache"] == "miss" and warm["cache"] == "hit"
+        assert cold["result"] == warm["result"]
+        assert cold["report"] == warm["report"]
+        assert cold["result"]["rows"][0]["yield"] == 1.0
+        report = RunReport.from_dict(cold["report"])
+        report.validate()
+        assert report.total_energy > 0
+
+    def test_workers_stays_out_of_the_cache_key(self):
+        """Worker count never changes results (deterministic sweep
+        engine), so it must not fork a cache entry."""
+
+        async def main():
+            svc = make_service()
+            cold = await svc.submit(
+                {"kind": "sweep", "params": {**SWEEP, "workers": 0}}
+            )
+            warm = await svc.submit(
+                {"kind": "sweep", "params": {**SWEEP, "workers": 2}}
+            )
+            return cold, warm
+
+        cold, warm = run(main())
+        assert warm["cache"] == "hit"
+        assert warm["result"] == cold["result"]
+
+    def test_nested_float_config_difference_misses(self):
+        """Satellite regression: a sweep config differing only in one
+        nested float must not be served from the other's entry."""
+        import math
+
+        async def main():
+            svc = make_service()
+            a = await svc.submit({"kind": "sweep", "params": SWEEP})
+            bumped = dict(
+                SWEEP, yields=[1.0, math.nextafter(0.8, 1.0)]
+            )
+            b = await svc.submit({"kind": "sweep", "params": bumped})
+            return a, b
+
+        a, b = run(main())
+        assert a["cache"] == "miss"
+        assert b["cache"] == "miss"  # NOT a hit despite ulp-level diff
+
+    def test_dse_runs_and_caches(self):
+        async def main():
+            svc = make_service()
+            params = {
+                "tile_counts": [4, 8],
+                "duplication_modes": ["none"],
+                "batch_sizes": [16],
+            }
+            cold = await svc.submit({"kind": "dse", "params": params})
+            warm = await svc.submit({"kind": "dse", "params": params})
+            return cold, warm
+
+        cold, warm = run(main())
+        assert cold["cache"] == "miss" and warm["cache"] == "hit"
+        assert len(cold["result"]["rows"]) == 2
+        assert cold["result"] == warm["result"]
+        RunReport.from_dict(cold["report"]).validate()
+
+    def test_unknown_sweep_param_rejected(self):
+        async def main():
+            svc = make_service()
+            with pytest.raises(BadRequestError, match="unknown sweep"):
+                await svc.submit(
+                    {"kind": "sweep", "params": {"trails": 3}}  # typo
+                )
+
+        run(main())
+
+
+class TestPipeline:
+    def test_pipeline_reuses_graph_and_allocation_artifacts(self):
+        async def main():
+            svc = make_service()
+            base = {"workload": "cnn", "tiles": 8, "batch": 16}
+            first = await svc.submit({"kind": "pipeline", "params": base})
+            other_tiles = await svc.submit(
+                {"kind": "pipeline", "params": {**base, "tiles": 12}}
+            )
+            warm = await svc.submit({"kind": "pipeline", "params": base})
+            return first, other_tiles, warm
+
+        first, other_tiles, warm = run(main())
+        assert first["result"]["artifact_hits"] == {
+            "graph": False,
+            "alloc": False,
+        }
+        # Same workload, different tile budget: the traced graph is
+        # reused, the allocation is not.
+        assert other_tiles["result"]["artifact_hits"] == {
+            "graph": True,
+            "alloc": False,
+        }
+        assert warm["cache"] == "hit"
+        assert warm["result"] == first["result"]
+        assert first["result"]["throughput"] > 0
+        RunReport.from_dict(first["report"]).validate()
+
+
+class TestFaultsAndInvalidation:
+    def test_fault_injection_invalidates_stale_results(self):
+        """Satellite regression: after mutating a deployed model, the
+        service must not serve pre-mutation cached results or reuse the
+        stale deployment for new inference."""
+
+        async def main():
+            svc = make_service()
+            x = inputs(1, seed=7)[0]
+            before = await svc.submit(infer_request(x))
+            faults = await svc.submit(
+                {
+                    "kind": "faults",
+                    "params": {"model": MODEL, "cell_yield": 0.8, "seed": 3},
+                }
+            )
+            after = await svc.submit(infer_request(x))
+            return before, faults, after
+
+        before, faults, after = run(main())
+        assert before["cache"] == "miss"
+        assert faults["ok"] and faults["result"]["fault_rate"] > 0
+        assert faults["result"]["invalidated_results"] >= 1
+        # The old result was swept out: this is a recompute, not a hit.
+        assert after["cache"] == "miss"
+        # And it ran on the faulted deployment, not a stale artifact.
+        assert after["result"]["logits"] != before["result"]["logits"]
+        assert (
+            after["result"]["model_version"]
+            == before["result"]["model_version"] + 1
+        )
+
+    def test_fault_injection_invalidates_lu_factorizations(self):
+        """The deployed tiles' LU caches must be flushed on fault
+        injection — conductances changed, factorizations are stale."""
+
+        async def main():
+            svc = make_service()
+            x = inputs(1, seed=8)[0]
+            await svc.submit(infer_request(x))
+            artifact, hit = svc.model_artifact(MODEL)
+            assert hit
+            tiles = [
+                core
+                for layer in artifact.deployed.layers
+                for row in layer.accelerator.tiles
+                for core in row
+            ]
+            cached_before = sum(t._ir_solver.cache_len for t in tiles)
+            await svc.submit(
+                {
+                    "kind": "faults",
+                    "params": {"model": MODEL, "cell_yield": 0.8, "seed": 3},
+                }
+            )
+            cached_after = sum(t._ir_solver.cache_len for t in tiles)
+            return cached_before, cached_after
+
+        cached_before, cached_after = run(main())
+        assert cached_before > 0
+        assert cached_after == 0
+
+    def test_invalidate_model_drops_artifact_and_results(self):
+        async def main():
+            svc = make_service()
+            x = inputs(1, seed=9)[0]
+            await svc.submit(infer_request(x))
+            dropped = svc.invalidate_model(MODEL)
+            after = await svc.submit(infer_request(x))
+            return dropped, after
+
+        dropped, after = run(main())
+        assert dropped == {"artifacts": 1, "results": 1}
+        assert after["cache"] == "miss"  # redeployed and recomputed
+
+    def test_faults_validation(self):
+        async def main():
+            svc = make_service()
+            with pytest.raises(BadRequestError, match="cell_yield"):
+                await svc.submit(
+                    {"kind": "faults", "params": {"cell_yield": 1.5}}
+                )
+
+        run(main())
+
+
+class TestAdmissionControl:
+    def test_queue_full_is_a_structured_rejection(self):
+        async def main():
+            svc = make_service(
+                max_inflight=2, batch_window_s=60.0, max_batch=100
+            )
+            xs = inputs(3, seed=11)
+            parked = [
+                asyncio.ensure_future(svc.submit(infer_request(x)))
+                for x in xs[:2]
+            ]
+            await asyncio.sleep(0.02)
+            assert svc.inflight == 2
+            with pytest.raises(QueueFullError) as excinfo:
+                await svc.submit(infer_request(xs[2]))
+            payload = excinfo.value.payload()
+            svc.batcher.flush_all()
+            done = await asyncio.gather(*parked)
+            return svc, payload, done
+
+        svc, payload, done = run(main())
+        assert payload["code"] == "queue_full"
+        assert payload["inflight"] == 2
+        assert payload["limit"] == 2
+        assert all(r["ok"] for r in done)
+        assert svc.requests_rejected == 1
+        assert svc.inflight == 0
+
+    def test_rejected_requests_free_no_slots(self):
+        async def main():
+            svc = make_service(max_inflight=1)
+            await svc.submit({"kind": "stats"})
+            return svc
+
+        svc = run(main())
+        assert svc.inflight == 0
+        assert svc.requests_completed == 1
+
+
+class TestStatsAndLifetime:
+    def test_lifetime_report_merges_computed_requests_only(self):
+        async def main():
+            svc = make_service()
+            x = inputs(1, seed=13)[0]
+            cold = await svc.submit(infer_request(x))
+            await svc.submit(infer_request(x))  # warm hit: no new work
+            stats = await svc.submit({"kind": "stats"})
+            return cold, stats
+
+        cold, stats = run(main())
+        lifetime = RunReport.from_dict(stats["report"])
+        lifetime.validate()
+        # One computed infer -> lifetime total equals that one request.
+        assert lifetime.total_energy == pytest.approx(
+            cold["report"]["totals"]["energy"]
+        )
+        result = stats["result"]
+        assert result["requests_by_kind"]["infer"] == 2
+        assert result["results_cache"]["request_hits"] == 1
+        assert result["batcher"]["requests"] == 1
+
+    def test_bad_kind_and_shape_rejections(self):
+        async def main():
+            svc = make_service()
+            with pytest.raises(BadRequestError, match="unknown request kind"):
+                await svc.submit({"kind": "noop"})
+            with pytest.raises(BadRequestError, match="JSON object"):
+                await svc.submit([1, 2, 3])
+            with pytest.raises(BadRequestError, match="params"):
+                await svc.submit({"kind": "stats", "params": [1]})
+
+        run(main())

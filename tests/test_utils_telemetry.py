@@ -110,6 +110,83 @@ class TestScoping:
         assert scope.count("cost.latency.adc") == 1.0
 
 
+class TestAsyncScopeIsolation:
+    """The scope stack lives in a ``contextvars.ContextVar``, so every
+    asyncio task captures its own stack: two concurrently-scoped captures
+    must never cross-contaminate even when their awaits interleave."""
+
+    def test_concurrent_tasks_do_not_cross_contaminate(self):
+        import asyncio
+
+        async def capture(name, n, pause):
+            with telemetry.scoped() as scope:
+                for _ in range(n):
+                    telemetry.current().incr(name)
+                    telemetry.current().charge(name, 1.0, 0.5, 0.0)
+                    await asyncio.sleep(pause)
+            return scope
+
+        async def main():
+            # Different pause lengths force the two tasks' awaits to
+            # interleave in the event loop.
+            return await asyncio.gather(
+                capture("task_a", 5, 0.001), capture("task_b", 3, 0.0015)
+            )
+
+        scope_a, scope_b = asyncio.run(main())
+        assert scope_a.count("task_a") == 5.0
+        assert scope_a.count("task_b") == 0.0
+        assert scope_b.count("task_b") == 3.0
+        assert scope_b.count("task_a") == 0.0
+        report_a = RunReport.from_counters(
+            scope_a.snapshot(include_timers=False)["counters"], label="a"
+        )
+        report_b = RunReport.from_counters(
+            scope_b.snapshot(include_timers=False)["counters"], label="b"
+        )
+        report_a.validate()
+        report_b.validate()
+        assert report_a.total_energy == 5.0
+        assert report_b.total_energy == 3.0
+        assert list(report_a.categories) == ["task_a"]
+        assert list(report_b.categories) == ["task_b"]
+
+    def test_nested_scope_inside_task_pops_to_task_scope(self):
+        import asyncio
+
+        async def main():
+            with telemetry.scoped() as outer:
+                with telemetry.scoped() as inner:
+                    telemetry.current().incr("inner.only")
+                telemetry.current().incr("outer.only")
+                await asyncio.sleep(0)
+            return outer, inner
+
+        outer, inner = asyncio.run(main())
+        assert inner.count("inner.only") == 1.0
+        assert inner.count("outer.only") == 0.0
+        assert outer.count("outer.only") == 1.0
+        assert outer.count("inner.only") == 0.0
+
+    def test_to_thread_inherits_ambient_scope(self):
+        """``asyncio.to_thread`` copies the submitting task's context, so
+        compute pushed off the event loop still records into the scope
+        that launched it — the property the serving layer's heavy job
+        kinds rely on."""
+        import asyncio
+
+        def work():
+            telemetry.current().incr("threaded.work")
+
+        async def main():
+            with telemetry.scoped() as scope:
+                await asyncio.to_thread(work)
+            return scope
+
+        scope = asyncio.run(main())
+        assert scope.count("threaded.work") == 1.0
+
+
 class TestRunReport:
     def _sample(self):
         return RunReport(
