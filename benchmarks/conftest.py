@@ -28,6 +28,10 @@ _PIPELINE_RECORDS = {}
 # and results-cache speedup trajectory.
 _SERVE_RECORDS = {}
 
+# Energy-model records, written to BENCH_energy.json — value-aware pricing
+# overhead and Pareto-DSE determinism trajectory.
+_ENERGY_RECORDS = {}
+
 
 def record_sweep_metrics(name, payload):
     """Register one benchmark's metrics (e.g. trials/sec serial vs
@@ -51,6 +55,12 @@ def record_serve_metrics(name, payload):
     """Register one benchmark's serving-layer metrics for the session's
     ``BENCH_serve.json``."""
     _SERVE_RECORDS[name] = payload
+
+
+def record_energy_metrics(name, payload):
+    """Register one benchmark's energy-model metrics for the session's
+    ``BENCH_energy.json``."""
+    _ENERGY_RECORDS[name] = payload
 
 
 def validate_bench_schema(records, filename):
@@ -120,6 +130,8 @@ def pytest_sessionfinish(session, exitstatus):
         _dump(_PIPELINE_RECORDS, "BENCH_pipeline.json")
     if _SERVE_RECORDS:
         _dump(_SERVE_RECORDS, "BENCH_serve.json")
+    if _ENERGY_RECORDS:
+        _dump(_ENERGY_RECORDS, "BENCH_energy.json")
 
 
 @pytest.fixture

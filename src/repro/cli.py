@@ -154,7 +154,7 @@ def cmd_eda(args) -> int:
     return 0
 
 
-def _pipeline_run_report(args):
+def _pipeline_run_report(args, verbose: bool = True):
     from repro.pipeline import (
         PipelineScheduler,
         ScheduleParams,
@@ -177,30 +177,83 @@ def _pipeline_run_report(args):
     )
     sched = PipelineScheduler(alloc, ScheduleParams(micro_batch=8))
     result = sched.run(x, mode="pipelined")
-    _print_table(
-        "Pipeline stage utilization (pipelined run)", result.stage_table()
-    )
+    if verbose:
+        _print_table(
+            "Pipeline stage utilization (pipelined run)", result.stage_table()
+        )
     return result.report("pipeline_report")
 
 
-def cmd_report(args) -> int:
-    if args.source == "pipeline":
-        report = _pipeline_run_report(args)
-    else:
+def _instrumented_report(args, energy_model: str, verbose: bool = True):
+    """One instrumented run, charges priced under ``energy_model``."""
+    from repro.costs import use_model
+
+    with use_model(energy_model):
+        if args.source == "pipeline":
+            return _pipeline_run_report(args, verbose=verbose)
         from repro.periphery.area_power import fig5_instrumented_report
 
-        report = fig5_instrumented_report(
+        return fig5_instrumented_report(
             batch=args.batch, adc_bits=args.adc_bits, rng=args.seed
         )
+
+
+def cmd_report(args) -> int:
+    report = _instrumented_report(args, args.energy_model)
     report.validate()
     _print_table(
-        "Instrumented run report: per-category costs", report.category_table()
+        f"Instrumented run report: per-category costs "
+        f"({args.energy_model} energy model)",
+        report.category_table(),
     )
+    if args.diff:
+        # Re-run the identical workload under the static model and show
+        # where value-aware pricing moves the energy.
+        baseline_model = (
+            "static" if args.energy_model != "static" else "value_aware"
+        )
+        baseline = _instrumented_report(args, baseline_model, verbose=False)
+        baseline.validate()
+        static, other = (
+            (baseline, report)
+            if baseline_model == "static"
+            else (report, baseline)
+        )
+        diff_rows = []
+        for category in sorted(
+            set(static.categories) | set(other.categories)
+        ):
+            s = static.categories.get(category, {}).get("energy", 0.0)
+            v = other.categories.get(category, {}).get("energy", 0.0)
+            diff_rows.append(
+                {
+                    "category": category,
+                    "static_J": s,
+                    "value_aware_J": v,
+                    "ratio": v / s if s > 0 else float("nan"),
+                }
+            )
+        _print_table(
+            "Energy diff: static vs value-aware pricing", diff_rows,
+            columns=["category", "static_J", "value_aware_J", "ratio"],
+        )
     _print_table(
         "Side counters",
         [{"counter": k, "value": v} for k, v in sorted(report.counters.items())],
         columns=["counter", "value"],
     )
+    histogram = {
+        k: v
+        for k, v in report.counters.items()
+        if k.startswith("adc.codes.histogram.")
+    }
+    if histogram:
+        total = sum(histogram.values())
+        print("\nADC output-code histogram (full scale in 8 buckets):")
+        for key in sorted(histogram):
+            frac = histogram[key] / total if total else 0.0
+            bar = "#" * int(round(frac * 40))
+            print(f"  {key.rsplit('.', 1)[-1]}: {histogram[key]:>12.0f}  {bar}")
     _print_table(
         "Area breakdown (mm^2)",
         [
@@ -241,35 +294,48 @@ def cmd_report(args) -> int:
 def cmd_pipeline(args) -> int:
     import json as _json
 
-    from repro.pipeline import explore_pipeline
+    from repro.costs import use_model
+    from repro.pipeline import explore_pipeline, pareto_analysis
 
     tiles = [int(t) for t in args.tiles.split(",") if t.strip()]
-    rows = explore_pipeline(
-        tile_counts=tiles,
-        batch_sizes=(args.batch,),
-        workload=args.workload,
-        micro_batch=args.micro_batch,
-        seed=args.seed,
-        workers=args.workers,
-    )
-    display = [
-        {
-            "tiles": r["tiles"],
-            "duplication": r["duplication"],
-            "feasible": r["feasible"],
-            "tiles_used": r.get("tiles_used", "-"),
-            "replicas": "x".join(str(c) for c in r.get("replicas", [])) or "-",
-            "samples_per_s": r.get("throughput", 0.0),
-            "speedup": r.get("speedup", 0.0),
-            "util": r.get("utilization", 0.0),
-            "J_per_sample": r.get("energy_per_sample", 0.0),
-        }
-        for r in rows
-    ]
+    adc_bits = [int(b) for b in args.adc_bits.split(",") if b.strip()]
+    with use_model(args.energy_model):
+        rows = explore_pipeline(
+            tile_counts=tiles,
+            batch_sizes=(args.batch,),
+            adc_bits=adc_bits,
+            workload=args.workload,
+            micro_batch=args.micro_batch,
+            seed=args.seed,
+            workers=args.workers,
+        )
+
+    def _display(row_set):
+        return [
+            {
+                "tiles": r["tiles"],
+                "duplication": r["duplication"],
+                "adc_bits": r["adc_bits"],
+                "feasible": r["feasible"],
+                "tiles_used": r.get("tiles_used", "-"),
+                "replicas": (
+                    "x".join(str(c) for c in r.get("replicas", [])) or "-"
+                ),
+                "samples_per_s": r.get("throughput", 0.0),
+                "speedup": r.get("speedup", 0.0),
+                "util": r.get("utilization", 0.0),
+                "J_per_sample": r.get("energy_per_sample", 0.0),
+                "accuracy": r.get("accuracy", 0.0),
+                "area_mm2": r.get("area_mm2", 0.0),
+            }
+            for r in row_set
+        ]
+
     _print_table(
         f"Pipelined multi-tile DSE ({args.workload}): throughput/efficiency "
-        f"vs tiles (batch {args.batch}, micro-batch {args.micro_batch})",
-        display,
+        f"vs tiles (batch {args.batch}, micro-batch {args.micro_batch}, "
+        f"{args.energy_model} energy model)",
+        _display(rows),
     )
     best = max(
         (r for r in rows if r["feasible"]),
@@ -282,9 +348,43 @@ def cmd_pipeline(args) -> int:
             f"duplication) -> {best['throughput']:.3e} samples/s, "
             f"{best['speedup']:.2f}x over layer-sequential"
         )
+    analysis = None
+    if args.objectives:
+        names = [s.strip() for s in args.objectives.split(",") if s.strip()]
+        analysis = pareto_analysis(rows, names)
+        front_display = _display(analysis["front"])
+        for shown, row in zip(front_display, analysis["front"]):
+            shown["knee"] = row["knee"]
+        _print_table(
+            f"Pareto front over {', '.join(names)} "
+            f"({len(analysis['front'])} of "
+            f"{analysis['feasible_points']} feasible points)",
+            front_display,
+        )
+        knee = analysis["knee"]
+        if knee is not None:
+            print(
+                f"\nknee point: {knee['tiles']} tiles, "
+                f"{knee['duplication']} duplication, "
+                f"{knee['adc_bits']}-bit ADC -> "
+                f"accuracy {knee['accuracy']:.3f}, "
+                f"{knee['energy_per_sample']:.3e} J/sample, "
+                f"{knee['area_mm2']:.4f} mm^2, "
+                f"{knee['throughput']:.3e} samples/s"
+            )
+        _print_table(
+            "Parameter sensitivity (main effect / objective span)",
+            [
+                {"parameter": param, **per_objective}
+                for param, per_objective in analysis["sensitivity"].items()
+            ],
+        )
     if args.json:
+        payload = rows if analysis is None else {
+            "rows": rows, "pareto": analysis,
+        }
         with open(args.json, "w") as fh:
-            _json.dump(rows, fh, indent=2)
+            _json.dump(payload, fh, indent=2)
         print(f"exploration rows written to {args.json}")
     return 0
 
@@ -371,6 +471,19 @@ def cmd_chip(args) -> int:
     return 0
 
 
+def _add_energy_model_arg(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--energy-model",
+        choices=("static", "value_aware", "value_aware_statistical"),
+        default="static",
+        help=(
+            "how charges are priced: static constants (default), "
+            "value-aware per-element pricing, or its cheap statistical "
+            "(moment-based) approximation"
+        ),
+    )
+
+
 def _add_workers_arg(sub_parser) -> None:
     sub_parser.add_argument(
         "--workers",
@@ -438,6 +551,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="fig5",
         help="instrumented run to report on (default fig5)",
     )
+    _add_energy_model_arg(report)
+    report.add_argument(
+        "--diff",
+        action="store_true",
+        help=(
+            "re-run the same workload under the other pricing model and "
+            "show the per-category static vs value-aware energy diff"
+        ),
+    )
 
     pipe = sub.add_parser(
         "pipeline", help="pipelined multi-tile DSE: throughput vs tiles"
@@ -450,14 +572,29 @@ def build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--batch", type=int, default=64)
     pipe.add_argument("--micro-batch", type=int, default=8)
     pipe.add_argument(
+        "--adc-bits",
+        default="8",
+        help="comma-separated ADC resolutions to sweep (default 8)",
+    )
+    pipe.add_argument(
         "--workload",
         choices=("cnn", "mlp"),
         default="cnn",
         help="reference model (cnn = conv-bottlenecked, default)",
     )
     pipe.add_argument(
+        "--objectives",
+        default=None,
+        help=(
+            "comma-separated objectives (accuracy, energy, area, "
+            "throughput); when given, the grid is reduced to a Pareto "
+            "front with a knee point and parameter sensitivities"
+        ),
+    )
+    pipe.add_argument(
         "--json", default=None, help="also write the rows as JSON to this path"
     )
+    _add_energy_model_arg(pipe)
     _add_workers_arg(pipe)
 
     serve = sub.add_parser(

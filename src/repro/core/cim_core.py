@@ -22,6 +22,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+# Submodule-object import (not ``from repro.costs import ...``): the costs
+# package imports core.metrics, so during a circular import this module may
+# execute while repro.costs is still initializing — binding the module
+# object and deferring attribute access to call time keeps both import
+# orders working.
+import repro.costs.models as energy_models
 from repro.core.metrics import CostAccumulator, OperationCost
 from repro.crossbar.array import CrossbarArray, CrossbarConfig
 from repro.crossbar.mapping import DifferentialPairMapping, InputEncoder
@@ -35,13 +41,6 @@ from repro.utils import telemetry
 from repro.utils.rng import RNGLike, ensure_rng
 from repro.utils.telemetry import RunReport
 from repro.utils.validation import check_positive
-
-#: mm^2 per memristive cell (ISAAC crossbar: 2.5e-5 mm^2 for 128x128).
-CELL_AREA = 2.5e-5 / (128 * 128)
-
-#: Write-pulse cost per cell (SET-pulse CV^2-style estimate).
-WRITE_ENERGY_PER_CELL = 10e-12   # J
-WRITE_PULSE_TIME = 100e-9        # s per programming pulse
 
 
 @dataclass
@@ -130,13 +129,16 @@ class CIMCore:
         else:
             self.array.program(targets)
             iterations = 1
-        # SET-pulse energy estimate: CV^2-style per-cell write.
-        write_energy = WRITE_ENERGY_PER_CELL * targets.size * iterations
-        self.costs.add(
-            "programming",
-            OperationCost(
-                energy=write_energy, latency=WRITE_PULSE_TIME * iterations
-            ),
+        # SET-pulse energy (CV^2-style per-cell write), priced by the
+        # active energy model: static reproduces the historical constant,
+        # value-aware keys on the target conductance states.
+        energy_models.active_model().charge_programming(
+            self.costs,
+            n_cells=targets.size,
+            iterations=iterations,
+            targets=targets,
+            g_min=p.levels.g_min,
+            g_max=p.levels.g_max,
         )
         self._programmed = True
         self.invalidate_solver_cache()
@@ -212,36 +214,35 @@ class CIMCore:
         settle_power = sum(
             self.array.dynamic_read_power(voltages[k]) for k in range(batch)
         )
-        self.costs.add(
-            "dac",
-            OperationCost(
-                energy=self.dac.energy_per_conversion * p.rows * batch,
-                latency=self.dac.latency * batch,
-            ),
+        model = energy_models.active_model()
+        model.charge_dac(
+            self.costs,
+            self.dac,
+            rows=p.rows,
+            batch=batch,
+            voltages=voltages,
+            v_ref=p.v_read,
         )
-        self.costs.add(
-            "array",
-            OperationCost(
-                energy=settle_power * p.array_settle_time,
-                latency=p.array_settle_time * batch,
-            ),
+        model.charge_array(
+            self.costs,
+            settle_power=settle_power,
+            settle_time=p.array_settle_time,
+            batch=batch,
+            column_volts=volts,
+            v_fs=self.adc.config.v_max,
         )
-        self.costs.add(
-            "adc",
-            OperationCost(
-                energy=self.adc.energy_per_conversion * n_cols * batch,
-                latency=self.adc.latency * batch,
-            ),
+        model.charge_adc(
+            self.costs, self.adc, n_cols=n_cols, batch=batch, codes=codes
         )
         # Wordline-driver energy: previously accrued only in the driver's
         # side counter and never reached any breakdown (the driver leak).
-        self.costs.add(
-            "driver",
-            OperationCost(
-                energy=(self.driver.activations - activations_before)
-                * self.driver.config.energy_per_activation,
-                latency=self.driver.config.latency * batch,
-            ),
+        model.charge_driver(
+            self.costs,
+            self.driver.config,
+            activations=self.driver.activations - activations_before,
+            batch=batch,
+            voltages=voltages,
+            v_ref=p.v_read,
         )
         return y
 
@@ -274,12 +275,12 @@ class CIMCore:
         levels = self.params.levels
         targets = np.where(bits > 0, levels.g_max, levels.g_min)
         self.array.program_row(row, targets)
-        self.costs.add(
-            "programming",
-            OperationCost(
-                energy=WRITE_ENERGY_PER_CELL * self.array.cols,
-                latency=WRITE_PULSE_TIME,
-            ),
+        energy_models.active_model().charge_programming(
+            self.costs,
+            n_cells=self.array.cols,
+            targets=targets,
+            g_min=levels.g_min,
+            g_max=levels.g_max,
         )
         telemetry.current().incr("core.bit_row_writes")
         self._programmed = True
@@ -307,37 +308,26 @@ class CIMCore:
                 above = self.sense_amp.compare(currents[j], 0.5 * i_lrs)
                 below = not self.sense_amp.compare(currents[j], 1.5 * i_lrs)
                 out[j] = int(above and below)
-        self.costs.add(
-            "sense_amp",
-            OperationCost(
-                energy=self.sense_amp.config.energy_per_sense * self.array.cols,
-                latency=self.sense_amp.config.latency,
-            ),
+        model = energy_models.active_model()
+        model.charge_sense(
+            self.costs, self.sense_amp.config, n_senses=self.array.cols
         )
-        self.costs.add(
-            "array",
-            OperationCost(
-                energy=self.array.dynamic_read_power(voltages)
-                * p.array_settle_time,
-                latency=p.array_settle_time,
-            ),
+        model.charge_array(
+            self.costs,
+            settle_power=self.array.dynamic_read_power(voltages),
+            settle_time=p.array_settle_time,
         )
         # Decoder + driver charges (Section II-B2 periphery; previously
         # the driver's energy lived only in its side counter).
-        self.costs.add(
-            "decoder",
-            OperationCost(
-                energy=self.decoder.config.energy_per_activation * len(rows),
-                latency=self.decoder.config.latency,
-            ),
+        model.charge_decoder(
+            self.costs, self.decoder.config, n_rows=len(rows)
         )
-        self.costs.add(
-            "driver",
-            OperationCost(
-                energy=(self.driver.activations - activations_before)
-                * self.driver.config.energy_per_activation,
-                latency=self.driver.config.latency,
-            ),
+        model.charge_driver(
+            self.costs,
+            self.driver.config,
+            activations=self.driver.activations - activations_before,
+            voltages=voltages,
+            v_ref=p.v_read,
         )
         return out
 
@@ -375,7 +365,7 @@ class CIMCore:
             "dac": self.dac.area * p.rows,
             "driver": self.driver.area,
             "sense_amp": self.sense_amp.config.area * n_cols,
-            "crossbar": CELL_AREA * p.rows * n_cols,
+            "crossbar": energy_models.CELL_AREA * p.rows * n_cols,
         }
 
     def side_counters(self) -> dict:

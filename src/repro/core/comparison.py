@@ -20,8 +20,8 @@ from repro.core.classification import (
     ArchitectureClass,
     Rating,
 )
+import repro.costs.models as energy_models
 from repro.core.cim_core import CIMCore, CIMCoreParams
-from repro.core.metrics import OperationCost
 from repro.core.vonneumann import VonNeumannMachine, VonNeumannParams
 from repro.utils.rng import RNGLike, ensure_rng
 from repro.utils.validation import check_positive
@@ -136,17 +136,15 @@ class ArchitectureComparator:
         # Bit-serial: 8 input bit-planes per VMM, each a separate analog
         # evaluation sensed in the periphery, plus digital shift-add.
         input_bits = 8
+        model = energy_models.active_model()
         for x in batch:
             planes = core.encoder.bit_serial_planes(x)
             for _, plane in planes:
                 core.array.vmm(plane)
-                core.costs.add(
-                    "sense_amp",
-                    OperationCost(
-                        energy=core.sense_amp.config.energy_per_sense
-                        * core.array.cols,
-                        latency=core.sense_amp.config.latency,
-                    ),
+                model.charge_sense(
+                    core.costs,
+                    core.sense_amp.config,
+                    n_senses=core.array.cols,
                 )
         total = core.costs.total
         moved = (w.matrix_rows + w.matrix_cols) * w.batch

@@ -20,7 +20,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.metrics import CostAccumulator, OperationCost
+import repro.costs.models as energy_models
+from repro.core.metrics import CostAccumulator
 from repro.utils import telemetry
 from repro.utils.telemetry import RunReport
 from repro.utils.validation import check_positive
@@ -70,14 +71,6 @@ class VonNeumannMachine:
             },
         )
 
-    def _movement_cost(self, n_bytes: float) -> OperationCost:
-        p = self.params
-        return OperationCost(
-            energy=n_bytes * 8 * p.bus_energy_per_bit,
-            latency=n_bytes / p.bus_bandwidth,
-            data_moved=n_bytes,
-        )
-
     def vmm(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         """Compute ``x @ w``, accounting movement of x, w and the result
         plus the ALU MAC work."""
@@ -89,17 +82,18 @@ class VonNeumannMachine:
             )
         p = self.params
         rows, cols = w.shape
+        model = energy_models.active_model()
         # Fetch the full weight matrix and input vector; write the result.
-        self.costs.add(
-            "data_movement",
-            self._movement_cost((rows * cols + rows + cols) * p.word_bytes),
+        # The weight block dominates the payload, so value-aware wire
+        # pricing keys on its density.
+        model.charge_movement(
+            self.costs,
+            p,
+            n_bytes=(rows * cols + rows + cols) * p.word_bytes,
+            values=w,
         )
         macs = rows * cols
-        compute = OperationCost(
-            energy=macs * p.mac_energy,
-            latency=(macs / p.alu_parallelism) * p.mac_latency,
-        )
-        self.costs.add("compute", compute)
+        model.charge_compute(self.costs, p, macs=macs)
         self._vmm_calls += 1
         self._macs += macs
         telemetry.current().incr("vonneumann.vmm_calls")
@@ -124,25 +118,21 @@ class VonNeumannMachine:
         p = self.params
         rows, cols = w.shape
         outputs = np.empty((batch.shape[0], cols))
+        model = energy_models.active_model()
         if weights_resident:
-            self.costs.add(
-                "data_movement",
-                self._movement_cost(rows * cols * p.word_bytes),
+            model.charge_movement(
+                self.costs, p, n_bytes=rows * cols * p.word_bytes, values=w
             )
         for i, x in enumerate(batch):
             if weights_resident:
-                self.costs.add(
-                    "data_movement",
-                    self._movement_cost((rows + cols) * p.word_bytes),
+                model.charge_movement(
+                    self.costs,
+                    p,
+                    n_bytes=(rows + cols) * p.word_bytes,
+                    values=x,
                 )
                 macs = rows * cols
-                self.costs.add(
-                    "compute",
-                    OperationCost(
-                        energy=macs * p.mac_energy,
-                        latency=(macs / p.alu_parallelism) * p.mac_latency,
-                    ),
-                )
+                model.charge_compute(self.costs, p, macs=macs)
                 self._vmm_calls += 1
                 self._macs += macs
                 telemetry.current().incr("vonneumann.vmm_calls")

@@ -1,0 +1,153 @@
+"""Multi-objective analytics: Pareto filtering, knee points, sensitivity.
+
+The DSE upgrade's math lives here, separate from the pipeline machinery,
+because it is generic: rows are plain dicts, objectives are named
+``(key, direction)`` pairs, and every function is deterministic — input
+row order decides ties — so fronts computed by a parallel sweep are
+bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "OBJECTIVES",
+    "pareto_front",
+    "knee_point",
+    "parameter_sensitivity",
+]
+
+#: Named objectives the pipeline DSE understands: row key + direction.
+OBJECTIVES: Dict[str, Tuple[str, str]] = {
+    "accuracy": ("accuracy", "max"),
+    "energy": ("energy_per_sample", "min"),
+    "area": ("area_mm2", "min"),
+    "throughput": ("throughput", "max"),
+}
+
+
+def resolve_objectives(
+    names: Sequence[str],
+) -> List[Tuple[str, str, str]]:
+    """Map objective names to ``(name, row_key, direction)`` triples."""
+    if not names:
+        raise ValueError("at least one objective is required")
+    out = []
+    for name in names:
+        if name not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {name!r}; expected one of "
+                f"{sorted(OBJECTIVES)}"
+            )
+        key, direction = OBJECTIVES[name]
+        out.append((name, key, direction))
+    return out
+
+
+def _score_matrix(
+    rows: Sequence[Mapping[str, object]],
+    objectives: Sequence[Tuple[str, str, str]],
+) -> np.ndarray:
+    """Rows x objectives matrix, oriented so larger is always better."""
+    scores = np.empty((len(rows), len(objectives)), dtype=float)
+    for j, (name, key, direction) in enumerate(objectives):
+        for i, row in enumerate(rows):
+            value = row.get(key)
+            if value is None or not np.isfinite(float(value)):
+                raise ValueError(
+                    f"row {i} has no finite {key!r} for objective {name!r}"
+                )
+            scores[i, j] = float(value)
+        if direction == "min":
+            scores[:, j] = -scores[:, j]
+    return scores
+
+
+def pareto_front(
+    rows: Sequence[Mapping[str, object]],
+    objective_names: Sequence[str],
+) -> List[int]:
+    """Indices of the non-dominated rows, in input order.
+
+    A row is dominated when another row is at least as good on every
+    objective and strictly better on one.  Duplicate objective vectors
+    all survive (neither dominates), so the front is stable under row
+    reordering — the property that keeps parallel DSE bit-identical.
+    """
+    objectives = resolve_objectives(objective_names)
+    scores = _score_matrix(rows, objectives)
+    n = len(rows)
+    keep = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if j == i:
+                continue
+            if np.all(scores[j] >= scores[i]) and np.any(scores[j] > scores[i]):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def knee_point(
+    rows: Sequence[Mapping[str, object]],
+    objective_names: Sequence[str],
+    front: Optional[Sequence[int]] = None,
+) -> Optional[int]:
+    """The balanced-compromise row: nearest (L2) to the ideal point.
+
+    Each objective is normalized to [0, 1] over the front (1 = best);
+    the knee is the front row closest to ``(1, ..., 1)``.  Ties break
+    toward the earliest row, keeping the choice deterministic.
+    """
+    if front is None:
+        front = pareto_front(rows, objective_names)
+    if not front:
+        return None
+    objectives = resolve_objectives(objective_names)
+    scores = _score_matrix([rows[i] for i in front], objectives)
+    lo = scores.min(axis=0)
+    span = scores.max(axis=0) - lo
+    span[span == 0] = 1.0
+    normalized = (scores - lo) / span
+    distances = np.sqrt(np.sum((1.0 - normalized) ** 2, axis=1))
+    return int(front[int(np.argmin(distances))])
+
+
+def parameter_sensitivity(
+    rows: Sequence[Mapping[str, object]],
+    parameters: Sequence[str],
+    objective_names: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """Main-effect sensitivity of each objective to each sweep parameter.
+
+    For every parameter, rows are grouped by its value; the sensitivity
+    is the spread of per-group objective means, normalized by the
+    objective's overall spread — 1.0 means the parameter alone spans the
+    whole observed range, 0.0 means the objective ignores it (or only
+    one group/value exists).
+    """
+    objectives = resolve_objectives(objective_names)
+    out: Dict[str, Dict[str, float]] = {}
+    for param in parameters:
+        groups: Dict[object, List[int]] = {}
+        for i, row in enumerate(rows):
+            groups.setdefault(row.get(param), []).append(i)
+        per_objective: Dict[str, float] = {}
+        for name, key, _ in objectives:
+            values = np.array([float(row[key]) for row in rows])
+            span = float(values.max() - values.min()) if len(values) else 0.0
+            if span <= 0 or len(groups) < 2:
+                per_objective[name] = 0.0
+                continue
+            means = [
+                float(np.mean(values[idx])) for idx in groups.values()
+            ]
+            per_objective[name] = (max(means) - min(means)) / span
+        out[param] = per_objective
+    return out

@@ -98,13 +98,33 @@ class ADC:
         code = int((clipped - c.v_min) / (c.v_max - c.v_min) * self.levels)
         return min(code, self.levels - 1)
 
+    #: Number of ``adc.codes.histogram.b*`` telemetry buckets.
+    HISTOGRAM_BUCKETS = 8
+
     def quantize_array(self, values: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`quantize`."""
+        """Vectorized :meth:`quantize`.
+
+        Besides the ``adc.conversions`` counter, every conversion batch
+        feeds a bucketed output-code histogram into telemetry
+        (``adc.codes.histogram.b0`` .. ``b7``, full scale split into 8
+        equal code ranges) — the distribution a value-aware energy model
+        prices SAR cycling by, surfaced in ``cimflow report``.
+        """
         c = self.config
         clipped = np.clip(np.asarray(values, dtype=float), c.v_min, c.v_max)
-        telemetry.current().incr("adc.conversions", clipped.size)
         codes = ((clipped - c.v_min) / (c.v_max - c.v_min) * self.levels).astype(int)
-        return np.minimum(codes, self.levels - 1)
+        codes = np.minimum(codes, self.levels - 1)
+        tel = telemetry.current()
+        tel.incr("adc.conversions", clipped.size)
+        if not isinstance(tel, telemetry.NullTelemetry) and codes.size:
+            counts = np.bincount(
+                codes.ravel() * self.HISTOGRAM_BUCKETS // self.levels,
+                minlength=self.HISTOGRAM_BUCKETS,
+            )
+            for bucket, n in enumerate(counts.tolist()):
+                if n:
+                    tel.incr(f"adc.codes.histogram.b{bucket}", n)
+        return codes
 
     def reconstruct(self, code: np.ndarray) -> np.ndarray:
         """Mid-rise reconstruction of codes back to volts."""

@@ -27,8 +27,11 @@ from repro.pipeline.allocate import (
 )
 from repro.pipeline.explore import (
     DEFAULT_LAYER_SIZES,
+    DEFAULT_OBJECTIVES,
     DEFAULT_TILE_COUNTS,
+    DSE_PARAMETERS,
     explore_pipeline,
+    pareto_analysis,
     reference_conv_graph,
     reference_graph,
 )
@@ -65,7 +68,10 @@ __all__ = [
     "PipelineScheduler",
     "DEFAULT_TILE_COUNTS",
     "DEFAULT_LAYER_SIZES",
+    "DEFAULT_OBJECTIVES",
+    "DSE_PARAMETERS",
     "reference_graph",
     "reference_conv_graph",
     "explore_pipeline",
+    "pareto_analysis",
 ]

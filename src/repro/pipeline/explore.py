@@ -13,6 +13,14 @@ module-level (picklable), the reference model's weights come from a
 dedicated ``model_seed`` (identical at every grid point, so the curve
 varies only the machine), and the per-job ``rng`` drives programming
 variation — so serial and multi-worker explorations are bit-identical.
+
+Beyond the throughput curve, the sweep is a *multi-objective* DSE: every
+feasible row also measures accuracy (argmax agreement with the float
+reference forward pass — ADC resolution is a sweepable axis, so the
+accuracy/energy trade-off is real) and total die area, and
+:func:`pareto_analysis` reduces the grid to a non-dominated front with a
+knee point and per-parameter sensitivities
+(:mod:`repro.costs.pareto`).
 """
 
 from __future__ import annotations
@@ -21,6 +29,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.costs.pareto import (
+    knee_point,
+    parameter_sensitivity,
+    pareto_front,
+)
 from repro.pipeline.allocate import AllocationError, TileInventory, allocate
 from repro.pipeline.ir import GraphBuilder, LayerGraph
 from repro.pipeline.schedule import PipelineScheduler, ScheduleParams
@@ -30,9 +43,12 @@ from repro.utils.rng import RNGLike
 __all__ = [
     "DEFAULT_TILE_COUNTS",
     "DEFAULT_LAYER_SIZES",
+    "DEFAULT_OBJECTIVES",
+    "DSE_PARAMETERS",
     "reference_graph",
     "reference_conv_graph",
     "explore_pipeline",
+    "pareto_analysis",
 ]
 
 #: Tile inventories swept by default (the x-axis of the ISAAC curve).
@@ -41,6 +57,16 @@ DEFAULT_TILE_COUNTS: Tuple[int, ...] = (4, 8, 16, 32)
 #: Reference 4-layer MLP; every layer fits one default 64x32 tile, so the
 #: model needs exactly 4 tiles at one replica per stage.
 DEFAULT_LAYER_SIZES: Tuple[int, ...] = (32, 32, 32, 32, 10)
+
+#: Objectives the multi-objective analysis optimizes by default.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = (
+    "accuracy", "energy", "area", "throughput",
+)
+
+#: Swept parameters whose main effects :func:`pareto_analysis` scores.
+DSE_PARAMETERS: Tuple[str, ...] = (
+    "tiles", "duplication", "batch", "adc_bits",
+)
 
 
 def reference_graph(
@@ -119,7 +145,7 @@ def _workload_graph(
 
 
 def _pipeline_point(
-    point: Tuple[int, str, int],
+    point: Tuple[int, str, int, int],
     trial: int,
     rng: np.random.Generator,
     workload: str,
@@ -129,12 +155,13 @@ def _pipeline_point(
     noisy: bool,
 ) -> Dict[str, object]:
     """One grid job: compile, run both schedule modes, return the row."""
-    n_tiles, duplication, batch = point
+    n_tiles, duplication, batch, adc_bits = point
     row: Dict[str, object] = {
         "workload": workload,
         "tiles": int(n_tiles),
         "duplication": duplication,
         "batch": int(batch),
+        "adc_bits": int(adc_bits),
         "micro_batch": int(micro_batch),
         "trial": int(trial),
     }
@@ -142,7 +169,7 @@ def _pipeline_point(
     try:
         alloc = allocate(
             graph,
-            TileInventory(n_tiles=n_tiles),
+            TileInventory(n_tiles=n_tiles, adc_bits=adc_bits),
             duplication=duplication,
             rng=rng,
         )
@@ -158,6 +185,16 @@ def _pipeline_point(
     sched = PipelineScheduler(alloc, ScheduleParams(micro_batch=micro_batch))
     seq = sched.run(x, mode="sequential", noisy=noisy)
     pipe = sched.run(x, mode="pipelined", noisy=noisy)
+    # Accuracy: fraction of samples whose argmax matches the float
+    # reference forward pass — the fidelity the ADC-resolution axis
+    # trades against energy/area.
+    reference = graph.reference_forward(x)
+    accuracy = float(
+        np.mean(
+            np.argmax(np.asarray(pipe.outputs), axis=-1)
+            == np.argmax(reference, axis=-1)
+        )
+    )
     row.update(
         {
             "feasible": True,
@@ -175,6 +212,8 @@ def _pipeline_point(
             "energy_per_sample": pipe.energy_per_sample,
             "transfer_bytes": pipe.transfer_bytes,
             "makespan_s": pipe.makespan,
+            "accuracy": accuracy,
+            "area_mm2": float(sum(pipe.area.values())),
         }
     )
     return row
@@ -185,6 +224,7 @@ def explore_pipeline(
     duplication_modes: Sequence[str] = ("none", "auto"),
     batch_sizes: Sequence[int] = (64,),
     *,
+    adc_bits: Sequence[int] = (8,),
     workload: str = "cnn",
     layer_sizes: Sequence[int] = DEFAULT_LAYER_SIZES,
     micro_batch: int = 8,
@@ -193,7 +233,8 @@ def explore_pipeline(
     seed: RNGLike = 0,
     workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
-    """Sweep tile count x duplication x batch size; one row per point.
+    """Sweep tile count x duplication x batch size x ADC bits; one row
+    per point.
 
     ``workload`` picks the reference model: ``"cnn"`` (default) is the
     conv-bottlenecked graph whose curve shows the duplication payoff,
@@ -203,12 +244,19 @@ def explore_pipeline(
     not fit the inventory) come back with ``feasible=False`` instead of
     raising, so a sweep can include inventories below the model's
     footprint.
+
+    Each feasible row carries the four DSE objectives — ``accuracy``,
+    ``energy_per_sample``, ``area_mm2``, ``throughput`` — ready for
+    :func:`pareto_analysis`.  ``adc_bits`` is the axis that makes the
+    accuracy trade-off real: fewer bits shrink the (exponentially
+    ADC-dominated) tile area and conversion energy but quantize harder.
     """
     points = [
-        (int(t), str(d), int(b))
+        (int(t), str(d), int(b), int(a))
         for t in tile_counts
         for d in duplication_modes
         for b in batch_sizes
+        for a in adc_bits
     ]
     if not points:
         return []
@@ -227,3 +275,42 @@ def explore_pipeline(
         ),
     )
     return [row for per_point in nested for row in per_point]
+
+
+def pareto_analysis(
+    rows: Sequence[Dict[str, object]],
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    parameters: Sequence[str] = DSE_PARAMETERS,
+) -> Dict[str, object]:
+    """Reduce an :func:`explore_pipeline` grid to its decision surface.
+
+    Filters to feasible rows, computes the non-dominated front over
+    ``objectives``, picks the knee (balanced-compromise) point, and
+    scores each swept parameter's main effect on each objective.  Pure
+    post-processing of the rows — deterministic given the row order, so
+    fronts from parallel sweeps match serial ones bit-for-bit.
+
+    Returns ``{"objectives", "feasible_points", "front", "knee",
+    "sensitivity"}`` where ``front`` rows gain a ``knee`` boolean.
+    """
+    feasible = [r for r in rows if r.get("feasible")]
+    if not feasible:
+        return {
+            "objectives": list(objectives),
+            "feasible_points": 0,
+            "front": [],
+            "knee": None,
+            "sensitivity": {},
+        }
+    front_idx = pareto_front(feasible, objectives)
+    knee_idx = knee_point(feasible, objectives, front=front_idx)
+    front = [dict(feasible[i], knee=(i == knee_idx)) for i in front_idx]
+    return {
+        "objectives": list(objectives),
+        "feasible_points": len(feasible),
+        "front": front,
+        "knee": dict(feasible[knee_idx]) if knee_idx is not None else None,
+        "sensitivity": parameter_sensitivity(
+            feasible, parameters, objectives
+        ),
+    }

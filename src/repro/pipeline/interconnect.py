@@ -15,8 +15,12 @@ mirrors the payload into telemetry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
-from repro.core.metrics import CostAccumulator, OperationCost
+import numpy as np
+
+import repro.costs.models as energy_models
+from repro.core.metrics import CostAccumulator
 from repro.utils import telemetry
 from repro.utils.validation import check_positive
 
@@ -62,10 +66,20 @@ class Interconnect:
         payload = n_values * self.params.bytes_per_value
         return self.params.hop_latency + payload / self.params.bandwidth
 
-    def transfer(self, n_values: int, hops: int = 1) -> float:
+    def transfer(
+        self,
+        n_values: int,
+        hops: int = 1,
+        values: Optional[np.ndarray] = None,
+    ) -> float:
         """Ship ``n_values`` activations over ``hops`` links; returns the
         transfer latency (s) and charges energy/latency/data-movement to
-        :attr:`costs` (mirrored into the current telemetry scope)."""
+        :attr:`costs` (mirrored into the current telemetry scope).
+
+        ``values`` — the actual activation payload — lets a value-aware
+        energy model price the wire by switching activity (ReLU sparsity
+        makes inter-stage traffic cheaper than the static constant).
+        """
         if n_values < 0:
             raise ValueError(f"n_values must be >= 0, got {n_values}")
         if hops < 1:
@@ -74,13 +88,12 @@ class Interconnect:
             return 0.0
         payload = n_values * self.params.bytes_per_value * hops
         latency = hops * self.transfer_latency(n_values)
-        self.costs.add(
-            "interconnect",
-            OperationCost(
-                energy=payload * self.params.energy_per_byte,
-                latency=latency,
-                data_moved=payload,
-            ),
+        energy_models.active_model().charge_transfer(
+            self.costs,
+            self.params,
+            payload=payload,
+            latency=latency,
+            values=values,
         )
         self.transfers += 1
         self.bytes_moved += payload

@@ -295,6 +295,7 @@ class PipelineScheduler:
         # ---- functional pass: stage-major so every replica consumes its
         # micro-batches in index order regardless of schedule mode.
         service: List[List[float]] = []
+        edge_payloads: List[List[np.ndarray]] = [chunks]
         current = chunks
         for stage in stages:
             serv_row: List[float] = []
@@ -309,18 +310,24 @@ class PipelineScheduler:
                 # divided by the tile count.
                 serv_row.append((lat1 - lat0) / replica.n_tiles)
             service.append(serv_row)
+            edge_payloads.append(outs)
             current = outs
         outputs = np.concatenate(current, axis=0)
 
         # ---- transfer charging: one payload per edge per micro-batch
         # (host -> stage0, stage_s -> stage_{s+1}, last -> host), identical
-        # in both modes so energy is schedule-invariant.
-        edge_values: List[List[int]] = []
+        # in both modes so energy is schedule-invariant.  The actual
+        # activation chunks ride along so a value-aware energy model can
+        # price each wire by its payload's switching activity.
         widths = [graph.in_features] + [s.node.out_features for s in stages]
-        for width in widths:
-            edge_values.append([width * chunk.shape[0] for chunk in chunks])
         transfer_lat = [
-            [self.interconnect.transfer(v) for v in row] for row in edge_values
+            [
+                self.interconnect.transfer(
+                    width * chunk.shape[0], values=chunk
+                )
+                for chunk in payload_row
+            ]
+            for width, payload_row in zip(widths, edge_payloads)
         ]
 
         # ---- event propagation.

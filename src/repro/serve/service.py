@@ -128,16 +128,20 @@ SWEEP_DEFAULTS: Dict[str, Any] = {
     "separation": 1.5,
     "epochs": 30,
     "seed": 0,
+    "energy_model": "static",
 }
 
 DSE_DEFAULTS: Dict[str, Any] = {
     "tile_counts": [4, 8, 16],
     "duplication_modes": ["none", "auto"],
     "batch_sizes": [32],
+    "adc_bits": [8],
     "workload": "cnn",
     "micro_batch": 8,
     "model_seed": 1234,
     "seed": 0,
+    "objectives": ["accuracy", "energy", "area", "throughput"],
+    "energy_model": "static",
 }
 
 PIPELINE_DEFAULTS: Dict[str, Any] = {
@@ -148,7 +152,21 @@ PIPELINE_DEFAULTS: Dict[str, Any] = {
     "micro_batch": 8,
     "model_seed": 1234,
     "seed": 0,
+    "energy_model": "static",
 }
+
+
+def _energy_spec(value: Any):
+    """Parse a request's energy-model choice; canonicalized through
+    :meth:`EnergyModelSpec.to_dict` it becomes part of the result-cache
+    fingerprint, so static and value-aware runs of the same config can
+    never share a warm hit."""
+    from repro.costs.models import EnergyModelSpec
+
+    try:
+        return EnergyModelSpec.parse(value)
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(f"bad energy_model: {exc}") from None
 
 
 def _normalize(
@@ -372,6 +390,7 @@ class SimulationService:
         if x_raw is None:
             raise BadRequestError("infer requires 'x' (one or more inputs)")
         noisy = bool(params.pop("noisy", False))
+        spec = _energy_spec(params.pop("energy_model", "static"))
         model_params = params.pop("model", {})
         if params:
             raise BadRequestError(
@@ -395,16 +414,26 @@ class SimulationService:
             "x": x.tolist(),
             "noisy": noisy,
             "model_version": artifact.version,
+            "energy_model": spec.to_dict(),
         }
         key, hit = self._cached("infer", request_cfg)
         if hit is not None and not noisy:
             return self._hit_response("infer", hit)
 
         deployed = artifact.deployed
+
+        def _forward(stacked: np.ndarray) -> Any:
+            from repro.costs.models import use_model
+
+            with use_model(spec):
+                return deployed.forward_batch(stacked, noisy=noisy)
+
+        # The spec is part of the coalescing key: a flush runs under ONE
+        # model, so only same-priced requests may share a batch.
         out, counters = await self.batcher.submit(
-            ("model", fp, artifact.version, noisy),
+            ("model", fp, artifact.version, noisy, spec),
             x,
-            lambda stacked: deployed.forward_batch(stacked, noisy=noisy),
+            _forward,
         )
         report = RunReport.from_counters(counters, label="infer")
         result = {
@@ -424,6 +453,8 @@ class SimulationService:
         params = dict(params)
         workers = params.pop("workers", 0)
         cfg = _normalize(params, SWEEP_DEFAULTS, "sweep")
+        spec = _energy_spec(cfg["energy_model"])
+        cfg["energy_model"] = spec.to_dict()
         # ``workers`` never changes results (the sweep engine is
         # bit-identical at any worker count), so it stays out of the key.
         key, hit = self._cached("sweep", cfg)
@@ -432,8 +463,9 @@ class SimulationService:
 
         def _run() -> Tuple[List[Dict], RunReport]:
             from repro.apps.nn import accuracy_vs_yield
+            from repro.costs.models import use_model
 
-            with telemetry.scoped() as scope:
+            with use_model(spec), telemetry.scoped() as scope:
                 rows, grid_report = accuracy_vs_yield(
                     yields=tuple(cfg["yields"]),
                     n_samples=int(cfg["n_samples"]),
@@ -465,41 +497,56 @@ class SimulationService:
         params = dict(params)
         workers = params.pop("workers", 0)
         cfg = _normalize(params, DSE_DEFAULTS, "dse")
+        spec = _energy_spec(cfg["energy_model"])
+        cfg["energy_model"] = spec.to_dict()
+        objectives = [str(o) for o in cfg["objectives"]]
+        from repro.costs.pareto import resolve_objectives
+
+        try:
+            resolve_objectives(objectives)
+        except ValueError as exc:
+            raise BadRequestError(f"bad dse objectives: {exc}") from None
         key, hit = self._cached("dse", cfg)
         if hit is not None:
             return self._hit_response("dse", hit)
 
-        def _run() -> Tuple[List[Dict], RunReport]:
-            from repro.pipeline import explore_pipeline
+        def _run() -> Tuple[Dict[str, Any], RunReport]:
+            from repro.costs.models import use_model
+            from repro.pipeline import explore_pipeline, pareto_analysis
 
-            with telemetry.scoped() as scope:
+            with use_model(spec), telemetry.scoped() as scope:
                 rows = explore_pipeline(
                     tile_counts=[int(t) for t in cfg["tile_counts"]],
                     duplication_modes=[str(d) for d in cfg["duplication_modes"]],
                     batch_sizes=[int(b) for b in cfg["batch_sizes"]],
+                    adc_bits=[int(a) for a in cfg["adc_bits"]],
                     workload=str(cfg["workload"]),
                     micro_batch=int(cfg["micro_batch"]),
                     model_seed=int(cfg["model_seed"]),
                     seed=int(cfg["seed"]),
                     workers=workers,
                 )
+            pareto = pareto_analysis(rows, objectives)
             report = RunReport.from_counters(
                 scope.snapshot(include_timers=False)["counters"], label="dse"
             )
-            return rows, report
+            return {"rows": rows, "pareto": pareto}, report
 
         async with self._compute_lock:
-            rows, report = await asyncio.to_thread(_run)
-        return self._finish("dse", key, {"rows": rows}, report)
+            result, report = await asyncio.to_thread(_run)
+        return self._finish("dse", key, result, report)
 
     # -------------------------------------------------------- kind:pipeline
     async def _handle_pipeline(self, params: Dict[str, Any]) -> Dict[str, Any]:
         cfg = _normalize(params, PIPELINE_DEFAULTS, "pipeline")
+        spec = _energy_spec(cfg["energy_model"])
+        cfg["energy_model"] = spec.to_dict()
         key, hit = self._cached("pipeline", cfg)
         if hit is not None:
             return self._hit_response("pipeline", hit)
 
         def _run() -> Tuple[Dict[str, Any], RunReport]:
+            from repro.costs.models import use_model
             from repro.pipeline import (
                 PipelineScheduler,
                 ScheduleParams,
@@ -550,7 +597,8 @@ class SimulationService:
             sched = PipelineScheduler(
                 alloc, ScheduleParams(micro_batch=int(cfg["micro_batch"]))
             )
-            run = sched.run(x, mode="pipelined", noisy=False)
+            with use_model(spec):
+                run = sched.run(x, mode="pipelined", noisy=False)
             result = {
                 "stage_table": run.stage_table(),
                 "throughput": run.throughput,

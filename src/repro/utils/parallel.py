@@ -261,13 +261,24 @@ def _worker_init(
     pack_name: Optional[str],
     specs: Sequence[Tuple[int, Tuple[int, ...], str]],
     capture: bool,
+    energy_spec: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Pool initializer: runs once per worker process.
 
     Attaches the shared-memory segment (if any), resolves the
-    ``task_args`` template back into arrays, and stashes everything in a
-    module global so per-chunk submissions carry indices only.
+    ``task_args`` template back into arrays, installs the parent's active
+    energy-model spec as the worker's process default (so value-aware
+    sweeps stay bit-identical to the serial path), and stashes everything
+    in a module global so per-chunk submissions carry indices only.
     """
+    if energy_spec is not None:
+        # Deferred import: repro.costs pulls in repro.core, and the sweep
+        # engine must stay importable below both.
+        import repro.costs.models as energy_models
+
+        energy_models.set_process_default(
+            energy_models.EnergyModelSpec.parse(energy_spec)
+        )
     shm, views = (None, [])
     if pack_name is not None:
         shm, views = SharedArrayPack.attach(pack_name, specs)
@@ -346,6 +357,9 @@ def _run_pooled(
     arrays: List[np.ndarray] = []
     template = _extract_shared(task_args, arrays)
     pack = SharedArrayPack(arrays) if arrays else None
+    import repro.costs.models as energy_models  # deferred: avoids cycle
+
+    energy_spec = energy_models.active_spec().to_dict()
     results: List[Any] = []
     try:
         with ProcessPoolExecutor(
@@ -358,6 +372,7 @@ def _run_pooled(
                 pack.name if pack is not None else None,
                 pack.specs if pack is not None else (),
                 capture,
+                energy_spec,
             ),
         ) as pool:
             bounds = [

@@ -223,6 +223,164 @@ class TestSweepAndDse:
 
         run(main())
 
+    def test_dse_response_carries_pareto_analysis(self):
+        async def main():
+            svc = make_service()
+            return await svc.submit(
+                {
+                    "kind": "dse",
+                    "params": {
+                        "tile_counts": [8],
+                        "duplication_modes": ["none"],
+                        "batch_sizes": [16],
+                        "adc_bits": [4, 8],
+                    },
+                }
+            )
+
+        response = run(main())
+        pareto = response["result"]["pareto"]
+        assert pareto["objectives"] == [
+            "accuracy", "energy", "area", "throughput",
+        ]
+        assert 1 <= len(pareto["front"]) <= pareto["feasible_points"]
+        assert pareto["knee"] is not None
+        assert set(pareto["sensitivity"]) == {
+            "tiles", "duplication", "batch", "adc_bits",
+        }
+        # Front rows flag the knee so clients need no re-derivation.
+        assert sum(1 for r in pareto["front"] if r["knee"]) == 1
+
+    def test_bad_dse_objectives_rejected(self):
+        async def main():
+            svc = make_service()
+            with pytest.raises(BadRequestError, match="objectives"):
+                await svc.submit(
+                    {"kind": "dse", "params": {"objectives": ["latency"]}}
+                )
+
+        run(main())
+
+
+class TestEnergyModelCacheKeys:
+    """Static and value-aware runs of the same config must never share
+    a warm cache hit: the parsed spec is part of every result key."""
+
+    DSE = {
+        "tile_counts": [8],
+        "duplication_modes": ["none"],
+        "batch_sizes": [16],
+    }
+
+    def test_dse_energy_model_forks_the_cache_key(self):
+        async def main():
+            svc = make_service()
+            static = await svc.submit({"kind": "dse", "params": dict(self.DSE)})
+            aware = await svc.submit(
+                {
+                    "kind": "dse",
+                    "params": dict(self.DSE, energy_model="value_aware"),
+                }
+            )
+            aware_warm = await svc.submit(
+                {
+                    "kind": "dse",
+                    "params": dict(self.DSE, energy_model="value_aware"),
+                }
+            )
+            return static, aware, aware_warm
+
+        static, aware, aware_warm = run(main())
+        assert static["cache"] == "miss"
+        assert aware["cache"] == "miss"  # never a hit off the static entry
+        assert aware_warm["cache"] == "hit"
+        assert aware_warm["result"] == aware["result"]
+        energies = [
+            r["result"]["rows"][0]["energy_per_sample"]
+            for r in (static, aware)
+        ]
+        assert energies[0] != energies[1]
+
+    def test_equivalent_energy_model_spellings_share_a_key(self):
+        async def main():
+            svc = make_service()
+            by_name = await svc.submit(
+                {
+                    "kind": "dse",
+                    "params": dict(self.DSE, energy_model="value_aware"),
+                }
+            )
+            by_dict = await svc.submit(
+                {
+                    "kind": "dse",
+                    "params": dict(
+                        self.DSE, energy_model={"name": "value_aware"}
+                    ),
+                }
+            )
+            return by_name, by_dict
+
+        by_name, by_dict = run(main())
+        assert by_name["cache"] == "miss"
+        assert by_dict["cache"] == "hit"  # canonicalized spec, same key
+
+    def test_infer_energy_model_forks_key_but_not_answers(self):
+        async def main():
+            svc = make_service()
+            x = inputs(1)[0]
+            static = await svc.submit(infer_request(x))
+            aware = await svc.submit(
+                {
+                    "kind": "infer",
+                    "params": {
+                        "model": MODEL,
+                        "x": [list(x)],
+                        "energy_model": "value_aware",
+                    },
+                }
+            )
+            return static, aware
+
+        static, aware = run(main())
+        assert static["cache"] == "miss"
+        assert aware["cache"] == "miss"  # not served from the static entry
+        # Pricing must never change behaviour, only the energy ledger.
+        assert static["result"]["logits"] == aware["result"]["logits"]
+        s_rep = RunReport.from_dict(static["report"])
+        a_rep = RunReport.from_dict(aware["report"])
+        a_rep.validate()
+        assert a_rep.total_energy != s_rep.total_energy
+
+    def test_pipeline_energy_model_forks_the_cache_key(self):
+        async def main():
+            svc = make_service()
+            params = {"tiles": 8, "batch": 16}
+            static = await svc.submit({"kind": "pipeline", "params": params})
+            aware = await svc.submit(
+                {
+                    "kind": "pipeline",
+                    "params": dict(params, energy_model="value_aware"),
+                }
+            )
+            return static, aware
+
+        static, aware = run(main())
+        assert static["cache"] == "miss"
+        assert aware["cache"] == "miss"
+
+    def test_bad_energy_model_rejected(self):
+        async def main():
+            svc = make_service()
+            with pytest.raises(BadRequestError, match="energy_model"):
+                await svc.submit(
+                    {
+                        "kind": "dse",
+                        "params": dict(self.DSE, energy_model="quantum"),
+                    }
+                )
+
+        run(main())
+
 
 class TestPipeline:
     def test_pipeline_reuses_graph_and_allocation_artifacts(self):

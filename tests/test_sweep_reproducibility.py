@@ -11,6 +11,7 @@ import pytest
 
 from repro.apps.cnn import cnn_accuracy_vs_yield
 from repro.apps.nn import accuracy_vs_yield
+from repro.costs import use_model
 from repro.faults.sweeps import endurance_capability_sweep, yield_fault_rate_sweep
 from repro.pipeline.explore import explore_pipeline
 from repro.testing.ecc import EccAnalysis, HammingSecDed
@@ -179,4 +180,63 @@ class TestSweepReports:
         assert rows0 == rows2
         assert rep0.to_json() == rep2.to_json()
         # The captured breakdown covers the analog datapath.
+        assert rep0.categories["adc"]["energy"] > 0
+
+
+class TestValueAwareSweeps:
+    """Value-aware pricing must survive the worker ladder bit-for-bit:
+    the active spec ships through the pool initializer, and both pricing
+    modes are pure functions of the charged values."""
+
+    _KW = dict(
+        tile_counts=(4, 8),
+        duplication_modes=("none",),
+        batch_sizes=(16,),
+        adc_bits=(6, 8),
+        workload="mlp",
+        micro_batch=4,
+        seed=0,
+    )
+
+    @pytest.mark.parametrize("workers", WORKER_LADDER)
+    @pytest.mark.parametrize(
+        "model", ("value_aware", "value_aware_statistical")
+    )
+    def test_explore_serial_vs_parallel_bit_identical(self, workers, model):
+        with use_model(model):
+            serial = explore_pipeline(workers=0, **self._KW)
+            parallel = explore_pipeline(workers=workers, **self._KW)
+        assert serial == parallel
+
+    def test_value_aware_changes_energy_only(self):
+        static_rows = explore_pipeline(workers=0, **self._KW)
+        with use_model("value_aware"):
+            va_rows = explore_pipeline(workers=0, **self._KW)
+        feasible = [
+            (s, v)
+            for s, v in zip(static_rows, va_rows)
+            if s["feasible"]
+        ]
+        assert feasible
+        assert any(
+            s["energy_per_sample"] != v["energy_per_sample"]
+            for s, v in feasible
+        )
+        # Pricing never touches behaviour or timing.
+        for s, v in feasible:
+            assert s["accuracy"] == v["accuracy"]
+            assert s["throughput"] == v["throughput"]
+            assert s["area_mm2"] == v["area_mm2"]
+
+    def test_nn_sweep_value_aware_report_serial_vs_parallel(self):
+        with use_model("value_aware"):
+            rows0, rep0 = accuracy_vs_yield(
+                rng=0, workers=0, with_report=True, **_NN_KW
+            )
+            rows2, rep2 = accuracy_vs_yield(
+                rng=0, workers=2, with_report=True, **_NN_KW
+            )
+        assert rows0 == rows2
+        assert rep0.to_json() == rep2.to_json()
+        rep0.validate()
         assert rep0.categories["adc"]["energy"] > 0
