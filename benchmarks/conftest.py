@@ -32,6 +32,10 @@ _SERVE_RECORDS = {}
 # overhead and Pareto-DSE determinism trajectory.
 _ENERGY_RECORDS = {}
 
+# ECC-layer records, written to BENCH_ecc.json — block-codec speedup over
+# the scalar reference and advisor determinism trajectory.
+_ECC_RECORDS = {}
+
 
 def record_sweep_metrics(name, payload):
     """Register one benchmark's metrics (e.g. trials/sec serial vs
@@ -61,6 +65,12 @@ def record_energy_metrics(name, payload):
     """Register one benchmark's energy-model metrics for the session's
     ``BENCH_energy.json``."""
     _ENERGY_RECORDS[name] = payload
+
+
+def record_ecc_metrics(name, payload):
+    """Register one benchmark's ECC-layer metrics for the session's
+    ``BENCH_ecc.json``."""
+    _ECC_RECORDS[name] = payload
 
 
 def validate_bench_schema(records, filename):
@@ -132,6 +142,8 @@ def pytest_sessionfinish(session, exitstatus):
         _dump(_SERVE_RECORDS, "BENCH_serve.json")
     if _ENERGY_RECORDS:
         _dump(_ENERGY_RECORDS, "BENCH_energy.json")
+    if _ECC_RECORDS:
+        _dump(_ECC_RECORDS, "BENCH_ecc.json")
 
 
 @pytest.fixture

@@ -389,6 +389,93 @@ def cmd_pipeline(args) -> int:
     return 0
 
 
+def cmd_ecc_advisor(args) -> int:
+    import json as _json
+
+    from repro.costs import use_model
+    from repro.testing.ecc_advisor import advise_ecc, ecc_advisor_analysis
+
+    codes = [c.strip() for c in args.codes.split(",") if c.strip()]
+    yields = [float(y) for y in args.yields.split(",") if y.strip()]
+    try:
+        with use_model(args.energy_model):
+            rows = advise_ecc(
+                codes=codes,
+                yields=yields,
+                data_bits=args.data_bits,
+                mc_words=args.mc_words,
+                trials=args.trials,
+                seed=args.seed,
+                workers=args.workers,
+            )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    analysis = ecc_advisor_analysis(rows)
+
+    def _display(row_set):
+        return [
+            {
+                "code": r["code"],
+                "yield": r["cell_yield"],
+                "scenario": r["scenario"],
+                "n/k": f"{r['codeword_bits']}/{r['data_bits']}",
+                "coverage": r["coverage"],
+                "J_per_word": r["energy_per_word_J"],
+                "s_per_word": r["latency_per_word_s"],
+                "area_mm2": r["area_mm2"],
+                **({"knee": r["knee"]} if "knee" in r else {}),
+            }
+            for r in row_set
+        ]
+
+    _print_table(
+        f"ECC co-design sweep: {len(codes)} codes x {len(yields)} yields x "
+        f"workload scenarios ({args.energy_model} energy model, "
+        f"{args.mc_words} MC words/trial)",
+        _display(rows),
+    )
+    _print_table(
+        f"Pareto front over {', '.join(analysis['objectives'])} "
+        f"({len(analysis['front'])} of {analysis['points']} points)",
+        _display(analysis["front"]),
+    )
+    knee = analysis["knee"]
+    if knee is not None:
+        print(
+            f"\nknee point: {knee['code']} at yield {knee['cell_yield']} "
+            f"({knee['scenario']}) -> coverage {knee['coverage']:.4f}, "
+            f"{knee['energy_per_word_J']:.3e} J/word, "
+            f"{knee['latency_per_word_s']:.3e} s/word, "
+            f"{knee['area_mm2']:.3e} mm^2"
+        )
+    _print_table(
+        "Recommended code per (scenario, yield) — knee of each cell",
+        [
+            {
+                "scenario": r["scenario"],
+                "yield": r["cell_yield"],
+                "code": r["code"],
+                "coverage": r["coverage"],
+                "J_per_word": r["energy_per_word_J"],
+            }
+            for r in analysis["recommendations"]
+        ],
+    )
+    _print_table(
+        "Parameter sensitivity (main effect / objective span)",
+        [
+            {"parameter": param, **per_objective}
+            for param, per_objective in analysis["sensitivity"].items()
+        ],
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump({"rows": rows, "advice": analysis}, fh, indent=2)
+        print(f"advisor rows written to {args.json}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serve import ServiceConfig, serve_forever
 
@@ -597,6 +684,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_energy_model_arg(pipe)
     _add_workers_arg(pipe)
 
+    ecc = sub.add_parser(
+        "ecc-advisor",
+        help="ECC co-design: Pareto-select a code per yield/workload",
+    )
+    ecc.add_argument(
+        "--codes",
+        default="secded,bch,secdaec",
+        help="comma-separated ECC codes to sweep (default all registered)",
+    )
+    ecc.add_argument(
+        "--yields",
+        default="0.9999,0.999,0.99,0.97",
+        help="comma-separated crossbar cell yields to sweep",
+    )
+    ecc.add_argument(
+        "--data-bits",
+        type=int,
+        default=32,
+        help="protected word width (default 32)",
+    )
+    ecc.add_argument(
+        "--mc-words",
+        type=int,
+        default=4096,
+        help="Monte Carlo words per trial (default 4096)",
+    )
+    ecc.add_argument(
+        "--trials",
+        type=int,
+        default=2,
+        help="independent trials per grid point (default 2)",
+    )
+    ecc.add_argument(
+        "--json",
+        default=None,
+        help="also write rows + advice as JSON to this path",
+    )
+    _add_energy_model_arg(ecc)
+    _add_workers_arg(ecc)
+
     serve = sub.add_parser(
         "serve", help="run the simulation job server (JSON-lines over TCP)"
     )
@@ -626,7 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "kind",
-        choices=("infer", "sweep", "dse", "pipeline", "faults", "stats"),
+        choices=("infer", "sweep", "dse", "pipeline", "faults", "ecc", "stats"),
         help="request kind",
     )
     submit.add_argument(
@@ -654,13 +781,14 @@ _COMMANDS = {
     "chip": cmd_chip,
     "report": cmd_report,
     "pipeline": cmd_pipeline,
+    "ecc-advisor": cmd_ecc_advisor,
     "serve": cmd_serve,
     "submit": cmd_submit,
 }
 
 #: Subcommands backed by the deterministic sweep engine; each accepts the
 #: global ``--seed`` and its own ``--workers`` (tests assert this).
-SWEEP_COMMANDS = ("yield", "pipeline")
+SWEEP_COMMANDS = ("yield", "pipeline", "ecc-advisor")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -315,15 +315,18 @@ class EnergyModel:
         )
 
     def charge_sense(
-        self, costs: CostAccumulator, config, *, n_senses: int
+        self, costs: CostAccumulator, config, *, n_senses: int, repeats: int = 1
     ) -> OperationCost:
-        """``n_senses`` sense-amplifier compares (one latency window)."""
+        """``n_senses`` sense-amplifier compares over ``repeats``
+        sequential latency windows (one by default — the historical
+        single-access behaviour; the ECC advisor prices a whole read
+        workload as ``repeats`` codeword accesses in one charge)."""
         return self.charge(
             costs,
             "sense_amp",
             OperationCost(
                 energy=config.energy_per_sense * n_senses,
-                latency=config.latency,
+                latency=config.latency * repeats,
             ),
         )
 

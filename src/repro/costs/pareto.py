@@ -15,12 +15,16 @@ import numpy as np
 
 __all__ = [
     "OBJECTIVES",
+    "resolve_objectives",
     "pareto_front",
     "knee_point",
     "parameter_sensitivity",
 ]
 
 #: Named objectives the pipeline DSE understands: row key + direction.
+#: Other subsystems (e.g. the ECC advisor's ``coverage`` objective) pass
+#: their own table via the ``objectives=`` keyword instead of growing
+#: this one.
 OBJECTIVES: Dict[str, Tuple[str, str]] = {
     "accuracy": ("accuracy", "max"),
     "energy": ("energy_per_sample", "min"),
@@ -31,20 +35,50 @@ OBJECTIVES: Dict[str, Tuple[str, str]] = {
 
 def resolve_objectives(
     names: Sequence[str],
+    objectives: Optional[Mapping[str, Tuple[str, str]]] = None,
 ) -> List[Tuple[str, str, str]]:
-    """Map objective names to ``(name, row_key, direction)`` triples."""
+    """Map objective names to ``(name, row_key, direction)`` triples.
+
+    ``objectives`` is the name -> ``(row_key, direction)`` table to
+    resolve against; ``None`` means the pipeline-DSE default
+    :data:`OBJECTIVES`.
+    """
+    table = OBJECTIVES if objectives is None else objectives
     if not names:
         raise ValueError("at least one objective is required")
     out = []
     for name in names:
-        if name not in OBJECTIVES:
+        if name not in table:
             raise ValueError(
                 f"unknown objective {name!r}; expected one of "
-                f"{sorted(OBJECTIVES)}"
+                f"{sorted(table)}"
             )
-        key, direction = OBJECTIVES[name]
+        key, direction = table[name]
+        if direction not in ("min", "max"):
+            raise ValueError(
+                f"objective {name!r} has invalid direction {direction!r}; "
+                f"expected 'min' or 'max'"
+            )
         out.append((name, key, direction))
     return out
+
+
+def _objective_values(
+    rows: Sequence[Mapping[str, object]],
+    name: str,
+    key: str,
+) -> np.ndarray:
+    """Extract one objective column, with the shared error path: every
+    row must carry a finite value under ``key``."""
+    values = np.empty(len(rows), dtype=float)
+    for i, row in enumerate(rows):
+        value = row.get(key)
+        if value is None or not np.isfinite(float(value)):
+            raise ValueError(
+                f"row {i} has no finite {key!r} for objective {name!r}"
+            )
+        values[i] = float(value)
+    return values
 
 
 def _score_matrix(
@@ -54,13 +88,7 @@ def _score_matrix(
     """Rows x objectives matrix, oriented so larger is always better."""
     scores = np.empty((len(rows), len(objectives)), dtype=float)
     for j, (name, key, direction) in enumerate(objectives):
-        for i, row in enumerate(rows):
-            value = row.get(key)
-            if value is None or not np.isfinite(float(value)):
-                raise ValueError(
-                    f"row {i} has no finite {key!r} for objective {name!r}"
-                )
-            scores[i, j] = float(value)
+        scores[:, j] = _objective_values(rows, name, key)
         if direction == "min":
             scores[:, j] = -scores[:, j]
     return scores
@@ -69,6 +97,8 @@ def _score_matrix(
 def pareto_front(
     rows: Sequence[Mapping[str, object]],
     objective_names: Sequence[str],
+    *,
+    objectives: Optional[Mapping[str, Tuple[str, str]]] = None,
 ) -> List[int]:
     """Indices of the non-dominated rows, in input order.
 
@@ -77,8 +107,8 @@ def pareto_front(
     all survive (neither dominates), so the front is stable under row
     reordering — the property that keeps parallel DSE bit-identical.
     """
-    objectives = resolve_objectives(objective_names)
-    scores = _score_matrix(rows, objectives)
+    resolved = resolve_objectives(objective_names, objectives)
+    scores = _score_matrix(rows, resolved)
     n = len(rows)
     keep = []
     for i in range(n):
@@ -98,6 +128,8 @@ def knee_point(
     rows: Sequence[Mapping[str, object]],
     objective_names: Sequence[str],
     front: Optional[Sequence[int]] = None,
+    *,
+    objectives: Optional[Mapping[str, Tuple[str, str]]] = None,
 ) -> Optional[int]:
     """The balanced-compromise row: nearest (L2) to the ideal point.
 
@@ -106,11 +138,11 @@ def knee_point(
     toward the earliest row, keeping the choice deterministic.
     """
     if front is None:
-        front = pareto_front(rows, objective_names)
+        front = pareto_front(rows, objective_names, objectives=objectives)
     if not front:
         return None
-    objectives = resolve_objectives(objective_names)
-    scores = _score_matrix([rows[i] for i in front], objectives)
+    resolved = resolve_objectives(objective_names, objectives)
+    scores = _score_matrix([rows[i] for i in front], resolved)
     lo = scores.min(axis=0)
     span = scores.max(axis=0) - lo
     span[span == 0] = 1.0
@@ -123,6 +155,8 @@ def parameter_sensitivity(
     rows: Sequence[Mapping[str, object]],
     parameters: Sequence[str],
     objective_names: Sequence[str],
+    *,
+    objectives: Optional[Mapping[str, Tuple[str, str]]] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Main-effect sensitivity of each objective to each sweep parameter.
 
@@ -131,16 +165,20 @@ def parameter_sensitivity(
     objective's overall spread — 1.0 means the parameter alone spans the
     whole observed range, 0.0 means the objective ignores it (or only
     one group/value exists).
+
+    Rows missing an objective key raise the same descriptive
+    ``ValueError`` as the front/knee scoring path (historically this
+    leaked a bare ``KeyError``).
     """
-    objectives = resolve_objectives(objective_names)
+    resolved = resolve_objectives(objective_names, objectives)
     out: Dict[str, Dict[str, float]] = {}
     for param in parameters:
         groups: Dict[object, List[int]] = {}
         for i, row in enumerate(rows):
             groups.setdefault(row.get(param), []).append(i)
         per_objective: Dict[str, float] = {}
-        for name, key, _ in objectives:
-            values = np.array([float(row[key]) for row in rows])
+        for name, key, _ in resolved:
+            values = _objective_values(rows, name, key)
             span = float(values.max() - values.min()) if len(values) else 0.0
             if span <= 0 or len(groups) < 2:
                 per_objective[name] = 0.0

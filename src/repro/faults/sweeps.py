@@ -110,10 +110,11 @@ def _endurance_trial(
     total_writes: float,
     step: float,
     data_bits: int,
+    code: str,
 ) -> Dict[str, float]:
     """One endurance life: cycle a fresh array to ``total_writes`` and
-    find where accumulated hard faults defeat the SEC-DED code."""
-    from repro.testing.ecc import EccAnalysis, HammingSecDed
+    find where accumulated hard faults defeat the ECC code."""
+    from repro.testing.ecc import EccAnalysis, make_code
 
     rows, cols = shape
     array = CrossbarArray(CrossbarConfig(rows=rows, cols=cols), rng=rng)
@@ -131,7 +132,7 @@ def _endurance_trial(
         rng=rng,
     )
     series = sim.run_until(total_writes=total_writes, step=step)
-    analysis = EccAnalysis(HammingSecDed(data_bits))
+    analysis = EccAnalysis(make_code(code, data_bits))
     exceeded = analysis.capability_exceeded_at(series)
     return {
         "exceeded_at": float(exceeded),
@@ -147,6 +148,7 @@ def endurance_capability_sweep(
     total_writes: float = 5e4,
     step: float = 2e3,
     data_bits: int = 64,
+    code: str = "secded",
     rng: RNGLike = 0,
     workers: Optional[int] = None,
     with_report: bool = False,
@@ -156,11 +158,13 @@ def endurance_capability_sweep(
 
     Each trial cycles an independent array through Weibull wear-out and
     records the write count at which the expected faulty bits per
-    codeword pass the SEC-DED capability.  Returns the per-trial rows
-    plus summary statistics over the trials that did exceed within the
-    simulated horizon.  With ``with_report=True`` the summary dict also
-    carries a ``"report"`` key: the telemetry :class:`RunReport` reduced
-    over trials in job order.
+    codeword pass the capability of ``code`` (any
+    :func:`repro.testing.ecc.make_code` name; historically hardwired to
+    SEC-DED).  Returns the per-trial rows plus summary statistics over
+    the trials that did exceed within the simulated horizon.  With
+    ``with_report=True`` the summary dict also carries a ``"report"``
+    key: the telemetry :class:`RunReport` reduced over trials in job
+    order.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -178,6 +182,7 @@ def endurance_capability_sweep(
             total_writes,
             step,
             data_bits,
+            code,
         ),
         capture_telemetry=with_report,
     )

@@ -51,7 +51,7 @@ __all__ = [
 ]
 
 #: Request kinds the service accepts.
-REQUEST_KINDS = ("infer", "sweep", "dse", "pipeline", "faults", "stats")
+REQUEST_KINDS = ("infer", "sweep", "dse", "pipeline", "faults", "ecc", "stats")
 
 
 class ServeError(RuntimeError):
@@ -151,6 +151,18 @@ PIPELINE_DEFAULTS: Dict[str, Any] = {
     "batch": 32,
     "micro_batch": 8,
     "model_seed": 1234,
+    "seed": 0,
+    "energy_model": "static",
+}
+
+ECC_DEFAULTS: Dict[str, Any] = {
+    "codes": ["secded", "bch", "secdaec"],
+    "yields": [0.9999, 0.999, 0.99, 0.97],
+    "scenarios": [],                # [] -> all registered scenarios
+    "data_bits": 32,
+    "mc_words": 4096,
+    "words_per_array": 1024,
+    "trials": 2,
     "seed": 0,
     "energy_model": "static",
 }
@@ -652,6 +664,56 @@ class SimulationService:
         return self._finish(
             "faults", None, result, report, cache=False
         )
+
+    # ------------------------------------------------------------- kind:ecc
+    async def _handle_ecc(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        params = dict(params)
+        workers = params.pop("workers", 0)
+        cfg = _normalize(params, ECC_DEFAULTS, "ecc")
+        spec = _energy_spec(cfg["energy_model"])
+        cfg["energy_model"] = spec.to_dict()
+        # ``workers`` never changes results (the advisor rides the
+        # bit-identical sweep engine), so it stays out of the key; the
+        # energy-model spec *is* in it, so static and value-aware advisor
+        # runs can never share a warm hit.
+        key, hit = self._cached("ecc", cfg)
+        if hit is not None:
+            return self._hit_response("ecc", hit)
+
+        def _run() -> Tuple[Dict[str, Any], RunReport]:
+            from repro.costs.models import use_model
+            from repro.testing.ecc_advisor import (
+                advise_ecc,
+                ecc_advisor_analysis,
+            )
+
+            with use_model(spec), telemetry.scoped() as scope:
+                rows, grid_report = advise_ecc(
+                    codes=[str(c) for c in cfg["codes"]],
+                    yields=[float(y) for y in cfg["yields"]],
+                    scenarios=[str(s) for s in cfg["scenarios"]] or None,
+                    data_bits=int(cfg["data_bits"]),
+                    mc_words=int(cfg["mc_words"]),
+                    words_per_array=int(cfg["words_per_array"]),
+                    trials=int(cfg["trials"]),
+                    seed=int(cfg["seed"]),
+                    workers=workers,
+                    with_report=True,
+                )
+            advice = ecc_advisor_analysis(rows)
+            outer = RunReport.from_counters(
+                scope.snapshot(include_timers=False)["counters"],
+                label="ecc",
+            )
+            return {"rows": rows, "advice": advice}, outer.merge(grid_report)
+
+        try:
+            async with self._compute_lock:
+                result, report = await asyncio.to_thread(_run)
+        except ValueError as exc:
+            raise BadRequestError(f"bad ecc request: {exc}") from None
+        report.label = "ecc"
+        return self._finish("ecc", key, result, report)
 
     # ----------------------------------------------------------- kind:stats
     async def _handle_stats(self, params: Dict[str, Any]) -> Dict[str, Any]:

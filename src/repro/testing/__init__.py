@@ -15,8 +15,10 @@ On-line methods:
   stuck-at detection of [38], with bidirectional localization;
 * :mod:`repro.testing.abft` — the checksum-based X-ABFT detection and
   correction of [49, 50];
-* :mod:`repro.testing.ecc` — Hamming SEC-DED error correction and the
-  BER-limit analysis of [51];
+* :mod:`repro.testing.ecc` — memory ECC codes (Hamming SEC-DED, BCH
+  t=2, SEC-DAEC) and the BER-limit analysis of [51];
+* :mod:`repro.testing.ecc_advisor` — the ECC co-design advisor: Pareto
+  selection of a code per crossbar yield and workload scenario;
 * :mod:`repro.testing.changepoint` — the power-monitoring changepoint
   detection + fault-rate estimation of [52] (Fig 7).
 """
@@ -36,7 +38,19 @@ from repro.testing.march import (
 from repro.testing.sneak_path_test import SneakPathTester, SneakPathTestReport
 from repro.testing.online_voltage import VoltageComparisonTester, VoltageTestReport
 from repro.testing.abft import ChecksumEncodedMatrix, AbftProtectedVMM, AbftReport
-from repro.testing.ecc import HammingSecDed, EccAnalysis
+from repro.testing.ecc import (
+    BchCode,
+    EccAnalysis,
+    EccCode,
+    HammingSecDed,
+    SecDaecCode,
+    make_code,
+)
+from repro.testing.ecc_advisor import (
+    WorkloadScenario,
+    advise_ecc,
+    ecc_advisor_analysis,
+)
 from repro.testing.diagnosis import (
     Diagnosis,
     SignatureDiagnoser,
@@ -78,8 +92,15 @@ __all__ = [
     "ChecksumEncodedMatrix",
     "AbftProtectedVMM",
     "AbftReport",
+    "EccCode",
     "HammingSecDed",
+    "BchCode",
+    "SecDaecCode",
+    "make_code",
     "EccAnalysis",
+    "WorkloadScenario",
+    "advise_ecc",
+    "ecc_advisor_analysis",
     "Diagnosis",
     "SignatureDiagnoser",
     "build_fault_dictionary",

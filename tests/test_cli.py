@@ -17,6 +17,7 @@ class TestParser:
             "chip",
             "report",
             "pipeline",
+            "ecc-advisor",
             "serve",
         ):
             args = parser.parse_args([command])
@@ -113,6 +114,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["yield", "--model", "rnn"])
 
+    def test_ecc_advisor_options(self):
+        args = build_parser().parse_args(
+            [
+                "ecc-advisor",
+                "--codes",
+                "secded,bch",
+                "--yields",
+                "0.999,0.99",
+                "--data-bits",
+                "16",
+                "--mc-words",
+                "256",
+                "--trials",
+                "1",
+            ]
+        )
+        assert args.codes == "secded,bch"
+        assert args.yields == "0.999,0.99"
+        assert args.data_bits == 16
+        assert args.mc_words == 256
+        assert args.trials == 1
+
+    def test_submit_accepts_ecc_kind(self):
+        args = build_parser().parse_args(["submit", "ecc"])
+        assert args.kind == "ecc"
+
 
 class TestExecution:
     def test_table1_runs(self, capsys):
@@ -207,6 +234,61 @@ class TestExecution:
         rows = json.loads(path.read_text())
         assert rows and rows[0]["tiles"] == 4
         assert rows[0]["feasible"] is True
+
+    def test_ecc_advisor_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "ecc-advisor",
+                    "--codes",
+                    "secded,secdaec",
+                    "--yields",
+                    "0.999,0.99",
+                    "--mc-words",
+                    "256",
+                    "--trials",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ECC co-design sweep" in out
+        assert "Pareto front" in out
+        assert "knee point:" in out
+        assert "Recommended code per (scenario, yield)" in out
+        assert "Parameter sensitivity" in out
+
+    def test_ecc_advisor_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "ecc.json"
+        assert (
+            main(
+                [
+                    "ecc-advisor",
+                    "--codes",
+                    "secded",
+                    "--yields",
+                    "0.999",
+                    "--mc-words",
+                    "128",
+                    "--trials",
+                    "1",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(path.read_text())
+        assert payload["rows"] and payload["rows"][0]["code"] == "secded"
+        assert payload["advice"]["knee"]["code"] == "secded"
+        assert payload["advice"]["front"]
+
+    def test_ecc_advisor_bad_code(self, capsys):
+        assert main(["ecc-advisor", "--codes", "rs255"]) == 2
+        assert "unknown ECC code" in capsys.readouterr().err
 
     def test_submit_bad_params_json(self, capsys):
         assert main(["submit", "stats", "--params", "{bad", "--port", "1"]) == 2

@@ -430,3 +430,60 @@ class TestPareto:
         )
         assert sens["knob"]["accuracy"] == pytest.approx(1.0)
         assert sens["other"]["accuracy"] == pytest.approx(0.0)
+
+    def test_sensitivity_missing_key_raises_value_error(self):
+        """Regression: rows missing an objective key leaked a bare
+        ``KeyError`` out of parameter_sensitivity; it must raise the same
+        descriptive ValueError as the front/knee scoring path."""
+        rows = [
+            {"accuracy": 0.9, "knob": 0},
+            {"knob": 1},  # no 'accuracy'
+        ]
+        with pytest.raises(ValueError, match="no finite 'accuracy'"):
+            parameter_sensitivity(rows, ("knob",), ("accuracy",))
+
+    def test_sensitivity_non_finite_value_raises(self):
+        rows = [
+            {"accuracy": 0.9, "knob": 0},
+            {"accuracy": float("nan"), "knob": 1},
+        ]
+        with pytest.raises(ValueError, match="no finite"):
+            parameter_sensitivity(rows, ("knob",), ("accuracy",))
+
+    def test_custom_objective_table(self):
+        """Every entry point accepts a custom name -> (key, direction)
+        table (the ECC advisor's coverage objective has no place in the
+        pipeline's hardcoded set)."""
+        table = {
+            "coverage": ("coverage", "max"),
+            "cost": ("dollars", "min"),
+        }
+        rows = [
+            {"coverage": 0.99, "dollars": 10.0, "knob": 0},
+            {"coverage": 0.90, "dollars": 1.0, "knob": 1},
+            {"coverage": 0.50, "dollars": 20.0, "knob": 0},  # dominated
+        ]
+        names = ("coverage", "cost")
+        front = pareto_front(rows, names, objectives=table)
+        assert front == [0, 1]
+        knee = knee_point(rows, names, objectives=table)
+        assert knee in front
+        sens = parameter_sensitivity(
+            rows, ("knob",), names, objectives=table
+        )
+        assert set(sens["knob"]) == {"coverage", "cost"}
+
+    def test_custom_table_unknown_name_lists_its_keys(self):
+        table = {"coverage": ("coverage", "max")}
+        with pytest.raises(ValueError, match="coverage"):
+            pareto_front(
+                [{"coverage": 1.0}], ("accuracy",), objectives=table
+            )
+
+    def test_custom_table_bad_direction_rejected(self):
+        from repro.costs.pareto import resolve_objectives
+
+        with pytest.raises(ValueError, match="invalid direction"):
+            resolve_objectives(
+                ("coverage",), {"coverage": ("coverage", "maximize")}
+            )

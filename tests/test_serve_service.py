@@ -497,6 +497,86 @@ class TestFaultsAndInvalidation:
         run(main())
 
 
+ECC = {
+    "codes": ["secded", "bch"],
+    "yields": [0.999, 0.99],
+    "mc_words": 256,
+    "trials": 1,
+}
+
+
+class TestEcc:
+    def test_ecc_cold_then_warm_bit_identical(self):
+        async def main():
+            svc = make_service()
+            cold = await svc.submit({"kind": "ecc", "params": ECC})
+            warm = await svc.submit({"kind": "ecc", "params": ECC})
+            return cold, warm
+
+        cold, warm = run(main())
+        assert cold["cache"] == "miss" and warm["cache"] == "hit"
+        assert cold["result"] == warm["result"]
+        assert cold["report"] == warm["report"]
+        rows = cold["result"]["rows"]
+        assert len(rows) == 2 * 2 * 3  # codes x yields x scenarios
+        advice = cold["result"]["advice"]
+        assert advice["front"]
+        assert advice["knee"]["code"] in ("secded", "bch")
+        assert advice["recommendations"]
+        report = RunReport.from_dict(cold["report"])
+        report.validate()
+        assert report.total_energy > 0
+
+    def test_ecc_workers_stays_out_of_the_cache_key(self):
+        async def main():
+            svc = make_service()
+            cold = await svc.submit(
+                {"kind": "ecc", "params": {**ECC, "workers": 0}}
+            )
+            warm = await svc.submit(
+                {"kind": "ecc", "params": {**ECC, "workers": 2}}
+            )
+            return cold, warm
+
+        cold, warm = run(main())
+        assert warm["cache"] == "hit"
+        assert warm["result"] == cold["result"]
+
+    def test_ecc_energy_model_forks_the_cache_key(self):
+        async def main():
+            svc = make_service()
+            static = await svc.submit({"kind": "ecc", "params": ECC})
+            aware = await svc.submit(
+                {
+                    "kind": "ecc",
+                    "params": {**ECC, "energy_model": "value_aware"},
+                }
+            )
+            return static, aware
+
+        static, aware = run(main())
+        assert static["cache"] == "miss"
+        assert aware["cache"] == "miss"  # never shares the static entry
+        # Pricing changes costs, never statistics.
+        for s, a in zip(static["result"]["rows"], aware["result"]["rows"]):
+            assert a["coverage"] == s["coverage"]
+            assert a["energy_per_word_J"] <= s["energy_per_word_J"]
+
+    def test_ecc_validation(self):
+        async def main():
+            svc = make_service()
+            with pytest.raises(BadRequestError, match="unknown ecc"):
+                await svc.submit(
+                    {"kind": "ecc", "params": {"codez": ["secded"]}}
+                )
+            with pytest.raises(BadRequestError, match="bad ecc request"):
+                await svc.submit(
+                    {"kind": "ecc", "params": {**ECC, "codes": ["rs255"]}}
+                )
+
+        run(main())
+
+
 class TestAdmissionControl:
     def test_queue_full_is_a_structured_rejection(self):
         async def main():

@@ -139,6 +139,31 @@ class TestBerAnalysis:
         probs = [r["word_failure_probability"] for r in rows]
         assert probs == sorted(probs)
 
+    @pytest.mark.parametrize("ber", [1e-5, 1e-7, 1e-9])
+    def test_failure_probability_matches_exact_binomial_tail(self, ber):
+        """Regression for the catastrophic-cancellation bug: the old
+        ``1 - p_ok - p_one`` form returned pure rounding noise below
+        BER ~1e-6.  The stable tail sum must agree with an exact
+        rational-arithmetic reference to < 1e-9 relative error."""
+        from fractions import Fraction
+
+        analysis = EccAnalysis(HammingSecDed(64))
+        n = analysis.code.codeword_bits
+        p = Fraction(ber)  # the exact float the computation actually uses
+        q = 1 - p
+        exact = sum(
+            Fraction(math.comb(n, k)) * p**k * q ** (n - k)
+            for k in range(2, n + 1)
+        )
+        got = Fraction(analysis.word_failure_probability(ber))
+        assert abs(got - exact) / exact < Fraction(1, 10**9)
+
+    def test_failure_probability_positive_at_tiny_ber(self):
+        # The cancelling form went negative here; the tail sum cannot.
+        analysis = EccAnalysis(HammingSecDed(64))
+        assert analysis.word_failure_probability(1e-12) > 0.0
+        assert analysis.word_failure_probability(0.0) == 0.0
+
     def test_monte_carlo_matches_analytic(self):
         analysis = EccAnalysis(HammingSecDed(16))
         ber = 0.02
@@ -161,3 +186,41 @@ class TestBerAnalysis:
         exceeded_at = analysis.capability_exceeded_at(series)
         assert math.isfinite(exceeded_at)
         assert exceeded_at <= 5e4
+
+    def test_capability_exceeded_semantics_pinned(self):
+        """The math is per-codeword (dead_fraction * codeword_bits > t);
+        the historical ``words_per_array`` parameter was declared but
+        never used and has been removed — pin both the signature and the
+        threshold semantics."""
+        import inspect
+
+        params = inspect.signature(
+            EccAnalysis.capability_exceeded_at
+        ).parameters
+        assert "words_per_array" not in params
+        assert list(params) == ["self", "dead_fraction_series"]
+
+        analysis = EccAnalysis(HammingSecDed(64))  # n=72, t=1
+        series = [
+            {"writes": 1e3, "dead_fraction": 0.010},  # 0.72 bits expected
+            {"writes": 2e3, "dead_fraction": 0.015},  # 1.08 bits -> exceeded
+            {"writes": 3e3, "dead_fraction": 0.030},
+        ]
+        assert analysis.capability_exceeded_at(series) == 2e3
+        assert analysis.capability_exceeded_at(series[:1]) == math.inf
+
+    def test_capability_threshold_scales_with_t(self):
+        """A t=2 code survives the dead-fraction point that defeats
+        SEC-DED: the threshold is the code's capability, not a hardwired
+        1.0."""
+        from repro.testing.ecc import make_code
+
+        series = [
+            {"writes": 1e3, "dead_fraction": 0.020},
+            {"writes": 2e3, "dead_fraction": 0.040},
+        ]
+        secded = EccAnalysis(make_code("secded", 64))  # n=72
+        bch = EccAnalysis(make_code("bch", 64))        # n=78, t=2
+        assert secded.capability_exceeded_at(series) == 1e3
+        # 0.02 * 78 = 1.56 < 2; 0.04 * 78 = 3.12 > 2.
+        assert bch.capability_exceeded_at(series) == 2e3
