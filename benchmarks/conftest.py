@@ -36,6 +36,10 @@ _ENERGY_RECORDS = {}
 # the scalar reference and advisor determinism trajectory.
 _ECC_RECORDS = {}
 
+# Workload records, written to BENCH_workloads.json — the attention
+# fork-join pipeline speedup and in-situ-training fast-path trajectory.
+_WORKLOADS_RECORDS = {}
+
 
 def record_sweep_metrics(name, payload):
     """Register one benchmark's metrics (e.g. trials/sec serial vs
@@ -71,6 +75,12 @@ def record_ecc_metrics(name, payload):
     """Register one benchmark's ECC-layer metrics for the session's
     ``BENCH_ecc.json``."""
     _ECC_RECORDS[name] = payload
+
+
+def record_workloads_metrics(name, payload):
+    """Register one benchmark's workload metrics (attention / in-situ
+    training) for the session's ``BENCH_workloads.json``."""
+    _WORKLOADS_RECORDS[name] = payload
 
 
 def validate_bench_schema(records, filename):
@@ -144,6 +154,8 @@ def pytest_sessionfinish(session, exitstatus):
         _dump(_ENERGY_RECORDS, "BENCH_energy.json")
     if _ECC_RECORDS:
         _dump(_ECC_RECORDS, "BENCH_ecc.json")
+    if _WORKLOADS_RECORDS:
+        _dump(_WORKLOADS_RECORDS, "BENCH_workloads.json")
 
 
 @pytest.fixture

@@ -72,6 +72,48 @@ def sparse_signals(
     return dictionary, codes, signals
 
 
+def token_sequences(
+    n_samples: int = 200,
+    seq: int = 8,
+    d_model: int = 16,
+    n_patterns: int = 4,
+    keep_probability: float = 0.7,
+    noise: float = 0.05,
+    rng: RNGLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthetic token sequences for the attention workload.
+
+    Each class owns a prototype token embedding from a random codebook in
+    ``[0, 1]``; a sample is a ``seq``-long sequence that emits its class
+    token with ``keep_probability`` and a random codebook token otherwise,
+    plus Gaussian noise, clipped back to the crossbar input domain.
+
+    Returns ``(X, y)`` with ``X`` of shape ``(n_samples, seq, d_model)``
+    (flatten to ``(n_samples, seq * d_model)`` for the pipeline IR) and
+    integer labels ``y``.  Fully deterministic for a given ``rng`` seed.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if seq < 1 or d_model < 1:
+        raise ValueError("seq and d_model must be >= 1")
+    if n_patterns < 2:
+        raise ValueError(f"n_patterns must be >= 2, got {n_patterns}")
+    if not 0.0 < keep_probability <= 1.0:
+        raise ValueError(
+            f"keep_probability must be in (0, 1], got {keep_probability}"
+        )
+    if noise < 0:
+        raise ValueError(f"noise must be >= 0, got {noise}")
+    gen = ensure_rng(rng)
+    codebook = gen.uniform(0.0, 1.0, size=(n_patterns, d_model))
+    labels = gen.integers(0, n_patterns, size=n_samples)
+    distractors = gen.integers(0, n_patterns, size=(n_samples, seq))
+    keep = gen.random((n_samples, seq)) < keep_probability
+    ids = np.where(keep, labels[:, None], distractors)
+    x = codebook[ids] + noise * gen.standard_normal((n_samples, seq, d_model))
+    return np.clip(x, 0.0, 1.0), labels
+
+
 def binary_patterns(
     n_samples: int = 200,
     n_features: int = 32,

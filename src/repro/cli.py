@@ -476,6 +476,124 @@ def cmd_ecc_advisor(args) -> int:
     return 0
 
 
+def cmd_attention(args) -> int:
+    import json as _json
+
+    from repro.costs import use_model
+    from repro.workloads import explore_attention
+
+    seqs = [int(s) for s in args.seqs.split(",") if s.strip()]
+    d_heads = [int(d) for d in args.d_heads.split(",") if d.strip()]
+    micro_batches = [
+        int(m) for m in args.micro_batches.split(",") if m.strip()
+    ]
+    with use_model(args.energy_model):
+        rows = explore_attention(
+            seqs=seqs,
+            d_heads=d_heads,
+            micro_batches=micro_batches,
+            d_model=args.d_model,
+            batch=args.batch,
+            n_tiles=args.tiles,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    _print_table(
+        f"Attention fork-join DSE (d_model {args.d_model}, batch "
+        f"{args.batch}, {args.tiles} tiles, {args.energy_model} energy "
+        "model)",
+        [
+            {
+                "seq": r["seq"],
+                "d_head": r["d_head"],
+                "micro_batch": r["micro_batch"],
+                "feasible": r["feasible"],
+                "tiles_used": r.get("tiles_used", "-"),
+                "speedup": r.get("speedup", 0.0),
+                "samples_per_s": r.get("throughput", 0.0),
+                "J_per_sample": r.get("energy_per_sample", 0.0),
+                "transfers": r.get("transfers", 0.0),
+                "bit_identical": r.get("bit_identical", "-"),
+            }
+            for r in rows
+        ],
+    )
+    best = max(
+        (r for r in rows if r["feasible"]),
+        key=lambda r: r["speedup"],
+        default=None,
+    )
+    if best is not None:
+        print(
+            f"\nbest: seq {best['seq']}, d_head {best['d_head']}, "
+            f"micro-batch {best['micro_batch']} -> "
+            f"{best['speedup']:.2f}x pipelined over layer-sequential"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(rows, fh, indent=2)
+        print(f"exploration rows written to {args.json}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    import json as _json
+
+    from repro.costs import use_model
+    from repro.workloads import explore_training
+
+    lives = [float(v) for v in args.lives.split(",") if v.strip()]
+    drift_nus = [float(v) for v in args.drift_nus.split(",") if v.strip()]
+    with use_model(args.energy_model):
+        rows = explore_training(
+            lives=lives,
+            drift_nus=drift_nus,
+            epochs=args.epochs,
+            write_sigma=args.write_sigma,
+            backend=args.backend,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    _print_table(
+        f"In-situ training: endurance life x drift over {args.epochs} "
+        f"epochs ({args.backend} update backend, {args.energy_model} "
+        "energy model)",
+        [
+            {
+                "char_life": r["characteristic_life"],
+                "drift_nu": r["drift_nu"],
+                "final_acc": r["final_accuracy"],
+                "dead_cells": r["dead_cells"],
+                "pulses": r["total_pulses"],
+                "J_writes": r["write_energy_j"],
+            }
+            for r in rows
+        ],
+    )
+    _print_table(
+        "Accuracy / dead cells vs epoch (device aging in situ)",
+        [
+            {
+                "char_life": r["characteristic_life"],
+                "drift_nu": r["drift_nu"],
+                **{
+                    f"e{e}": (
+                        f"{r[f'accuracy_epoch{e}']:.3f}"
+                        f"/{r[f'dead_cells_epoch{e}']}"
+                    )
+                    for e in range(args.epochs)
+                },
+            }
+            for r in rows
+        ],
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(rows, fh, indent=2)
+        print(f"training rows written to {args.json}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serve import ServiceConfig, serve_forever
 
@@ -724,6 +842,72 @@ def build_parser() -> argparse.ArgumentParser:
     _add_energy_model_arg(ecc)
     _add_workers_arg(ecc)
 
+    att = sub.add_parser(
+        "attention",
+        help="fork-join attention block DSE through the pipeline IR",
+    )
+    att.add_argument(
+        "--seqs",
+        default="4,8",
+        help="comma-separated sequence lengths to sweep (default 4,8)",
+    )
+    att.add_argument(
+        "--d-heads",
+        default="4,8",
+        help="comma-separated head widths to sweep (default 4,8)",
+    )
+    att.add_argument(
+        "--micro-batches",
+        default="4",
+        help="comma-separated micro-batch sizes to sweep (default 4)",
+    )
+    att.add_argument("--d-model", type=int, default=16)
+    att.add_argument("--batch", type=int, default=16)
+    att.add_argument(
+        "--tiles", type=int, default=16, help="tile inventory (default 16)"
+    )
+    att.add_argument(
+        "--json", default=None, help="also write the rows as JSON to this path"
+    )
+    _add_energy_model_arg(att)
+    _add_workers_arg(att)
+
+    train = sub.add_parser(
+        "train",
+        help="in-situ training: accuracy vs epochs under endurance/drift",
+    )
+    train.add_argument(
+        "--lives",
+        default="8,12,1e6",
+        help=(
+            "comma-separated Weibull characteristic lives in writes "
+            "(default 8,12,1e6)"
+        ),
+    )
+    train.add_argument(
+        "--drift-nus",
+        default="0.0,0.01",
+        help="comma-separated drift exponents to sweep (default 0.0,0.01)",
+    )
+    train.add_argument("--epochs", type=int, default=5)
+    train.add_argument(
+        "--write-sigma",
+        type=float,
+        default=0.05,
+        help="lognormal programming-noise sigma (default 0.05)",
+    )
+    train.add_argument(
+        "--backend",
+        choices=("auto", "fast", "scalar"),
+        default="auto",
+        help="outer-product/write-verify backend (default auto = fast)",
+    )
+    train.add_argument(
+        "--json", default=None, help="also write the rows as JSON to this path"
+    )
+    _add_energy_model_arg(train)
+    _add_workers_arg(train)
+
     serve = sub.add_parser(
         "serve", help="run the simulation job server (JSON-lines over TCP)"
     )
@@ -753,7 +937,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "kind",
-        choices=("infer", "sweep", "dse", "pipeline", "faults", "ecc", "stats"),
+        choices=(
+            "infer", "sweep", "dse", "pipeline", "faults", "ecc",
+            "attention", "train", "stats",
+        ),
         help="request kind",
     )
     submit.add_argument(
@@ -782,13 +969,15 @@ _COMMANDS = {
     "report": cmd_report,
     "pipeline": cmd_pipeline,
     "ecc-advisor": cmd_ecc_advisor,
+    "attention": cmd_attention,
+    "train": cmd_train,
     "serve": cmd_serve,
     "submit": cmd_submit,
 }
 
 #: Subcommands backed by the deterministic sweep engine; each accepts the
 #: global ``--seed`` and its own ``--workers`` (tests assert this).
-SWEEP_COMMANDS = ("yield", "pipeline", "ecc-advisor")
+SWEEP_COMMANDS = ("yield", "pipeline", "ecc-advisor", "attention", "train")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

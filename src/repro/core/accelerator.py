@@ -100,6 +100,35 @@ class CIMAccelerator:
         """Number of CIM cores in the grid."""
         return self.n_row_blocks * self.n_col_blocks
 
+    def program_weights(self, weights: np.ndarray) -> None:
+        """Reprogram the whole tile grid with a new same-shape matrix.
+
+        Every tile re-runs its program-with-verify cycle, so write energy
+        and latency are charged exactly as at construction — this is the
+        path data-dependent stages (attention's QK^T / AV operands) pay
+        per micro-batch.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != self.weights.shape:
+            raise ValueError(
+                f"weights shape {weights.shape} does not match the "
+                f"allocated grid {self.weights.shape}"
+            )
+        if np.max(np.abs(weights)) > 1.0 + 1e-9:
+            raise ValueError("weights must be pre-scaled to [-1, 1]")
+        p = self.params
+        rows, cols = weights.shape
+        for bi in range(self.n_row_blocks):
+            r0 = bi * p.tile_rows
+            r1 = min(r0 + p.tile_rows, rows)
+            for bj in range(self.n_col_blocks):
+                c0 = bj * p.tile_cols
+                c1 = min(c0 + p.tile_cols, cols)
+                block = np.zeros((p.tile_rows, p.tile_cols))
+                block[: r1 - r0, : c1 - c0] = weights[r0:r1, c0:c1]
+                self.tiles[bi][bj].program_weights(block)
+        self.weights = weights
+
     def vmm(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
         """``y ~ x @ W`` over the tile grid with digital accumulation."""
         x = np.asarray(x, dtype=float)

@@ -200,6 +200,40 @@ class CrossbarArray:
             self._g[row, col] = float(np.clip(landed, lo, hi))
         return float(self.conductances()[row, col])
 
+    def write_cells(self, mask: np.ndarray, targets: np.ndarray) -> None:
+        """Program the masked subset of cells toward ``targets`` in one
+        parallel pulse (cells outside ``mask`` are not addressed and keep
+        their conductance and write counters).
+
+        Unlike :meth:`program`/:meth:`write_cell` this does **not** apply
+        the array's write-variation model: callers own the landed values
+        (in-situ training draws its write noise from a dedicated stream so
+        its fast and scalar backends stay bit-identical).  Values are
+        clipped to the physical range; stuck cells keep their pinned
+        overlay but still count the pulse against endurance.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        targets = np.asarray(targets, dtype=float)
+        if mask.shape != self.shape or targets.shape != self.shape:
+            raise ValueError(
+                f"mask/targets shape {mask.shape}/{targets.shape} does "
+                f"not match array {self.shape}"
+            )
+        n = int(mask.sum())
+        if n == 0:
+            return
+        if np.any(targets[mask] < 0):
+            raise ValueError("conductance targets must be non-negative")
+        lo = self.config.levels.g_min * 0.5
+        hi = self.config.levels.g_max * 1.5
+        landed = np.clip(targets, lo, hi)
+        write_here = mask & ~self._stuck_mask
+        self._g = np.where(write_here, landed, self._g)
+        self._write_counts += mask.astype(np.int64)
+        self._write_ops += 1
+        telemetry.current().incr("crossbar.write_ops")
+        telemetry.current().incr("crossbar.cells_written", n)
+
     def program_with_verify(
         self,
         targets: np.ndarray,

@@ -101,8 +101,43 @@ class EnduranceSimulator:
             g_min=levels.g_min,
             g_max=levels.g_max,
         )
+        return self._advance(np.full(self.array.shape, writes_per_cell))
+
+    def wear(self, writes: np.ndarray) -> List[Fault]:
+        """Apply a *per-cell* write-count increment (non-uniform cycling —
+        the shape in-situ training produces, where each update pulses only
+        the cells whose target moved); returns the newly expired cells'
+        faults.  Charges the total pulse count through the active energy
+        model, like :meth:`cycle`.
+        """
+        writes = np.asarray(writes, dtype=float)
+        if writes.shape != self.array.shape:
+            raise ValueError(
+                f"writes shape {writes.shape} does not match array "
+                f"{self.array.shape}"
+            )
+        if np.any(writes < 0):
+            raise ValueError("per-cell writes must be >= 0")
+        total = float(writes.sum())
+        if total == 0:
+            return []
+        rows, cols = self.array.shape
+        levels = self.array.config.levels
+        model = energy_models.active_model()
+        model.charge_programming(
+            self.costs,
+            n_cells=rows * cols,
+            iterations=total / (rows * cols),
+            targets=self.array.conductances() if model.needs_values else None,
+            g_min=levels.g_min,
+            g_max=levels.g_max,
+        )
+        return self._advance(writes)
+
+    def _advance(self, writes: np.ndarray) -> List[Fault]:
+        """Advance per-cell write counters and kill expired cells."""
         before = self._writes < self._lifetimes
-        self._writes += writes_per_cell
+        self._writes += writes
         now_dead = (self._writes >= self._lifetimes) & before
         now_dead &= ~self.array._stuck_mask
         new_faults: List[Fault] = []

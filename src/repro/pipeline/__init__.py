@@ -1,7 +1,9 @@
 """Graph compiler and pipelined multi-tile scheduler.
 
 Turns a whole model into a machine: :mod:`~repro.pipeline.ir` extracts a
-layer-graph IR from trained models (or builds one by hand),
+validated layer-graph DAG from trained models (or builds one by hand —
+chains, forks and joins, e.g. the attention block in
+:mod:`repro.workloads.attention`),
 :mod:`~repro.pipeline.allocate` partitions every layer over a fixed
 crossbar-tile inventory (with ISAAC-style weight duplication for
 bottleneck layers), :mod:`~repro.pipeline.schedule` streams micro-batched
@@ -37,6 +39,7 @@ from repro.pipeline.explore import (
 )
 from repro.pipeline.interconnect import Interconnect, InterconnectParams
 from repro.pipeline.ir import (
+    GRAPH_INPUT,
     GraphBuilder,
     LayerGraph,
     LayerNode,
@@ -50,6 +53,7 @@ from repro.pipeline.schedule import (
 )
 
 __all__ = [
+    "GRAPH_INPUT",
     "LayerNode",
     "LayerGraph",
     "GraphBuilder",

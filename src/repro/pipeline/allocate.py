@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.accelerator import AcceleratorParams, CIMAccelerator
 from repro.core.metrics import CostAccumulator
-from repro.pipeline.ir import LayerGraph, LayerNode
+from repro.pipeline.ir import LayerGraph, LayerNode, _apply_activation
 from repro.utils.rng import RNGLike, spawn_rngs
 
 __all__ = [
@@ -117,7 +117,7 @@ class StageAllocation:
         return microbatch_index % self.n_replicas
 
     def apply(
-        self, h: np.ndarray, microbatch_index: int = 0, noisy: bool = False
+        self, h, microbatch_index: int = 0, noisy: bool = False
     ) -> np.ndarray:
         """Run one micro-batch through this stage on its assigned replica.
 
@@ -126,14 +126,24 @@ class StageAllocation:
         into ``[0, 1]`` by ``input_scale``, the crossbar output is
         rescaled by ``weight_scale * input_scale`` and biased, then the
         node's activation applies.
+
+        For ``matmul`` stages ``h`` is the *(left, right)* payload pair:
+        each sample's right operand is programmed into the replica's
+        tiles (charging write energy through the active energy model)
+        before its left tokens stream through — the data-dependent QK^T /
+        AV execution the DAG IR exists for.
         """
         node = self.node
         accel = self.replicas[self.replica_for(microbatch_index)]
+        if node.kind == "matmul":
+            return self._apply_matmul(accel, h, noisy)
         h = np.asarray(h, dtype=float)
         if node.kind == "conv2d":
             from repro.apps.cnn import im2col
 
             batch = h.shape[0]
+            if h.ndim == 2:  # mid-graph conv: flat payload -> images
+                h = h.reshape(batch, node.image_size, node.image_size)
             patches = im2col(h, node.kernel)
             flat = patches.reshape(batch * patches.shape[1], -1)
             scaled = np.clip(flat / node.input_scale, 0.0, 1.0)
@@ -143,9 +153,11 @@ class StageAllocation:
                 * node.input_scale
                 + node.bias
             )
-            if node.activation == "relu":
-                z = np.maximum(z, 0.0)
+            z = _apply_activation(z, node.activation)
             return z.reshape(batch, -1)
+        batch = h.shape[0]
+        if node.tokens:  # per-token dense: every token through the matrix
+            h = h.reshape(batch * node.tokens, int(node.weights.shape[0]))
         scaled = np.clip(h / node.input_scale, 0.0, 1.0)
         z = (
             accel.vmm_batch(scaled, noisy=noisy)
@@ -153,9 +165,37 @@ class StageAllocation:
             * node.input_scale
             + node.bias
         )
-        if node.activation == "relu":
-            z = np.maximum(z, 0.0)
+        z = _apply_activation(z, node.activation)
+        if node.tokens:
+            z = z.reshape(batch, -1)
         return z
+
+    def _apply_matmul(
+        self, accel: CIMAccelerator, payload, noisy: bool
+    ) -> np.ndarray:
+        """Per-sample dynamic matmul: program B, stream A's tokens."""
+        node = self.node
+        left, right = payload
+        left = np.asarray(left, dtype=float)
+        right = np.asarray(right, dtype=float)
+        batch = left.shape[0]
+        rows, cols = node.weights.shape
+        b_mats = node._right_operand(right)
+        out = np.empty((batch, node.tokens * cols))
+        for b in range(batch):
+            b_scale = float(max(np.abs(b_mats[b]).max(), 1e-12))
+            accel.program_weights(b_mats[b] / b_scale)
+            a = left[b].reshape(node.tokens, rows)
+            scaled = np.clip(a / node.input_scale, 0.0, 1.0)
+            z = (
+                accel.vmm_batch(scaled, noisy=noisy)
+                * b_scale
+                * node.input_scale
+                * node.matmul_scale
+                + node.bias
+            )
+            out[b] = _apply_activation(z, node.activation).reshape(-1)
+        return out
 
     def latency_accumulated(self) -> float:
         """Total latency charged across this stage's replicas so far (s)."""
@@ -321,7 +361,12 @@ def allocate(
     stages: List[StageAllocation] = []
     k = 0
     for node, tiles, n_replicas in zip(graph, per_replica, counts):
-        w_scale = float(max(np.abs(node.weights).max(), 1e-12))
+        if node.kind == "matmul":
+            # The crossbar contents are data: scaling is per-sample at
+            # execution time, the static placeholder carries no scale.
+            w_scale = 1.0
+        else:
+            w_scale = float(max(np.abs(node.weights).max(), 1e-12))
         replicas = []
         for _ in range(n_replicas):
             replicas.append(

@@ -41,8 +41,12 @@ import numpy as np
 
 from repro.pipeline.allocate import Allocation
 from repro.pipeline.interconnect import Interconnect, InterconnectParams
+from repro.pipeline.ir import GRAPH_INPUT
 from repro.utils import telemetry
 from repro.utils.telemetry import RunReport
+
+#: Pseudo-consumer name for the sink -> host output edge.
+_HOST = "@host"
 
 __all__ = ["ScheduleParams", "ScheduleResult", "PipelineScheduler"]
 
@@ -292,15 +296,23 @@ class PipelineScheduler:
         cost_before = self._merged_categories()
         bytes_before = self.interconnect.bytes_moved
 
-        # ---- functional pass: stage-major so every replica consumes its
-        # micro-batches in index order regardless of schedule mode.
+        # ---- functional pass: topological stage-major so every replica
+        # consumes its micro-batches in index order regardless of schedule
+        # mode.  Stages are stored in topo order, so every producer's
+        # payload exists when its consumer runs.
         service: List[List[float]] = []
-        edge_payloads: List[List[np.ndarray]] = [chunks]
-        current = chunks
+        payloads: Dict[str, List[np.ndarray]] = {GRAPH_INPUT: chunks}
         for stage in stages:
+            srcs = graph.producers(stage.name)
+            in_rows = [payloads[src] for src in srcs]
             serv_row: List[float] = []
             outs: List[np.ndarray] = []
-            for m, h in enumerate(current):
+            for m in range(n_mb):
+                h = (
+                    tuple(row[m] for row in in_rows)
+                    if len(in_rows) > 1
+                    else in_rows[0][m]
+                )
                 replica = stage.replicas[stage.replica_for(m)]
                 lat0 = replica.total_costs().total.latency
                 outs.append(stage.apply(h, m, noisy=noisy))
@@ -310,29 +322,37 @@ class PipelineScheduler:
                 # divided by the tile count.
                 serv_row.append((lat1 - lat0) / replica.n_tiles)
             service.append(serv_row)
-            edge_payloads.append(outs)
-            current = outs
-        outputs = np.concatenate(current, axis=0)
+            payloads[stage.name] = outs
+        outputs = np.concatenate(payloads[graph.sink_name], axis=0)
 
-        # ---- transfer charging: one payload per edge per micro-batch
-        # (host -> stage0, stage_s -> stage_{s+1}, last -> host), identical
-        # in both modes so energy is schedule-invariant.  The actual
-        # activation chunks ride along so a value-aware energy model can
-        # price each wire by its payload's switching activity.
-        widths = [graph.in_features] + [s.node.out_features for s in stages]
+        # ---- transfer charging: one payload per edge per micro-batch.
+        # The edge list covers every producer -> consumer pair (so a
+        # fork charges each branch edge separately), the host -> entry
+        # edges and the sink -> host edge, identically in both modes so
+        # energy is schedule-invariant.  The actual activation chunks
+        # ride along so a value-aware energy model can price each wire by
+        # its payload's switching activity.
+        edge_list: List[Tuple[str, str]] = [
+            (src, stage.name)
+            for stage in stages
+            for src in graph.producers(stage.name)
+        ]
+        edge_list.append((graph.sink_name, _HOST))
+        out_widths = {s.name: s.node.out_features for s in stages}
+        out_widths[GRAPH_INPUT] = graph.in_features
         transfer_lat = [
             [
                 self.interconnect.transfer(
-                    width * chunk.shape[0], values=chunk
+                    out_widths[src] * chunk.shape[0], values=chunk
                 )
-                for chunk in payload_row
+                for chunk in payloads[src]
             ]
-            for width, payload_row in zip(widths, edge_payloads)
+            for src, _ in edge_list
         ]
 
         # ---- event propagation.
         finish, busy, buffer_peaks = self._propagate(
-            service, transfer_lat, mode
+            service, transfer_lat, edge_list, mode
         )
         makespan = finish
 
@@ -369,30 +389,41 @@ class PipelineScheduler:
         self,
         service: List[List[float]],
         transfer_lat: List[List[float]],
+        edge_list: List[Tuple[str, str]],
         mode: str,
     ) -> Tuple[float, List[float], List[int]]:
-        """Propagate ready events through the stage chain.
+        """Propagate ready events through the stage DAG.
 
         Links carry one micro-batch at a time (serialized per edge);
-        every replica is one server.  ``sequential`` adds a barrier: a
-        stage's first start waits for the whole previous layer.
+        every replica is one server.  A join stage's micro-batch is ready
+        only when *every* in-edge has delivered it.  ``sequential`` adds
+        a barrier: a stage's first start waits for its whole input layer.
         """
         stages = self.allocation.stages
         n_mb = len(service[0]) if service else 0
-        n_edges = len(transfer_lat)
 
-        link_free = [0.0] * n_edges
-        producer_done = [0.0] * n_mb   # host data is resident at t=0
+        link_free = [0.0] * len(edge_list)
+        done: Dict[str, List[float]] = {
+            GRAPH_INPUT: [0.0] * n_mb  # host data is resident at t=0
+        }
         busy = [0.0] * len(stages)
         buffer_peaks: List[int] = []
 
+        in_edges: Dict[str, List[int]] = {s.name: [] for s in stages}
+        for e, (_, dst) in enumerate(edge_list):
+            if dst in in_edges:
+                in_edges[dst].append(e)
+
         for s, stage in enumerate(stages):
-            # Edge s ships micro-batch m once its producer finished it.
+            # Every in-edge ships micro-batch m once its producer finished
+            # it; the stage sees m when the slowest in-edge delivers.
             arrival = [0.0] * n_mb
-            for m in range(n_mb):
-                start_x = max(producer_done[m], link_free[s])
-                link_free[s] = start_x + transfer_lat[s][m]
-                arrival[m] = link_free[s]
+            for e in in_edges[stage.name]:
+                src_done = done[edge_list[e][0]]
+                for m in range(n_mb):
+                    start_x = max(src_done[m], link_free[e])
+                    link_free[e] = start_x + transfer_lat[e][m]
+                    arrival[m] = max(arrival[m], link_free[e])
             barrier = max(arrival) if (mode == "sequential" and arrival) else 0.0
 
             server_free = [0.0] * stage.n_replicas
@@ -411,13 +442,14 @@ class PipelineScheduler:
                     [(arrival[m], max(starts[m], arrival[m])) for m in range(n_mb)]
                 )
             )
-            producer_done = finishes
+            done[stage.name] = finishes
 
-        # Output edge back to the host.
-        out_edge = n_edges - 1
+        # Output edge back to the host (last entry of the edge list).
+        out_edge = len(edge_list) - 1
+        sink_done = done[edge_list[out_edge][0]]
         end = 0.0
         for m in range(n_mb):
-            start_x = max(producer_done[m], link_free[out_edge])
+            start_x = max(sink_done[m], link_free[out_edge])
             link_free[out_edge] = start_x + transfer_lat[out_edge][m]
             end = max(end, link_free[out_edge])
         return end, busy, buffer_peaks

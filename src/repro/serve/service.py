@@ -51,7 +51,10 @@ __all__ = [
 ]
 
 #: Request kinds the service accepts.
-REQUEST_KINDS = ("infer", "sweep", "dse", "pipeline", "faults", "ecc", "stats")
+REQUEST_KINDS = (
+    "infer", "sweep", "dse", "pipeline", "faults", "ecc",
+    "attention", "train", "stats",
+)
 
 
 class ServeError(RuntimeError):
@@ -163,6 +166,33 @@ ECC_DEFAULTS: Dict[str, Any] = {
     "mc_words": 4096,
     "words_per_array": 1024,
     "trials": 2,
+    "seed": 0,
+    "energy_model": "static",
+}
+
+
+ATTENTION_DEFAULTS: Dict[str, Any] = {
+    "seqs": [4, 8],
+    "d_heads": [4, 8],
+    "micro_batches": [4],
+    "d_model": 16,
+    "batch": 16,
+    "n_tiles": 16,
+    "model_seed": 2024,
+    "trials": 1,
+    "seed": 0,
+    "energy_model": "static",
+}
+
+TRAIN_DEFAULTS: Dict[str, Any] = {
+    "lives": [8.0, 12.0, 1e6],
+    "drift_nus": [0.0, 0.01],
+    "epochs": 5,
+    "n_features": 16,
+    "n_classes": 4,
+    "write_sigma": 0.05,
+    "backend": "auto",
+    "trials": 1,
     "seed": 0,
     "energy_model": "static",
 }
@@ -714,6 +744,91 @@ class SimulationService:
             raise BadRequestError(f"bad ecc request: {exc}") from None
         report.label = "ecc"
         return self._finish("ecc", key, result, report)
+
+    # ------------------------------------------------------- kind:attention
+    async def _handle_attention(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        params = dict(params)
+        workers = params.pop("workers", 0)
+        cfg = _normalize(params, ATTENTION_DEFAULTS, "attention")
+        spec = _energy_spec(cfg["energy_model"])
+        cfg["energy_model"] = spec.to_dict()
+        # ``workers`` stays out of the key (bit-identical engine); the
+        # energy-model spec is *in* it, so static and value-aware runs of
+        # the same geometry can never share a warm hit.
+        key, hit = self._cached("attention", cfg)
+        if hit is not None:
+            return self._hit_response("attention", hit)
+
+        def _run() -> Tuple[Dict[str, Any], RunReport]:
+            from repro.costs.models import use_model
+            from repro.workloads import explore_attention
+
+            with use_model(spec), telemetry.scoped() as scope:
+                rows = explore_attention(
+                    seqs=[int(s) for s in cfg["seqs"]],
+                    d_heads=[int(d) for d in cfg["d_heads"]],
+                    micro_batches=[int(m) for m in cfg["micro_batches"]],
+                    d_model=int(cfg["d_model"]),
+                    batch=int(cfg["batch"]),
+                    n_tiles=int(cfg["n_tiles"]),
+                    model_seed=int(cfg["model_seed"]),
+                    trials=int(cfg["trials"]),
+                    seed=int(cfg["seed"]),
+                    workers=workers,
+                )
+            report = RunReport.from_counters(
+                scope.snapshot(include_timers=False)["counters"],
+                label="attention",
+            )
+            return {"rows": rows}, report
+
+        try:
+            async with self._compute_lock:
+                result, report = await asyncio.to_thread(_run)
+        except ValueError as exc:
+            raise BadRequestError(f"bad attention request: {exc}") from None
+        return self._finish("attention", key, result, report)
+
+    # ----------------------------------------------------------- kind:train
+    async def _handle_train(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        params = dict(params)
+        workers = params.pop("workers", 0)
+        cfg = _normalize(params, TRAIN_DEFAULTS, "train")
+        spec = _energy_spec(cfg["energy_model"])
+        cfg["energy_model"] = spec.to_dict()
+        key, hit = self._cached("train", cfg)
+        if hit is not None:
+            return self._hit_response("train", hit)
+
+        def _run() -> Tuple[Dict[str, Any], RunReport]:
+            from repro.costs.models import use_model
+            from repro.workloads import explore_training
+
+            with use_model(spec), telemetry.scoped() as scope:
+                rows = explore_training(
+                    lives=[float(v) for v in cfg["lives"]],
+                    drift_nus=[float(v) for v in cfg["drift_nus"]],
+                    epochs=int(cfg["epochs"]),
+                    n_features=int(cfg["n_features"]),
+                    n_classes=int(cfg["n_classes"]),
+                    write_sigma=float(cfg["write_sigma"]),
+                    backend=str(cfg["backend"]),
+                    trials=int(cfg["trials"]),
+                    seed=int(cfg["seed"]),
+                    workers=workers,
+                )
+            report = RunReport.from_counters(
+                scope.snapshot(include_timers=False)["counters"],
+                label="train",
+            )
+            return {"rows": rows}, report
+
+        try:
+            async with self._compute_lock:
+                result, report = await asyncio.to_thread(_run)
+        except ValueError as exc:
+            raise BadRequestError(f"bad train request: {exc}") from None
+        return self._finish("train", key, result, report)
 
     # ----------------------------------------------------------- kind:stats
     async def _handle_stats(self, params: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,0 +1,42 @@
+"""Workload-diversity tier: model classes beyond MLP/CNN inference.
+
+Two workloads open this tier (ROADMAP item 5, the paper's Section IV
+workload argument):
+
+* :mod:`repro.workloads.attention` — a single-head transformer block
+  traced as a fork-join DAG through the pipeline IR (crossbar QK^T and
+  AV matmuls, digital softmax);
+* :mod:`repro.workloads.training` — in-situ training with outer-product
+  updates, write-verify programming, endurance consumption and drift.
+
+Both are deterministic sweep-engine consumers surfaced as ``cimflow
+attention`` / ``cimflow train`` and as serve request kinds.
+"""
+
+from repro.workloads.attention import (
+    AttentionParams,
+    attention_graph,
+    explore_attention,
+    run_attention,
+)
+from repro.workloads.training import (
+    InSituDense,
+    InSituTrainer,
+    TrainingParams,
+    explore_training,
+    outer_product_delta,
+    train_insitu,
+)
+
+__all__ = [
+    "AttentionParams",
+    "attention_graph",
+    "run_attention",
+    "explore_attention",
+    "TrainingParams",
+    "outer_product_delta",
+    "InSituDense",
+    "InSituTrainer",
+    "train_insitu",
+    "explore_training",
+]

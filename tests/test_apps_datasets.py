@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.apps.datasets import binary_patterns, gaussian_blobs, sparse_signals
+from repro.apps.datasets import (
+    binary_patterns,
+    gaussian_blobs,
+    sparse_signals,
+    token_sequences,
+)
 
 
 class TestGaussianBlobs:
@@ -80,3 +85,42 @@ class TestBinaryPatterns:
     def test_flip_probability_bound(self):
         with pytest.raises(ValueError):
             binary_patterns(flip_probability=0.5)
+
+
+class TestTokenSequences:
+    def test_shapes_and_ranges(self):
+        x, y = token_sequences(n_samples=20, seq=4, d_model=8, rng=0)
+        assert x.shape == (20, 4, 8)
+        assert y.shape == (20,)
+        assert x.min() >= 0 and x.max() <= 1
+        assert set(np.unique(y)).issubset(set(range(4)))
+
+    def test_deterministic(self):
+        a = token_sequences(n_samples=10, rng=5)
+        b = token_sequences(n_samples=10, rng=5)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_pure_class_token_without_noise(self):
+        # keep_probability=1 and noise=0 repeat the class prototype at
+        # every position, so all tokens in a sample are identical.
+        x, y = token_sequences(
+            n_samples=12, seq=5, keep_probability=1.0, noise=0.0, rng=2
+        )
+        assert np.all(x == x[:, :1, :])
+        # Samples sharing a label share the prototype.
+        for k in np.unique(y):
+            rows = x[y == k]
+            assert np.all(rows == rows[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            token_sequences(n_samples=0)
+        with pytest.raises(ValueError, match="n_patterns"):
+            token_sequences(n_patterns=1)
+        with pytest.raises(ValueError, match="keep_probability"):
+            token_sequences(keep_probability=0.0)
+        with pytest.raises(ValueError, match="noise"):
+            token_sequences(noise=-0.1)
+        with pytest.raises(ValueError, match="seq"):
+            token_sequences(seq=0)

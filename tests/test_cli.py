@@ -18,6 +18,8 @@ class TestParser:
             "report",
             "pipeline",
             "ecc-advisor",
+            "attention",
+            "train",
             "serve",
         ):
             args = parser.parse_args([command])
@@ -139,6 +141,54 @@ class TestParser:
     def test_submit_accepts_ecc_kind(self):
         args = build_parser().parse_args(["submit", "ecc"])
         assert args.kind == "ecc"
+
+    def test_submit_accepts_workload_kinds(self):
+        for kind in ("attention", "train"):
+            args = build_parser().parse_args(["submit", kind])
+            assert args.kind == kind
+
+    def test_attention_options(self):
+        args = build_parser().parse_args(
+            [
+                "attention",
+                "--seqs",
+                "4,8",
+                "--d-heads",
+                "4",
+                "--micro-batches",
+                "2,4",
+                "--d-model",
+                "8",
+                "--tiles",
+                "12",
+            ]
+        )
+        assert args.seqs == "4,8"
+        assert args.d_heads == "4"
+        assert args.micro_batches == "2,4"
+        assert args.d_model == 8
+        assert args.tiles == 12
+
+    def test_train_options(self):
+        args = build_parser().parse_args(
+            [
+                "train",
+                "--lives",
+                "8,1e6",
+                "--drift-nus",
+                "0.0",
+                "--epochs",
+                "3",
+                "--backend",
+                "scalar",
+            ]
+        )
+        assert args.lives == "8,1e6"
+        assert args.drift_nus == "0.0"
+        assert args.epochs == 3
+        assert args.backend == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--backend", "gpu"])
 
 
 class TestExecution:
@@ -289,6 +339,111 @@ class TestExecution:
     def test_ecc_advisor_bad_code(self, capsys):
         assert main(["ecc-advisor", "--codes", "rs255"]) == 2
         assert "unknown ECC code" in capsys.readouterr().err
+
+    def test_attention_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "attention",
+                    "--seqs",
+                    "4",
+                    "--d-heads",
+                    "4",
+                    "--micro-batches",
+                    "2",
+                    "--d-model",
+                    "8",
+                    "--batch",
+                    "8",
+                    "--workers",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Attention fork-join DSE" in out
+        assert "speedup" in out
+        assert "best:" in out
+
+    def test_attention_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "attention.json"
+        assert (
+            main(
+                [
+                    "attention",
+                    "--seqs",
+                    "4",
+                    "--d-heads",
+                    "4",
+                    "--micro-batches",
+                    "2",
+                    "--d-model",
+                    "8",
+                    "--batch",
+                    "8",
+                    "--workers",
+                    "0",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(path.read_text())
+        assert rows and rows[0]["feasible"] is True
+        assert rows[0]["bit_identical"] is True
+        assert rows[0]["speedup"] > 1.0
+
+    def test_train_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "train",
+                    "--lives",
+                    "8",
+                    "--drift-nus",
+                    "0.01",
+                    "--epochs",
+                    "2",
+                    "--workers",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "In-situ training" in out
+        assert "dead_cells" in out
+        assert "Accuracy / dead cells vs epoch" in out
+
+    def test_train_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "train.json"
+        assert (
+            main(
+                [
+                    "train",
+                    "--lives",
+                    "8",
+                    "--drift-nus",
+                    "0.0",
+                    "--epochs",
+                    "2",
+                    "--workers",
+                    "0",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(path.read_text())
+        assert rows and rows[0]["feasible"] is True
+        assert rows[0]["total_pulses"] > 0
 
     def test_submit_bad_params_json(self, capsys):
         assert main(["submit", "stats", "--params", "{bad", "--port", "1"]) == 2

@@ -209,3 +209,71 @@ class TestDrift:
         g = xbar.conductances()
         assert g[0, 0] == 1e-4                  # stuck untouched
         assert g[1, 1] < 5e-5                   # healthy drifted
+
+
+class TestWriteCells:
+    def _xbar(self, n=4):
+        xbar = CrossbarArray(CrossbarConfig(rows=n, cols=n), rng=0)
+        xbar.program(np.full((n, n), 5e-5))
+        return xbar
+
+    def test_only_masked_cells_updated(self):
+        xbar = self._xbar()
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 2] = mask[3, 0] = True
+        targets = np.full((4, 4), 8e-5)
+        xbar.write_cells(mask, targets)
+        g = xbar.conductances()
+        assert g[1, 2] == 8e-5 and g[3, 0] == 8e-5
+        untouched = ~mask
+        assert np.all(g[untouched] == 5e-5)
+        counts = xbar.write_counts()
+        assert counts[1, 2] == counts[3, 0] == 2  # program + pulse
+        assert np.all(counts[untouched] == 1)
+
+    def test_no_write_variation_applied(self):
+        # write_cells lands exactly what the caller asked for, even when
+        # the array carries a noisy write model (callers own the noise).
+        stack = VariabilityStack(
+            write=WriteVariationModel(sigma=0.3),
+            read=ReadNoiseModel(sigma=0.0),
+            drift=DriftModel(nu=0.0),
+        )
+        xbar = CrossbarArray(
+            CrossbarConfig(rows=2, cols=2), variability=stack, rng=1
+        )
+        mask = np.ones((2, 2), dtype=bool)
+        xbar.write_cells(mask, np.full((2, 2), 7e-5))
+        assert np.all(xbar.conductances() == 7e-5)
+
+    def test_stuck_cells_keep_overlay_but_count_pulse(self):
+        xbar = self._xbar()
+        pinned = xbar.config.levels.g_max
+        xbar.stick_cell(0, 0, pinned)
+        before = xbar.write_counts()[0, 0]
+        mask = np.ones((4, 4), dtype=bool)
+        xbar.write_cells(mask, np.full((4, 4), 2e-5))
+        assert xbar.conductances()[0, 0] == pinned
+        assert xbar.write_counts()[0, 0] == before + 1
+
+    def test_empty_mask_is_noop(self):
+        xbar = self._xbar()
+        before = xbar.write_counts().copy()
+        xbar.write_cells(np.zeros((4, 4), dtype=bool), np.zeros((4, 4)))
+        assert np.array_equal(xbar.write_counts(), before)
+        assert np.all(xbar.conductances() == 5e-5)
+
+    def test_shape_and_sign_validated(self):
+        xbar = self._xbar()
+        with pytest.raises(ValueError, match="shape"):
+            xbar.write_cells(np.ones((2, 2), dtype=bool), np.zeros((4, 4)))
+        mask = np.ones((4, 4), dtype=bool)
+        with pytest.raises(ValueError, match="non-negative"):
+            xbar.write_cells(mask, np.full((4, 4), -1e-5))
+
+    def test_targets_clipped_to_physical_range(self):
+        xbar = self._xbar()
+        levels = xbar.config.levels
+        mask = np.ones((4, 4), dtype=bool)
+        xbar.write_cells(mask, np.full((4, 4), levels.g_max * 10))
+        assert np.all(xbar.conductances() == levels.g_max * 1.5)

@@ -90,3 +90,60 @@ class TestEnduranceSimulator:
         first_cells = {(f.row, f.col) for f in first}
         second_cells = {(f.row, f.col) for f in second}
         assert not first_cells & second_cells
+
+
+class TestWear:
+    """Per-cell (non-uniform) cycling via EnduranceSimulator.wear."""
+
+    def _sim(self, n=8, life=100, rng=2):
+        return EnduranceSimulator(
+            _array(n=n),
+            EnduranceModel(characteristic_life=life, shape=2.0),
+            rng=rng,
+        )
+
+    def test_shape_mismatch_rejected(self):
+        sim = self._sim()
+        with pytest.raises(ValueError, match="shape"):
+            sim.wear(np.ones((4, 4)))
+
+    def test_negative_writes_rejected(self):
+        sim = self._sim()
+        writes = np.zeros((8, 8))
+        writes[0, 0] = -1.0
+        with pytest.raises(ValueError, match=">= 0"):
+            sim.wear(writes)
+
+    def test_zero_writes_is_a_noop(self):
+        sim = self._sim()
+        energy_before = sim.costs.total.energy
+        assert sim.wear(np.zeros((8, 8))) == []
+        assert sim.dead_cell_count == 0
+        assert sim.costs.total.energy == energy_before
+
+    def test_energy_charged_for_total_pulses(self):
+        sim = self._sim(life=10**9)
+        writes = np.zeros((8, 8))
+        writes[0, :] = 5.0
+        sim.wear(writes)
+        assert sim.costs.total.energy > 0
+
+    def test_only_heavily_written_cells_die(self):
+        sim = self._sim(life=100, rng=3)
+        writes = np.zeros((8, 8))
+        writes[:4, :] = 10_000.0  # far past any sampled lifetime
+        faults = sim.wear(writes)
+        assert faults
+        assert all(f.row < 4 for f in faults)
+        # The untouched half of the array must be fully alive.
+        assert sim.dead_cell_count == len(faults) <= 32
+
+    def test_uniform_wear_matches_cycle(self):
+        a = self._sim(life=100, rng=7)
+        b = self._sim(life=100, rng=7)
+        dead_a = a.wear(np.full((8, 8), 500.0))
+        dead_b = b.cycle(500.0)
+        assert {(f.row, f.col) for f in dead_a} == {
+            (f.row, f.col) for f in dead_b
+        }
+        assert a.costs.total.energy == pytest.approx(b.costs.total.energy)

@@ -577,6 +577,111 @@ class TestEcc:
         run(main())
 
 
+ATTENTION = {
+    "seqs": [4],
+    "d_heads": [4],
+    "micro_batches": [2],
+    "d_model": 8,
+    "batch": 8,
+}
+
+TRAIN = {"lives": [8.0], "drift_nus": [0.01], "epochs": 2}
+
+
+class TestWorkloadKinds:
+    def test_attention_cold_then_warm_bit_identical(self):
+        async def main():
+            svc = make_service()
+            cold = await svc.submit({"kind": "attention", "params": ATTENTION})
+            warm = await svc.submit({"kind": "attention", "params": ATTENTION})
+            return cold, warm
+
+        cold, warm = run(main())
+        assert cold["cache"] == "miss" and warm["cache"] == "hit"
+        assert cold["result"] == warm["result"]
+        rows = cold["result"]["rows"]
+        assert rows[0]["feasible"] is True
+        assert rows[0]["bit_identical"] is True
+        RunReport.from_dict(cold["report"]).validate()
+
+    def test_train_cold_then_warm_bit_identical(self):
+        async def main():
+            svc = make_service()
+            cold = await svc.submit({"kind": "train", "params": TRAIN})
+            warm = await svc.submit({"kind": "train", "params": TRAIN})
+            return cold, warm
+
+        cold, warm = run(main())
+        assert cold["cache"] == "miss" and warm["cache"] == "hit"
+        assert cold["result"] == warm["result"]
+        rows = cold["result"]["rows"]
+        assert rows[0]["total_pulses"] > 0
+        report = RunReport.from_dict(cold["report"])
+        report.validate()
+        assert report.total_energy > 0  # programming energy was charged
+
+    def test_energy_model_forks_workload_cache_keys(self):
+        """Regression: the energy-model spec is part of both workload
+        kinds' result fingerprints — a value-aware run must never be
+        served a static entry (and vice versa)."""
+
+        async def main():
+            svc = make_service()
+            results = {}
+            for kind, params in (("attention", ATTENTION), ("train", TRAIN)):
+                static = await svc.submit({"kind": kind, "params": params})
+                aware = await svc.submit(
+                    {
+                        "kind": kind,
+                        "params": {**params, "energy_model": "value_aware"},
+                    }
+                )
+                again = await svc.submit(
+                    {
+                        "kind": kind,
+                        "params": {**params, "energy_model": "value_aware"},
+                    }
+                )
+                results[kind] = (static, aware, again)
+            return results
+
+        results = run(main())
+        for kind, (static, aware, again) in results.items():
+            assert static["cache"] == "miss"
+            assert aware["cache"] == "miss", kind
+            assert again["cache"] == "hit"
+            assert again["result"] == aware["result"]
+
+    def test_workers_stays_out_of_workload_cache_keys(self):
+        async def main():
+            svc = make_service()
+            cold = await svc.submit(
+                {"kind": "attention", "params": {**ATTENTION, "workers": 0}}
+            )
+            warm = await svc.submit(
+                {"kind": "attention", "params": {**ATTENTION, "workers": 2}}
+            )
+            return cold, warm
+
+        cold, warm = run(main())
+        assert warm["cache"] == "hit"
+        assert warm["result"] == cold["result"]
+
+    def test_workload_validation(self):
+        async def main():
+            svc = make_service()
+            with pytest.raises(BadRequestError, match="unknown attention"):
+                await svc.submit(
+                    {"kind": "attention", "params": {"seqz": [4]}}
+                )
+            with pytest.raises(BadRequestError, match="bad train request"):
+                await svc.submit(
+                    {"kind": "train", "params": {**TRAIN, "backend": "tpu"}}
+                )
+
+        run(main())
+
+
 class TestAdmissionControl:
     def test_queue_full_is_a_structured_rejection(self):
         async def main():

@@ -1,0 +1,163 @@
+"""Tests for the fork-join attention workload (repro.workloads.attention)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import GRAPH_INPUT, TileInventory, allocate
+from repro.pipeline.schedule import PipelineScheduler, ScheduleParams
+from repro.utils import telemetry
+from repro.workloads.attention import (
+    AttentionParams,
+    attention_graph,
+    explore_attention,
+    run_attention,
+)
+
+SMALL = AttentionParams(seq=4, d_model=8, d_head=4)
+
+
+class TestAttentionGraph:
+    def test_topology_is_fork_join(self):
+        g = attention_graph(SMALL)
+        assert tuple(g.entry_names) == ("wq", "wk", "wv")
+        assert g.sink_name == "wo"
+        assert g.producers("scores") == ("wq", "wk")
+        assert g.producers("attend") == ("scores", "wv")
+        # 5 internal edges; with 3 host->entry and 1 sink->host links the
+        # scheduler charges 9 transfers per micro-batch.
+        assert g.edges() == [
+            ("wq", "scores"),
+            ("wk", "scores"),
+            ("scores", "attend"),
+            ("wv", "attend"),
+            ("attend", "wo"),
+        ]
+
+    def test_reference_forward_matches_numpy_attention(self):
+        params = SMALL
+        g = attention_graph(params, model_seed=11)
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, (5, params.seq, params.d_model))
+        out = g.reference_forward(x.reshape(5, -1))
+
+        wq = g.node("wq").weights
+        wk = g.node("wk").weights
+        wv = g.node("wv").weights
+        wo = g.node("wo").weights
+        q = np.maximum(x @ wq, 0.0)
+        scores = q @ (x @ wk).transpose(0, 2, 1) / np.sqrt(params.d_head)
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        att = np.maximum(probs @ (x @ wv), 0.0)
+        expected = (att @ wo).reshape(5, -1)
+        assert np.allclose(out, expected)
+
+    def test_softmax_rows_normalized_in_reference(self):
+        g = attention_graph(SMALL)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (3, SMALL.seq * SMALL.d_model))
+        scores = g.node("scores")
+        q = g.node("wq").reference_forward(x)
+        k = g.node("wk").reference_forward(x)
+        probs = scores.reference_forward(q, k).reshape(
+            3, SMALL.seq, SMALL.seq
+        )
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_deterministic_for_seed(self):
+        a = attention_graph(SMALL, model_seed=7)
+        b = attention_graph(SMALL, model_seed=7)
+        assert np.array_equal(a.node("wq").weights, b.node("wq").weights)
+        assert a.node("wq").input_scale == b.node("wq").input_scale
+
+
+class TestScheduledAttention:
+    def test_pipelined_bit_identical_to_sequential(self):
+        g = attention_graph(SMALL)
+        alloc = allocate(g, TileInventory(n_tiles=16), rng=0)
+        sched = PipelineScheduler(alloc, ScheduleParams(micro_batch=2))
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (8, SMALL.seq * SMALL.d_model))
+        seq_run = sched.run(x, mode="sequential")
+        pipe_run = sched.run(x, mode="pipelined")
+        assert np.array_equal(seq_run.outputs, pipe_run.outputs)
+        assert pipe_run.makespan < seq_run.makespan
+
+    def test_branch_edges_each_charged(self):
+        """The fork (host -> wq/wk/wv) and join (wq,wk -> scores;
+        scores,wv -> attend) edges are all charged: 9 transfers per
+        micro-batch (3 entry + 5 internal + 1 output)."""
+        g = attention_graph(SMALL)
+        alloc = allocate(g, TileInventory(n_tiles=16), rng=0)
+        sched = PipelineScheduler(alloc, ScheduleParams(micro_batch=2))
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (8, SMALL.seq * SMALL.d_model))
+        n_mb = 4
+        with telemetry.scoped() as scope:
+            sched.run(x, mode="pipelined")
+            counters = scope.snapshot(include_timers=False)["counters"]
+        assert counters["pipeline.transfers"] == 9 * n_mb
+        assert counters["pipeline.transfer.bytes"] > 0
+
+    def test_transfer_energy_identical_across_modes(self):
+        g = attention_graph(SMALL)
+        alloc = allocate(g, TileInventory(n_tiles=16), rng=0)
+        sched = PipelineScheduler(alloc, ScheduleParams(micro_batch=2))
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (8, SMALL.seq * SMALL.d_model))
+        seq_run = sched.run(x, mode="sequential")
+        pipe_run = sched.run(x, mode="pipelined")
+        assert seq_run.transfer_bytes == pipe_run.transfer_bytes
+
+    def test_crossbar_matches_reference_within_quantization(self):
+        row = run_attention(SMALL, batch=8, micro_batch=2)
+        assert row["bit_identical"] is True
+        assert row["max_ref_error"] < 1.0
+        assert row["speedup"] > 1.0
+
+
+class TestExploreAttention:
+    def test_rows_cover_grid_with_feasibility(self):
+        rows = explore_attention(
+            seqs=(4,),
+            d_heads=(4,),
+            micro_batches=(2, 4),
+            d_model=8,
+            batch=8,
+            workers=0,
+        )
+        assert len(rows) == 2
+        assert all(r["feasible"] for r in rows)
+        assert all(r["bit_identical"] for r in rows)
+
+    def test_infeasible_point_flagged_not_raised(self):
+        rows = explore_attention(
+            seqs=(8,),
+            d_heads=(8,),
+            micro_batches=(4,),
+            d_model=16,
+            batch=8,
+            n_tiles=1,
+            workers=0,
+        )
+        assert len(rows) == 1
+        assert rows[0]["feasible"] is False
+        assert "tiles" in rows[0]["reason"]
+
+    def test_serial_parallel_bit_identical(self):
+        kwargs = dict(
+            seqs=(4,),
+            d_heads=(4, 8),
+            micro_batches=(2,),
+            d_model=8,
+            batch=8,
+            seed=5,
+        )
+        serial = explore_attention(workers=0, **kwargs)
+        parallel = explore_attention(workers=2, **kwargs)
+        assert serial == parallel
+
+    def test_empty_grid(self):
+        assert explore_attention(seqs=(), workers=0) == []
